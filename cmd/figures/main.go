@@ -1,0 +1,83 @@
+// Command figures regenerates every figure and table of the paper's
+// evaluation section (Figures 8-11, Tables 2-3) on the benchmark kernels.
+//
+// Usage:
+//
+//	figures [-bench name,name,...] [-markdown | -csv] [-ext]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"predication/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args, executes the experiment suite, and writes the selected
+// rendering of every table to out (progress lines go to errw).
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	benchList := fs.String("bench", "", "comma-separated kernel names (default: all)")
+	markdown := fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
+	csv := fs.Bool("csv", false, "emit comma-separated values")
+	ext := fs.Bool("ext", false, "also run the extension experiments (penalty sweep, predicate distance, register pressure, finite register files)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opts := experiments.Options{
+		Progress: func(s string) { fmt.Fprintln(errw, s) },
+	}
+	if *benchList != "" {
+		opts.Kernels = strings.Split(*benchList, ",")
+	}
+	suite, err := experiments.Run(opts)
+	if err != nil {
+		return err
+	}
+	tables := suite.AllTables()
+	if *ext {
+		extra, err := experiments.Extensions()
+		if err != nil {
+			return err
+		}
+		tables = append(tables, extra...)
+	}
+	for _, t := range tables {
+		switch {
+		case *csv:
+			fmt.Fprintf(out, "# %s\n%s\n", t.Title, t.CSV())
+		case *markdown:
+			fmt.Fprintln(out, markdownTable(t))
+		default:
+			fmt.Fprintln(out, t.String())
+		}
+	}
+	return nil
+}
+
+func markdownTable(t *experiments.Table) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "### %s\n\n", t.Title)
+	fmt.Fprintf(&sb, "| %s |\n", strings.Join(t.Headers, " | "))
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = "---"
+	}
+	fmt.Fprintf(&sb, "| %s |\n", strings.Join(sep, " | "))
+	for _, row := range t.Rows {
+		fmt.Fprintf(&sb, "| %s |\n", strings.Join(row, " | "))
+	}
+	return sb.String()
+}

@@ -1,0 +1,118 @@
+package main
+
+import (
+	"io"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// capture runs the command with args and returns its stdout, discarding
+// progress output.
+func capture(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb, io.Discard); err != nil {
+		t.Fatalf("figures %v: %v", args, err)
+	}
+	return sb.String()
+}
+
+// titles in paper order, as emitted in every rendering mode.
+var wantTitles = []string{
+	"Figure 8: speedup, 8-issue 1-branch, perfect caches",
+	"Figure 9: speedup, 8-issue 2-branch, perfect caches",
+	"Figure 10: speedup, 4-issue 1-branch, perfect caches",
+	"Figure 11: speedup, 8-issue 1-branch, 64K I/D caches",
+	"Table 2: dynamic instruction count comparison",
+	"Table 3: branch statistics (8-issue 1-branch)",
+}
+
+// TestAllTablesEmitted: the default rendering includes every figure and
+// table of the evaluation section, in paper order.
+func TestAllTablesEmitted(t *testing.T) {
+	out := capture(t, "-bench", "wc,grep")
+	prev := -1
+	for _, title := range wantTitles {
+		i := strings.Index(out, title)
+		if i < 0 {
+			t.Errorf("missing table %q", title)
+			continue
+		}
+		if i < prev {
+			t.Errorf("table %q out of order", title)
+		}
+		prev = i
+	}
+}
+
+// TestMarkdownMode: -markdown emits well-formed GitHub tables with a
+// constant column count per table.
+func TestMarkdownMode(t *testing.T) {
+	out := capture(t, "-bench", "wc", "-markdown")
+	var cols int
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, "### "):
+			cols = 0
+		case strings.HasPrefix(line, "|"):
+			n := strings.Count(line, "|") - 1
+			if cols == 0 {
+				cols = n
+			} else if n != cols {
+				t.Errorf("ragged markdown row (%d cells, want %d): %s", n, cols, line)
+			}
+		}
+	}
+	if !strings.Contains(out, "### Figure 8") {
+		t.Error("markdown headings missing")
+	}
+}
+
+// TestCSVMode: -csv rows parse, and the speedup cells are sane numbers.
+func TestCSVMode(t *testing.T) {
+	out := capture(t, "-bench", "wc", "-csv")
+	if !strings.Contains(out, "# Figure 8") {
+		t.Fatal("missing CSV section header")
+	}
+	section := out[strings.Index(out, "# Figure 8"):]
+	section = section[:strings.Index(section, "\n\n")]
+	lines := strings.Split(strings.TrimSpace(section), "\n")
+	// header comment, column header, wc row, mean row
+	if len(lines) != 4 {
+		t.Fatalf("Figure 8 CSV has %d lines, want 4:\n%s", len(lines), section)
+	}
+	for _, row := range lines[2:] {
+		cells := strings.Split(row, ",")
+		if len(cells) != 4 {
+			t.Fatalf("CSV row %q has %d cells, want 4", row, len(cells))
+		}
+		for _, c := range cells[1:] {
+			v, err := strconv.ParseFloat(c, 64)
+			if err != nil {
+				t.Errorf("non-numeric speedup cell %q", c)
+			} else if v <= 0 || v > 100 {
+				t.Errorf("implausible speedup %v", v)
+			}
+		}
+	}
+}
+
+// TestBenchFilter: -bench restricts the suite to the named kernels.
+func TestBenchFilter(t *testing.T) {
+	out := capture(t, "-bench", "wc")
+	if !strings.Contains(out, "wc") {
+		t.Error("selected kernel missing")
+	}
+	if strings.Contains(out, "grep") || strings.Contains(out, "espresso") {
+		t.Error("unselected kernels present in filtered run")
+	}
+}
+
+// TestUnknownKernel is reported as an error.
+func TestUnknownKernel(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "nosuchkernel"}, &sb, io.Discard); err == nil {
+		t.Error("expected error for unknown kernel")
+	}
+}

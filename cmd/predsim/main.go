@@ -1,0 +1,169 @@
+// Command predsim compiles and simulates one benchmark kernel under a
+// chosen predication model and machine configuration, optionally dumping
+// the compiled code — the workhorse for inspecting what each pipeline
+// does.
+//
+// Usage:
+//
+//	predsim -bench wc -model full -machine issue8-br1 [-dump] [-stages]
+//	predsim -file prog.psasm -model cmov
+//	predsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"predication/internal/asm"
+	"predication/internal/bench"
+	"predication/internal/core"
+	"predication/internal/emu"
+	"predication/internal/ir"
+	"predication/internal/machine"
+	"predication/internal/sched"
+	"predication/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "predsim:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args, compiles the selected program under the selected model,
+// simulates it, and writes the report to out.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("predsim", flag.ContinueOnError)
+	fs.SetOutput(out)
+	name := fs.String("bench", "wc", "benchmark kernel name")
+	file := fs.String("file", "", "compile and run a .psasm program instead of a benchmark (see docs/ISA.md and internal/asm)")
+	modelName := fs.String("model", "full", "model: superblock | cmov | full | guard")
+	machName := fs.String("machine", "issue8-br1", "machine: issue1 | issue4-br1 | issue8-br1 | issue8-br2 | issue8-br1-64k")
+	dump := fs.Bool("dump", false, "dump the compiled program")
+	stages := fs.Bool("stages", false, "dump the program after every pipeline stage")
+	schedule := fs.Bool("schedule", false, "print the hottest block with issue cycles (the paper's Figure 5/6 presentation)")
+	list := fs.Bool("list", false, "list benchmark kernels")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	if *list {
+		for _, k := range bench.All() {
+			fmt.Fprintf(out, "%-14s %s\n", k.Name, k.Paper)
+		}
+		return nil
+	}
+
+	var build func() *ir.Program
+	label := *name
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		prog, err := asm.Parse(string(src))
+		if err != nil {
+			return err
+		}
+		build = prog.Clone
+		label = *file
+	} else {
+		k, err := bench.ByName(*name)
+		if err != nil {
+			return err
+		}
+		build = k.Build
+	}
+
+	var model core.Model
+	switch *modelName {
+	case "superblock", "sb":
+		model = core.Superblock
+	case "cmov", "condmove", "partial":
+		model = core.CondMove
+	case "full", "fullpred":
+		model = core.FullPred
+	case "guard", "guardinstr":
+		model = core.GuardInstr
+	default:
+		return fmt.Errorf("unknown model %q", *modelName)
+	}
+
+	var mc machine.Config
+	switch *machName {
+	case "issue1":
+		mc = machine.Issue1()
+	case "issue4-br1":
+		mc = machine.Issue4Br1()
+	case "issue8-br1":
+		mc = machine.Issue8Br1()
+	case "issue8-br2":
+		mc = machine.Issue8Br2()
+	case "issue8-br1-64k":
+		mc = machine.Issue8Br1Cache()
+	default:
+		return fmt.Errorf("unknown machine %q", *machName)
+	}
+
+	opts := core.DefaultOptions(mc)
+	if *stages {
+		opts.StageHook = func(stage string, p *ir.Program) {
+			fmt.Fprintf(out, "=== after %s (%d instructions) ===\n%s\n", stage, p.NumInstrs(), p)
+		}
+	}
+	c, err := core.Compile(build(), model, opts)
+	if err != nil {
+		return err
+	}
+	if *dump {
+		fmt.Fprint(out, c.Prog.String())
+	}
+
+	runRes, err := emu.Run(c.Prog, emu.Options{Trace: true})
+	if err != nil {
+		return err
+	}
+	st := sim.Simulate(c.Prog, runRes.Trace, mc)
+	if *schedule {
+		// The hottest block: largest contribution to the trace.
+		counts := map[*ir.Instr]int{}
+		for _, ev := range runRes.Trace {
+			counts[ev.In]++
+		}
+		var best *ir.Block
+		bestN := -1
+		for _, fn := range c.Prog.Funcs {
+			for _, blk := range fn.LiveBlocks(nil) {
+				n := 0
+				for _, in := range blk.Instrs {
+					n += counts[in]
+				}
+				if n > bestN {
+					best, bestN = blk, n
+				}
+			}
+		}
+		if best != nil {
+			fmt.Fprintf(out, "hottest block B%d (%s), schedule on %s:\n%s\n",
+				best.ID, best.Name, mc.Name, sched.FormatSchedule(best, mc))
+		}
+	}
+
+	fmt.Fprintf(out, "program:        %s\n", label)
+	fmt.Fprintf(out, "model:          %v\n", model)
+	fmt.Fprintf(out, "machine:        %s\n", mc.Name)
+	fmt.Fprintf(out, "checksum:       %#x\n", runRes.Word(bench.CheckAddr))
+	fmt.Fprintf(out, "cycles:         %d\n", st.Cycles)
+	fmt.Fprintf(out, "dyn. instrs:    %d (nullified %d)\n", st.Instrs, st.Nullified)
+	fmt.Fprintf(out, "IPC:            %.2f\n", st.IPC())
+	fmt.Fprintf(out, "branches:       %d (cond %d)\n", st.Branches, st.CondBranches)
+	fmt.Fprintf(out, "mispredicts:    %d (%.2f%%)\n", st.Mispredicts, 100*st.MispredictRate())
+	if !mc.PerfectCache {
+		fmt.Fprintf(out, "icache misses:  %d\n", st.ICacheMisses)
+		fmt.Fprintf(out, "dcache misses:  %d\n", st.DCacheMisses)
+	}
+	return nil
+}

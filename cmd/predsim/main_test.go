@@ -1,0 +1,159 @@
+package main
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+
+	"predication/internal/bench"
+)
+
+// capture runs the command with args and returns its stdout.
+func capture(t *testing.T, args ...string) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := run(args, &sb); err != nil {
+		t.Fatalf("predsim %v: %v", args, err)
+	}
+	return sb.String()
+}
+
+// TestList prints every registered kernel, one per line.
+func TestList(t *testing.T) {
+	out := capture(t, "-list")
+	lines := strings.Count(out, "\n")
+	if want := len(bench.All()); lines != want {
+		t.Errorf("listed %d kernels, want %d", lines, want)
+	}
+	for _, k := range bench.All() {
+		if !strings.Contains(out, k.Name) {
+			t.Errorf("kernel %s missing from -list output", k.Name)
+		}
+	}
+}
+
+// TestReportFields checks the report structure and that the checksum is
+// identical under every model (the compiled code must preserve semantics).
+func TestReportFields(t *testing.T) {
+	checksums := map[string]string{}
+	re := regexp.MustCompile(`checksum:\s+(0x[0-9a-f]+|0)`)
+	for _, model := range []string{"superblock", "cmov", "full", "guard"} {
+		out := capture(t, "-bench", "wc", "-model", model)
+		for _, field := range []string{"program:", "model:", "machine:", "checksum:",
+			"cycles:", "dyn. instrs:", "IPC:", "branches:", "mispredicts:"} {
+			if !strings.Contains(out, field) {
+				t.Errorf("model %s: report missing %q", model, field)
+			}
+		}
+		m := re.FindStringSubmatch(out)
+		if m == nil {
+			t.Fatalf("model %s: no checksum line in output", model)
+		}
+		checksums[model] = m[1]
+	}
+	for model, sum := range checksums {
+		if sum != checksums["superblock"] {
+			t.Errorf("model %s checksum %s differs from superblock's %s",
+				model, sum, checksums["superblock"])
+		}
+	}
+}
+
+// TestCacheFieldsOnlyWithCaches: the cache-miss lines appear exactly when
+// the machine has real caches.
+func TestCacheFieldsOnlyWithCaches(t *testing.T) {
+	with := capture(t, "-bench", "grep", "-machine", "issue8-br1-64k")
+	if !strings.Contains(with, "icache misses:") || !strings.Contains(with, "dcache misses:") {
+		t.Error("cache machine report missing cache-miss lines")
+	}
+	without := capture(t, "-bench", "grep", "-machine", "issue8-br1")
+	if strings.Contains(without, "icache misses:") {
+		t.Error("perfect-cache report should not include cache-miss lines")
+	}
+}
+
+// TestScheduleFigure5: the -schedule view of the wc loop reproduces the
+// paper's Figure 5 lengths on the 4-issue machine.
+func TestScheduleFigure5(t *testing.T) {
+	re := regexp.MustCompile(`schedule length: (\d+) cycles`)
+	length := func(model string) int {
+		out := capture(t, "-bench", "wc", "-model", model, "-machine", "issue4-br1", "-schedule")
+		m := re.FindStringSubmatch(out)
+		if m == nil {
+			t.Fatalf("model %s: no schedule length in -schedule output", model)
+		}
+		var n int
+		fmt.Sscanf(m[1], "%d", &n)
+		return n
+	}
+	if n := length("full"); n != 8 {
+		t.Errorf("full-predication wc loop schedules in %d cycles, want the paper's 8", n)
+	}
+	if n := length("cmov"); n < 9 || n > 10 {
+		t.Errorf("conditional-move wc loop schedules in %d cycles, want 9-10", n)
+	}
+}
+
+// TestDumpShowsCompiledCode: -dump prints the paper-syntax listing of the
+// compiled program ahead of the report, and the listing reflects the
+// model (predicate defines for full predication, none for superblock).
+func TestDumpShowsCompiledCode(t *testing.T) {
+	full := capture(t, "-bench", "cmp", "-model", "full", "-dump")
+	i := strings.Index(full, "program:")
+	if i < 0 {
+		t.Fatal("no report after dump")
+	}
+	listing := full[:i]
+	if !strings.Contains(listing, "func ") || !strings.Contains(listing, "pred_") {
+		t.Error("full-predication dump lacks function header or predicate defines")
+	}
+	sb := capture(t, "-bench", "cmp", "-model", "superblock", "-dump")
+	if strings.Contains(sb[:strings.Index(sb, "program:")], "pred_") {
+		t.Error("superblock dump contains predicate defines")
+	}
+}
+
+// TestStagesShowPipeline: -stages names each pipeline stage in order.
+func TestStagesShowPipeline(t *testing.T) {
+	out := capture(t, "-bench", "wc", "-model", "full", "-stages")
+	prev := -1
+	for _, stage := range []string{"normalize", "hyperblock-formation", "promotion", "branch-combining", "schedule"} {
+		i := strings.Index(out, "=== after "+stage)
+		if i < 0 {
+			t.Errorf("stage %q missing from -stages output", stage)
+			continue
+		}
+		if i < prev {
+			t.Errorf("stage %q printed out of order", stage)
+		}
+		prev = i
+	}
+}
+
+// TestFileInput runs the shipped example program from its .psasm source.
+func TestFileInput(t *testing.T) {
+	out := capture(t, "-file", "../../examples/asm/absdiff.psasm", "-model", "full")
+	if !strings.Contains(out, "program:        ../../examples/asm/absdiff.psasm") {
+		t.Error("report does not name the input file")
+	}
+	if !strings.Contains(out, "cycles:") {
+		t.Error("no simulation report for file input")
+	}
+}
+
+// TestErrors: bad flag values are reported as errors, not panics.
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{"-bench", "nosuchkernel"},
+		{"-model", "nosuchmodel"},
+		{"-machine", "nosuchmachine"},
+		{"-file", "/nonexistent/path.psasm"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		if err := run(args, &sb); err == nil {
+			t.Errorf("predsim %v: expected error", args)
+		}
+	}
+}

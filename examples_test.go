@@ -1,0 +1,132 @@
+package predication_test
+
+import (
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// runExample executes an example main with `go run` and returns its
+// combined output.
+func runExample(t *testing.T, dir string) string {
+	t.Helper()
+	cmd := exec.Command("go", "run", "./examples/"+dir)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("examples/%s failed: %v\n%s", dir, err, out)
+	}
+	return string(out)
+}
+
+// TestExamplesRun executes every shipped example end to end and checks the
+// claims their prose makes against the numbers they print.
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples shell out to go run")
+	}
+
+	t.Run("quickstart", func(t *testing.T) {
+		t.Parallel()
+		out := runExample(t, "quickstart")
+		for _, model := range []string{"Superblock", "Conditional Move", "Full Predication"} {
+			if !strings.Contains(out, model) {
+				t.Errorf("missing row for %s", model)
+			}
+		}
+		// The unpredictable diamond: predicated models must eliminate
+		// essentially all mispredictions relative to superblock.
+		rows := parseRows(t, out, `(?m)^(Superblock|Conditional Move|Full Predication)\s.*?(\d+)\s+(\d+)\s+(\d+)\s+(\d+)`)
+		if rows["Superblock"][3] < 100*rows["Full Predication"][3] {
+			t.Errorf("full predication should remove ~all mispredictions: SB %d vs FP %d",
+				rows["Superblock"][3], rows["Full Predication"][3])
+		}
+	})
+
+	t.Run("wcloop", func(t *testing.T) {
+		t.Parallel()
+		out := runExample(t, "wcloop")
+		if !strings.Contains(out, "schedule length: 8 cycles") {
+			t.Error("wc full-predication loop must show the paper's 8-cycle schedule")
+		}
+		cy := cyclesByModel(t, out)
+		if !(cy["Full Predication"] < cy["Conditional Move"] && cy["Conditional Move"] < cy["Superblock"]) {
+			t.Errorf("expected FP < CM < SB cycles, got %v", cy)
+		}
+	})
+
+	t.Run("greploop", func(t *testing.T) {
+		t.Parallel()
+		out := runExample(t, "greploop")
+		if !strings.Contains(out, "pred_") {
+			t.Error("grep loop body should show OR-type predicate defines")
+		}
+		cy := cyclesByModel(t, out)
+		if cy["Full Predication"] >= cy["Superblock"] {
+			t.Errorf("full predication should win on grep: %v", cy)
+		}
+	})
+
+	t.Run("ortree", func(t *testing.T) {
+		t.Parallel()
+		out := runExample(t, "ortree")
+		chain := firstCycles(t, out, "linear OR chain")
+		tree := firstCycles(t, out, "with OR-tree reduction")
+		full := firstCycles(t, out, "full predication")
+		if !(full < tree && tree < chain) {
+			t.Errorf("expected full < tree < chain cycles, got %d %d %d", full, tree, chain)
+		}
+	})
+}
+
+// parseRows extracts numeric columns keyed by the row's first capture.
+func parseRows(t *testing.T, out, pattern string) map[string][]int64 {
+	t.Helper()
+	rows := map[string][]int64{}
+	re := regexp.MustCompile(pattern)
+	for _, m := range re.FindAllStringSubmatch(out, -1) {
+		var vals []int64
+		for _, c := range m[2:] {
+			v, err := strconv.ParseInt(c, 10, 64)
+			if err != nil {
+				t.Fatalf("bad numeric cell %q in row %q", c, m[0])
+			}
+			vals = append(vals, v)
+		}
+		rows[m[1]] = vals
+	}
+	if len(rows) == 0 {
+		t.Fatalf("pattern %q matched nothing in:\n%s", pattern, out)
+	}
+	return rows
+}
+
+// cyclesByModel reads the "=== Model ===" ... "cycles=N" report format the
+// loop examples share.
+func cyclesByModel(t *testing.T, out string) map[string]int64 {
+	t.Helper()
+	cy := map[string]int64{}
+	re := regexp.MustCompile(`=== ([A-Za-z ]+) ===\s*\ncycles=(\d+)`)
+	for _, m := range re.FindAllStringSubmatch(out, -1) {
+		v, _ := strconv.ParseInt(m[2], 10, 64)
+		cy[m[1]] = v
+	}
+	if len(cy) < 3 {
+		t.Fatalf("expected three model reports, got %v in:\n%s", cy, out)
+	}
+	return cy
+}
+
+// firstCycles finds the cycles=N (or "cycles=N") figure on the line
+// starting with the given label.
+func firstCycles(t *testing.T, out, label string) int64 {
+	t.Helper()
+	re := regexp.MustCompile(regexp.QuoteMeta(label) + `.*cycles=(\d+)`)
+	m := re.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("no cycles after label %q in:\n%s", label, out)
+	}
+	v, _ := strconv.ParseInt(m[1], 10, 64)
+	return v
+}

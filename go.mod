@@ -1,0 +1,3 @@
+module predication
+
+go 1.22

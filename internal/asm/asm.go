@@ -1,0 +1,543 @@
+// Package asm provides a textual serialization of IR programs: Format
+// renders a complete, round-trippable listing (directives + the same
+// assembly syntax internal/ir prints), and Parse reads it back.
+//
+// The format lets predsim execute hand-written programs, makes compiled
+// code diffable, and gives the test suite a strong round-trip invariant:
+// Parse(Format(p)) emulates identically to p for every compiled benchmark.
+//
+//	.mem 65536
+//	.entry 0
+//	.data 16: 104 101 108 108 111
+//	func F0 main:
+//	B0:
+//		mov r1, 0
+//		pred_eq p1_OR, p3_U~, r4, 0 (p2)
+//		load_s r2, r1, 16
+//		guard p5, 2
+//		add r7, r7, 1 (p5)
+//		blt r2, r3, B5 (p1)
+//		jump B1
+//		; fall B2
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"predication/internal/ir"
+)
+
+// Format renders the program as parseable text.
+func Format(p *ir.Program) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ".mem %d\n", p.MemWords)
+	fmt.Fprintf(&sb, ".entry %d\n", p.Entry)
+	// Data in runs of nonzero words.
+	i := 0
+	for i < len(p.Data) {
+		if p.Data[i] == 0 {
+			i++
+			continue
+		}
+		j := i
+		for j < len(p.Data) && p.Data[j] != 0 {
+			j++
+		}
+		fmt.Fprintf(&sb, ".data %d:", i)
+		for _, v := range p.Data[i:j] {
+			fmt.Fprintf(&sb, " %d", v)
+		}
+		sb.WriteByte('\n')
+		i = j
+	}
+	for fi, f := range p.Funcs {
+		fmt.Fprintf(&sb, "func F%d %s:\n", fi, f.Name)
+		if f.Entry != 0 {
+			fmt.Fprintf(&sb, ".fentry %d\n", f.Entry)
+		}
+		for _, b := range f.LiveBlocks(nil) {
+			if b.Name != "" {
+				fmt.Fprintf(&sb, "B%d: ; %s\n", b.ID, b.Name)
+			} else {
+				fmt.Fprintf(&sb, "B%d:\n", b.ID)
+			}
+			for _, in := range b.Instrs {
+				fmt.Fprintf(&sb, "\t%s\n", in)
+			}
+			if !b.EndsUnconditionally() && b.Fall >= 0 {
+				fmt.Fprintf(&sb, "\t; fall B%d\n", b.Fall)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// opTable maps mnemonics (without the _s silent suffix) to opcodes for
+// every opcode the parser accepts in generic three-operand form or with a
+// dedicated rule.
+var opTable = map[string]ir.Op{
+	"nop": ir.Nop, "halt": ir.Halt, "mov": ir.Mov,
+	"add": ir.Add, "sub": ir.Sub, "mul": ir.Mul, "div": ir.Div, "rem": ir.Rem,
+	"and": ir.And, "or": ir.Or, "xor": ir.Xor,
+	"and_not": ir.AndNot, "or_not": ir.OrNot, "shl": ir.Shl, "shr": ir.Shr,
+	"eq": ir.CmpEQ, "ne": ir.CmpNE, "lt": ir.CmpLT, "le": ir.CmpLE,
+	"gt": ir.CmpGT, "ge": ir.CmpGE,
+	"add_f": ir.AddF, "sub_f": ir.SubF, "mul_f": ir.MulF, "div_f": ir.DivF,
+	"abs_f": ir.AbsF, "cvt_if": ir.CvtIF, "cvt_fi": ir.CvtFI,
+	"eq_f": ir.CmpEQF, "ne_f": ir.CmpNEF, "lt_f": ir.CmpLTF,
+	"le_f": ir.CmpLEF, "gt_f": ir.CmpGTF, "ge_f": ir.CmpGEF,
+	"load": ir.Load, "store": ir.Store,
+	"jump": ir.Jump, "beq": ir.BrEQ, "bne": ir.BrNE, "blt": ir.BrLT,
+	"ble": ir.BrLE, "bgt": ir.BrGT, "bge": ir.BrGE,
+	"jsr": ir.JSR, "ret": ir.Ret,
+	"pred_clear": ir.PredClear, "pred_set": ir.PredSet,
+	"cmov": ir.CMov, "cmov_com": ir.CMovCom, "select": ir.Select,
+	"guard": ir.GuardApply,
+}
+
+var cmpTable = map[string]ir.Cmp{
+	"eq": ir.EQ, "ne": ir.NE, "lt": ir.LT, "le": ir.LE, "gt": ir.GT, "ge": ir.GE,
+	"eq_f": ir.EQF, "ne_f": ir.NEF, "lt_f": ir.LTF, "le_f": ir.LEF,
+	"gt_f": ir.GTF, "ge_f": ir.GEF,
+}
+
+var typeTable = map[string]ir.PredType{
+	"U": ir.PredU, "U~": ir.PredUBar,
+	"OR": ir.PredOR, "OR~": ir.PredORBar,
+	"AND": ir.PredAND, "AND~": ir.PredANDBar,
+}
+
+// parser carries parse state.
+type parser struct {
+	p       *ir.Program
+	f       *ir.Func
+	b       *ir.Block
+	line    int
+	maxReg  map[*ir.Func]ir.Reg
+	maxPReg map[*ir.Func]ir.PReg
+}
+
+func (ps *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("asm: line %d: %s", ps.line, fmt.Sprintf(format, args...))
+}
+
+// Parse reads a program from its textual form.
+func Parse(src string) (*ir.Program, error) {
+	ps := &parser{maxReg: map[*ir.Func]ir.Reg{}, maxPReg: map[*ir.Func]ir.PReg{}}
+	for _, raw := range strings.Split(src, "\n") {
+		ps.line++
+		line := strings.TrimSpace(raw)
+		if line == "" {
+			continue
+		}
+		if err := ps.parseLine(line); err != nil {
+			return nil, err
+		}
+	}
+	if ps.p == nil {
+		return nil, fmt.Errorf("asm: empty program (missing .mem)")
+	}
+	// Fix register counters.
+	for f, r := range ps.maxReg {
+		if r+1 > f.NextReg {
+			f.NextReg = r + 1
+		}
+	}
+	for f, r := range ps.maxPReg {
+		if r+1 > f.NextPReg {
+			f.NextPReg = r + 1
+		}
+	}
+	if err := ps.p.Verify(); err != nil {
+		return nil, fmt.Errorf("asm: %w", err)
+	}
+	return ps.p, nil
+}
+
+func (ps *parser) parseLine(line string) error {
+	switch {
+	case strings.HasPrefix(line, ".mem "):
+		n, err := strconv.Atoi(strings.TrimSpace(line[5:]))
+		if err != nil || n <= 0 {
+			return ps.errf("bad .mem")
+		}
+		ps.p = ir.NewProgram(n)
+		return nil
+	case strings.HasPrefix(line, ".entry "):
+		n, err := strconv.Atoi(strings.TrimSpace(line[7:]))
+		if err != nil || ps.p == nil {
+			return ps.errf("bad .entry (or before .mem)")
+		}
+		ps.p.Entry = n
+		return nil
+	case strings.HasPrefix(line, ".fentry "):
+		n, err := strconv.Atoi(strings.TrimSpace(line[8:]))
+		if err != nil || ps.f == nil {
+			return ps.errf("bad .fentry")
+		}
+		ps.f.Entry = n
+		return nil
+	case strings.HasPrefix(line, ".data "):
+		rest := line[6:]
+		colon := strings.Index(rest, ":")
+		if colon < 0 {
+			return ps.errf("bad .data (missing colon)")
+		}
+		addr, err := strconv.ParseInt(strings.TrimSpace(rest[:colon]), 10, 64)
+		if err != nil || addr < 0 || ps.p == nil {
+			return ps.errf("bad .data address (or before .mem)")
+		}
+		for _, tok := range strings.Fields(rest[colon+1:]) {
+			v, err := strconv.ParseInt(tok, 10, 64)
+			if err != nil {
+				return ps.errf("bad .data value %q", tok)
+			}
+			for int64(len(ps.p.Data)) <= addr {
+				ps.p.Data = append(ps.p.Data, 0)
+			}
+			ps.p.Data[addr] = v
+			addr++
+		}
+		return nil
+	case strings.HasPrefix(line, "func "):
+		// func F<n> <name>:
+		rest := strings.TrimSuffix(strings.TrimPrefix(line, "func "), ":")
+		fields := strings.Fields(rest)
+		if len(fields) < 1 || !strings.HasPrefix(fields[0], "F") {
+			return ps.errf("bad func header")
+		}
+		name := ""
+		if len(fields) > 1 {
+			name = fields[1]
+		}
+		if ps.p == nil {
+			return ps.errf("func before .mem directive")
+		}
+		ps.f = ir.NewFunc(name)
+		ps.p.AddFunc(ps.f)
+		ps.b = nil
+		return nil
+	case strings.HasPrefix(line, "B") && strings.Contains(line, ":"):
+		colon := strings.Index(line, ":")
+		id, err := strconv.Atoi(line[1:colon])
+		if err != nil || ps.f == nil {
+			return ps.errf("bad block label")
+		}
+		ps.b = ps.block(id)
+		ps.b.Dead = false
+		if c := strings.Index(line, "; "); c > colon {
+			ps.b.Name = strings.TrimSpace(line[c+2:])
+		}
+		return nil
+	case strings.HasPrefix(line, "; fall B"):
+		id, err := strconv.Atoi(strings.TrimSpace(line[8:]))
+		if err != nil || ps.b == nil {
+			return ps.errf("bad fall comment")
+		}
+		ps.b.Fall = ps.block(id).ID
+		return nil
+	case strings.HasPrefix(line, ";"):
+		return nil // comment
+	}
+	if ps.b == nil {
+		return ps.errf("instruction outside a block: %q", line)
+	}
+	in, err := ps.parseInstr(line)
+	if err != nil {
+		return err
+	}
+	ps.b.Append(in)
+	return nil
+}
+
+// block returns the function's block with the given ID, materializing dead
+// placeholders for gaps so IDs round-trip.
+func (ps *parser) block(id int) *ir.Block {
+	for len(ps.f.Blocks) <= id {
+		nb := ps.f.NewBlock()
+		if nb.ID != ps.f.Entry {
+			nb.Dead = true
+		}
+	}
+	return ps.f.Blocks[id]
+}
+
+// parseInstr parses one instruction line.
+func (ps *parser) parseInstr(line string) (*ir.Instr, error) {
+	// Trailing guard "(pN)".
+	guard := ir.PNone
+	if i := strings.LastIndex(line, "("); i >= 0 && strings.HasSuffix(line, ")") {
+		g := line[i+1 : len(line)-1]
+		p, err := ps.preg(g)
+		if err != nil {
+			return nil, err
+		}
+		guard = p
+		line = strings.TrimSpace(line[:i])
+	}
+	mnem, rest, _ := strings.Cut(line, " ")
+	silent := false
+	if strings.HasSuffix(mnem, "_s") {
+		base := strings.TrimSuffix(mnem, "_s")
+		if op, ok := opTable[base]; ok && op.CanExcept() {
+			mnem, silent = base, true
+		}
+	}
+	args := splitArgs(rest)
+
+	// Predicate defines: pred_<cmp> dests..., a, b
+	if strings.HasPrefix(mnem, "pred_") && mnem != "pred_clear" && mnem != "pred_set" {
+		cmp, ok := cmpTable[strings.TrimPrefix(mnem, "pred_")]
+		if !ok {
+			return nil, ps.errf("unknown predicate comparison %q", mnem)
+		}
+		if len(args) < 3 {
+			return nil, ps.errf("predicate define needs destinations and two sources")
+		}
+		in := &ir.Instr{Op: ir.PredDef, Cmp: cmp, Guard: guard}
+		nd := len(args) - 2
+		if nd < 1 || nd > 2 {
+			return nil, ps.errf("predicate define takes one or two destinations")
+		}
+		for k := 0; k < nd; k++ {
+			pd, err := ps.predDest(args[k])
+			if err != nil {
+				return nil, err
+			}
+			if k == 0 {
+				in.P1 = pd
+			} else {
+				in.P2 = pd
+			}
+		}
+		var err error
+		if in.A, err = ps.operand(args[nd]); err != nil {
+			return nil, err
+		}
+		if in.B, err = ps.operand(args[nd+1]); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+
+	op, ok := opTable[mnem]
+	if !ok {
+		return nil, ps.errf("unknown mnemonic %q", mnem)
+	}
+	in := &ir.Instr{Op: op, Guard: guard, Silent: silent}
+	switch op {
+	case ir.Nop, ir.Halt, ir.Ret, ir.PredClear, ir.PredSet:
+		return in, nil
+	case ir.GuardApply:
+		if len(args) != 2 {
+			return nil, ps.errf("guard takes a predicate and a count")
+		}
+		p, err := ps.preg(args[0])
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.ParseInt(args[1], 10, 64)
+		if err != nil {
+			return nil, ps.errf("bad guard count")
+		}
+		in.Guard, in.A = p, ir.Imm(n)
+		return in, nil
+	case ir.Jump, ir.JSR:
+		if len(args) != 1 {
+			return nil, ps.errf("%s takes one target", mnem)
+		}
+		t, err := ps.target(args[0], op == ir.JSR)
+		if err != nil {
+			return nil, err
+		}
+		in.Target = t
+		return in, nil
+	case ir.BrEQ, ir.BrNE, ir.BrLT, ir.BrLE, ir.BrGT, ir.BrGE:
+		if len(args) != 3 {
+			return nil, ps.errf("branch takes two sources and a target")
+		}
+		var err error
+		if in.A, err = ps.operand(args[0]); err != nil {
+			return nil, err
+		}
+		if in.B, err = ps.operand(args[1]); err != nil {
+			return nil, err
+		}
+		if in.Target, err = ps.target(args[2], false); err != nil {
+			return nil, err
+		}
+		return in, nil
+	case ir.Store:
+		if len(args) != 3 {
+			return nil, ps.errf("store takes base, offset, value")
+		}
+		var err error
+		if in.A, err = ps.operand(args[0]); err != nil {
+			return nil, err
+		}
+		if in.B, err = ps.operand(args[1]); err != nil {
+			return nil, err
+		}
+		if in.C, err = ps.operand(args[2]); err != nil {
+			return nil, err
+		}
+		return in, nil
+	case ir.CMov, ir.CMovCom:
+		if len(args) != 3 {
+			return nil, ps.errf("%s takes dest, src, cond", mnem)
+		}
+		var err error
+		if in.Dst, err = ps.reg(args[0]); err != nil {
+			return nil, err
+		}
+		if in.A, err = ps.operand(args[1]); err != nil {
+			return nil, err
+		}
+		if in.C, err = ps.operand(args[2]); err != nil {
+			return nil, err
+		}
+		return in, nil
+	case ir.Select:
+		if len(args) != 4 {
+			return nil, ps.errf("select takes dest, src1, src2, cond")
+		}
+		var err error
+		if in.Dst, err = ps.reg(args[0]); err != nil {
+			return nil, err
+		}
+		if in.A, err = ps.operand(args[1]); err != nil {
+			return nil, err
+		}
+		if in.B, err = ps.operand(args[2]); err != nil {
+			return nil, err
+		}
+		if in.C, err = ps.operand(args[3]); err != nil {
+			return nil, err
+		}
+		return in, nil
+	case ir.Mov, ir.CvtIF, ir.CvtFI, ir.AbsF:
+		if len(args) != 2 {
+			return nil, ps.errf("%s takes dest and one source", mnem)
+		}
+		var err error
+		if in.Dst, err = ps.reg(args[0]); err != nil {
+			return nil, err
+		}
+		if in.A, err = ps.operand(args[1]); err != nil {
+			return nil, err
+		}
+		return in, nil
+	default:
+		// Generic three-operand form (ALU, comparisons, load).
+		if len(args) != 3 {
+			return nil, ps.errf("%s takes dest and two sources", mnem)
+		}
+		var err error
+		if in.Dst, err = ps.reg(args[0]); err != nil {
+			return nil, err
+		}
+		if in.A, err = ps.operand(args[1]); err != nil {
+			return nil, err
+		}
+		if in.B, err = ps.operand(args[2]); err != nil {
+			return nil, err
+		}
+		return in, nil
+	}
+}
+
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func (ps *parser) reg(tok string) (ir.Reg, error) {
+	if !strings.HasPrefix(tok, "r") {
+		return 0, ps.errf("expected register, got %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 1 {
+		return 0, ps.errf("bad register %q", tok)
+	}
+	r := ir.Reg(n)
+	if r > ps.maxReg[ps.f] {
+		ps.maxReg[ps.f] = r
+	}
+	return r, nil
+}
+
+func (ps *parser) preg(tok string) (ir.PReg, error) {
+	if tok == "p_true" {
+		return ir.PNone, nil
+	}
+	if !strings.HasPrefix(tok, "p") {
+		return 0, ps.errf("expected predicate register, got %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 1 {
+		return 0, ps.errf("bad predicate register %q", tok)
+	}
+	r := ir.PReg(n)
+	if r > ps.maxPReg[ps.f] {
+		ps.maxPReg[ps.f] = r
+	}
+	return r, nil
+}
+
+func (ps *parser) operand(tok string) (ir.Operand, error) {
+	if strings.HasPrefix(tok, "r") {
+		r, err := ps.reg(tok)
+		if err != nil {
+			return ir.Operand{}, err
+		}
+		return ir.R(r), nil
+	}
+	v, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return ir.Operand{}, ps.errf("bad operand %q", tok)
+	}
+	return ir.Imm(v), nil
+}
+
+func (ps *parser) target(tok string, isFunc bool) (int, error) {
+	prefix := "B"
+	if isFunc {
+		prefix = "F"
+	}
+	if !strings.HasPrefix(tok, prefix) {
+		return 0, ps.errf("expected %s-target, got %q", prefix, tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 {
+		return 0, ps.errf("bad target %q", tok)
+	}
+	if !isFunc {
+		ps.block(n) // materialize so verification sees it
+	}
+	return n, nil
+}
+
+// predDest parses "p3_U~" style destinations.
+func (ps *parser) predDest(tok string) (ir.PredDest, error) {
+	us := strings.Index(tok, "_")
+	if us < 0 {
+		return ir.PredDest{}, ps.errf("bad predicate destination %q", tok)
+	}
+	p, err := ps.preg(tok[:us])
+	if err != nil {
+		return ir.PredDest{}, err
+	}
+	t, ok := typeTable[tok[us+1:]]
+	if !ok {
+		return ir.PredDest{}, ps.errf("bad predicate type %q", tok[us+1:])
+	}
+	return ir.PredDest{P: p, Type: t}, nil
+}

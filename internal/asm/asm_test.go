@@ -1,0 +1,218 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"predication/internal/bench"
+	"predication/internal/core"
+	"predication/internal/emu"
+	"predication/internal/ir"
+	"predication/internal/machine"
+	"predication/internal/progen"
+)
+
+// TestRoundTripKernels: Format -> Parse -> emulate must reproduce every
+// kernel's behaviour, both for the raw programs and for compiled output of
+// every model (which exercises predicate defines, guards, silent forms,
+// combined exits, and guard instructions).
+func TestRoundTripKernels(t *testing.T) {
+	models := []core.Model{core.Superblock, core.CondMove, core.FullPred, core.GuardInstr}
+	for _, k := range bench.All() {
+		if testing.Short() && k.Name != "wc" && k.Name != "grep" {
+			continue
+		}
+		ref, err := emu.Run(k.Build(), emu.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.Word(bench.CheckAddr)
+		// Raw program.
+		parsed, err := Parse(Format(k.Build()))
+		if err != nil {
+			t.Fatalf("%s raw: %v", k.Name, err)
+		}
+		res, err := emu.Run(parsed, emu.Options{})
+		if err != nil {
+			t.Fatalf("%s raw: %v", k.Name, err)
+		}
+		if res.Word(bench.CheckAddr) != want {
+			t.Fatalf("%s raw: checksum mismatch after round trip", k.Name)
+		}
+		// Compiled programs.
+		for _, m := range models {
+			c, err := core.Compile(k.Build(), m, core.DefaultOptions(machine.Issue8Br1()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			text := Format(c.Prog)
+			parsed, err := Parse(text)
+			if err != nil {
+				t.Fatalf("%s %v: parse: %v", k.Name, m, err)
+			}
+			// Textual fixed point.
+			if again := Format(parsed); again != text {
+				t.Fatalf("%s %v: Format not a fixed point under Parse", k.Name, m)
+			}
+			res, err := emu.Run(parsed, emu.Options{})
+			if err != nil {
+				t.Fatalf("%s %v: run: %v", k.Name, m, err)
+			}
+			if res.Word(bench.CheckAddr) != want {
+				t.Errorf("%s %v: checksum mismatch after round trip", k.Name, m)
+			}
+		}
+	}
+}
+
+// TestRoundTripRandom fuzzes the round trip on generated programs.
+func TestRoundTripRandom(t *testing.T) {
+	for seed := uint64(1); seed <= 20; seed++ {
+		p := progen.Generate(seed, progen.Default())
+		ref, _ := emu.Run(progen.Generate(seed, progen.Default()), emu.Options{})
+		parsed, err := Parse(Format(p))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		res, err := emu.Run(parsed, emu.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Word(progen.CheckAddr) != ref.Word(progen.CheckAddr) {
+			t.Errorf("seed %d: round trip changed semantics", seed)
+		}
+	}
+}
+
+// TestParseHandWritten parses a small hand-written listing.
+func TestParseHandWritten(t *testing.T) {
+	src := `
+.mem 64
+.entry 0
+.data 16: 5 7
+func F0 main:
+B0:
+	load r1, 0, 16
+	load r2, 0, 17
+	pred_lt p1_U, p2_U~, r1, r2
+	add r3, r1, r2 (p1)
+	sub r3, r2, r1 (p2)
+	store 0, 8, r3
+	halt
+`
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := emu.Run(p, emu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Word(8) != 12 {
+		t.Errorf("result %d, want 12", res.Word(8))
+	}
+}
+
+// TestParseErrors checks diagnostics.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, want string
+	}{
+		{"", "empty program"},
+		{"func F0 m:\nB0:\n\thalt\n", "func before .mem"},
+		{".entry 0\n.mem 64\nfunc F0 m:\nB0:\n\thalt\n", "before .mem"},
+		{".data 0: 1\n.mem 64\nfunc F0 m:\nB0:\n\thalt\n", "before .mem"},
+		{".mem 64\nfunc F0 m:\nB0:\n\tbogus r1, r2, r3\n\thalt\n", "unknown mnemonic"},
+		{".mem 64\nfunc F0 m:\nB0:\n\tadd r1, r2\n\thalt\n", "takes dest and two sources"},
+		{".mem 64\nfunc F0 m:\n\tadd r1, r2, r3\n", "outside a block"},
+		{".mem 64\nfunc F0 m:\nB0:\n\tjump B9\n", "missing/dead block"},
+		{".mem 64\nfunc F0 m:\nB0:\n\tguard p1, 0\n\thalt\n", "positive count"},
+		{".mem 64\nfunc F0 m:\nB0:\n\tpred_zz p1_U, r1, r2\n\thalt\n", "unknown predicate comparison"},
+		{".mem 64\nfunc F0 m:\nB0:\n\tpred_eq p1_X, r1, r2\n\thalt\n", "bad predicate type"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("source %q: error %v, want containing %q", c.src, err, c.want)
+		}
+	}
+}
+
+// TestSilentRoundTrip: the _s suffix survives.
+func TestSilentRoundTrip(t *testing.T) {
+	src := ".mem 64\nfunc F0 m:\nB0:\n\tload_s r1, 0, 999999\n\tstore 0, 8, r1\n\thalt\n"
+	p, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(Format(p), "load_s") {
+		t.Error("silent suffix lost")
+	}
+	res, err := emu.Run(p, emu.Options{})
+	if err != nil {
+		t.Fatalf("silent load must not trap: %v", err)
+	}
+	if res.Word(8) != 0 {
+		t.Error("silent out-of-range load must produce 0")
+	}
+}
+
+// TestRoundTripEveryOpcode formats and parses one instruction of every
+// syntactic class, requiring a textual fixed point.
+func TestRoundTripEveryOpcode(t *testing.T) {
+	f := ir.NewFunc("all")
+	b := f.EntryBlock()
+	r := func() ir.Reg { return f.NewReg() }
+	pr := func() ir.PReg { return f.NewPReg() }
+	p1, p2 := pr(), pr()
+	add := func(in *ir.Instr) { b.Append(in) }
+	add(ir.NewInstr(ir.Nop, ir.RNone))
+	add(ir.NewInstr(ir.Mov, r(), ir.Imm(-5)))
+	for _, op := range []ir.Op{ir.Add, ir.Sub, ir.Mul, ir.Div, ir.Rem, ir.And,
+		ir.Or, ir.Xor, ir.AndNot, ir.OrNot, ir.Shl, ir.Shr,
+		ir.CmpEQ, ir.CmpNE, ir.CmpLT, ir.CmpLE, ir.CmpGT, ir.CmpGE,
+		ir.AddF, ir.SubF, ir.MulF, ir.DivF,
+		ir.CmpEQF, ir.CmpNEF, ir.CmpLTF, ir.CmpLEF, ir.CmpGTF, ir.CmpGEF} {
+		add(ir.NewInstr(op, r(), ir.R(1), ir.Imm(3)))
+	}
+	add(ir.NewInstr(ir.AbsF, r(), ir.R(1)))
+	add(ir.NewInstr(ir.CvtIF, r(), ir.R(1)))
+	add(ir.NewInstr(ir.CvtFI, r(), ir.R(1)))
+	ld := ir.NewInstr(ir.Load, r(), ir.R(1), ir.Imm(16))
+	ld.Silent = true
+	add(ld)
+	add(ir.NewInstr(ir.Store, ir.RNone, ir.R(1), ir.Imm(16), ir.Imm(7)))
+	guarded := ir.NewInstr(ir.Add, r(), ir.R(1), ir.Imm(1))
+	guarded.Guard = p1
+	add(guarded)
+	add(ir.NewPredDef(ir.LT, ir.PredDest{P: p1, Type: ir.PredOR},
+		ir.PredDest{P: p2, Type: ir.PredUBar}, ir.R(1), ir.Imm(9), p2))
+	add(ir.NewPredDef(ir.GEF, ir.PredDest{P: p1, Type: ir.PredANDBar},
+		ir.PredDest{}, ir.R(1), ir.R(2), ir.PNone))
+	add(&ir.Instr{Op: ir.PredClear})
+	add(&ir.Instr{Op: ir.PredSet})
+	add(&ir.Instr{Op: ir.GuardApply, Guard: p1, A: ir.Imm(2)})
+	add(&ir.Instr{Op: ir.CMov, Dst: r(), A: ir.R(1), C: ir.R(2)})
+	add(&ir.Instr{Op: ir.CMovCom, Dst: r(), A: ir.Imm(4), C: ir.R(2)})
+	add(&ir.Instr{Op: ir.Select, Dst: r(), A: ir.R(1), B: ir.R(2), C: ir.R(3)})
+	next := f.NewBlock()
+	br := ir.NewBranch(ir.LE, ir.R(1), ir.Imm(0), next.ID)
+	br.Guard = p1
+	add(br)
+	add(&ir.Instr{Op: ir.Jump, Target: next.ID})
+	next.Append(&ir.Instr{Op: ir.JSR, Target: 0})
+	next.Append(&ir.Instr{Op: ir.Ret})
+	prog := ir.NewProgram(64)
+	prog.AddFunc(f)
+	if err := prog.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	text := Format(prog)
+	parsed, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, text)
+	}
+	if again := Format(parsed); again != text {
+		t.Errorf("not a fixed point:\n--- first\n%s\n--- second\n%s", text, again)
+	}
+}

@@ -1,0 +1,72 @@
+// Package bench provides the benchmark kernels used to reproduce the
+// paper's evaluation.
+//
+// The paper measures seven SPEC-92 programs (008.espresso, 022.li,
+// 023.eqntott, 026.compress, 052.alvinn, 056.ear, 072.sc) and eight Unix
+// utilities (cccp, cmp, eqn, grep, lex, qsort, wc, yacc) compiled by the
+// IMPACT C compiler.  Neither the benchmark sources nor the compiler front
+// end are available here, so each benchmark is substituted by a synthetic
+// kernel written directly in the IR that mirrors the original program's
+// documented control character — branch density, predictability, path
+// balance, memory footprint — with deterministic pseudo-random inputs.
+// DESIGN.md records the substitution rationale per benchmark.
+//
+// Every kernel stores a checksum of its computation at word CheckAddr
+// before halting.  The checksum must be identical across all compilation
+// models and machine configurations; the test suite enforces this.
+package bench
+
+import (
+	"fmt"
+
+	"predication/internal/ir"
+)
+
+// CheckAddr is the memory word where every kernel deposits its checksum.
+const CheckAddr int64 = 8
+
+// Kernel is one benchmark program generator.
+type Kernel struct {
+	// Name matches the paper's benchmark name.
+	Name string
+	// Paper describes the original program this kernel substitutes for.
+	Paper string
+	// Build constructs a fresh program (independent data and code).
+	Build func() *ir.Program
+}
+
+// All returns the fifteen kernels in the paper's reporting order.
+func All() []*Kernel {
+	return []*Kernel{
+		Espresso(), Li(), Eqntott(), Compress(), Alvinn(), Ear(), Sc(),
+		Cccp(), Cmp(), Eqn(), Grep(), Lex(), Qsort(), Wc(), Yacc(),
+	}
+}
+
+// ByName returns the named kernel.
+func ByName(name string) (*Kernel, error) {
+	for _, k := range All() {
+		if k.Name == name {
+			return k, nil
+		}
+	}
+	return nil, fmt.Errorf("bench: unknown kernel %q", name)
+}
+
+// lcg is a deterministic pseudo-random generator for input data (constants
+// from Numerical Recipes).  Benchmarks must be reproducible run to run, so
+// no external entropy is used.
+type lcg struct{ s uint64 }
+
+func newLCG(seed uint64) *lcg { return &lcg{s: seed} }
+
+func (l *lcg) next() uint64 {
+	l.s = l.s*6364136223846793005 + 1442695040888963407
+	return l.s >> 11
+}
+
+// intn returns a value in [0, n).
+func (l *lcg) intn(n int64) int64 { return int64(l.next() % uint64(n)) }
+
+// float returns a value in [0, 1).
+func (l *lcg) float() float64 { return float64(l.next()%1_000_000) / 1_000_000 }

@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"testing"
+
+	"predication/internal/emu"
+)
+
+// TestKernelsRunAndChecksum verifies every kernel builds a valid program,
+// runs to completion on the emulator, and produces a nonzero checksum.
+func TestKernelsRunAndChecksum(t *testing.T) {
+	for _, k := range All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			p := k.Build()
+			if err := p.Verify(); err != nil {
+				t.Fatalf("verify: %v", err)
+			}
+			res, err := emu.Run(p, emu.Options{})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			sum := res.Word(CheckAddr)
+			if sum == 0 {
+				t.Fatalf("checksum is zero (kernel likely broken)")
+			}
+			t.Logf("%s: %d dynamic instructions, checksum %#x", k.Name, res.Steps, sum)
+			if res.Steps < 10_000 {
+				t.Errorf("kernel too small: %d dynamic instructions", res.Steps)
+			}
+			if res.Steps > 3_000_000 {
+				t.Errorf("kernel too large: %d dynamic instructions", res.Steps)
+			}
+		})
+	}
+}
+
+// TestKernelsDeterministic ensures two builds of the same kernel produce
+// identical results (LCG-driven inputs, no external entropy).
+func TestKernelsDeterministic(t *testing.T) {
+	for _, k := range All() {
+		p1, p2 := k.Build(), k.Build()
+		r1, err1 := emu.Run(p1, emu.Options{})
+		r2, err2 := emu.Run(p2, emu.Options{})
+		if err1 != nil || err2 != nil {
+			t.Fatalf("%s: %v %v", k.Name, err1, err2)
+		}
+		if r1.Word(CheckAddr) != r2.Word(CheckAddr) || r1.Steps != r2.Steps {
+			t.Errorf("%s: nondeterministic build", k.Name)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"predication/internal/builder"
+	"predication/internal/ir"
+)
+
+// Alvinn mirrors 052.alvinn: neural-network forward passes dominated by
+// floating-point multiply-accumulate loops with very few data-dependent
+// branches (only an activation clamp).  Predication has little to offer;
+// all three models should perform similarly (Figure 8).
+func Alvinn() *Kernel {
+	return &Kernel{Name: "052.alvinn", Paper: "SPEC 052.alvinn: MLP forward pass, FP MAC loops with rare clamps", Build: buildAlvinn}
+}
+
+func buildAlvinn() *ir.Program {
+	p := builder.New(1 << 17)
+	rng := newLCG(0xa1f)
+	const inputs, hidden, epochs = 30, 16, 80
+	w1 := make([]float64, hidden*inputs)
+	for i := range w1 {
+		w1[i] = rng.float()*2 - 1
+	}
+	x := make([]float64, inputs)
+	for i := range x {
+		x[i] = rng.float()
+	}
+	w1Base := p.Floats(w1...)
+	xBase := p.Floats(x...)
+	hBase := p.Alloc(hidden)
+
+	f := p.Func("main")
+	e, h, i, idx, acc, wv, xv, t, sum, cs :=
+		f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg()
+
+	entry := f.Entry()
+	eloop := f.Block("epoch")
+	hloop := f.Block("hidden")
+	iloop := f.Block("dot")
+	clamp := f.Block("clamp")
+	hstore := f.Block("hstore")
+	hnext := f.Block("hnext")
+	enext := f.Block("enext")
+	done := f.Block("done")
+
+	entry.Mov(e, 0).Mov(sum, ir.FImm(0))
+	entry.Fall(eloop)
+	eloop.Br(ir.GE, e, int64(epochs), done)
+	eloop.Mov(h, 0)
+	eloop.Fall(hloop)
+	hloop.Br(ir.GE, h, int64(hidden), enext)
+	hloop.Mov(acc, ir.FImm(0))
+	hloop.I(ir.Mul, idx, h, int64(inputs))
+	hloop.Mov(i, 0)
+	hloop.Fall(iloop)
+	iloop.Br(ir.GE, i, int64(inputs), clamp)
+	iloop.I(ir.Add, t, idx, i)
+	iloop.Load(wv, t, w1Base)
+	iloop.Load(xv, i, xBase)
+	iloop.I(ir.MulF, t, wv, xv)
+	iloop.I(ir.AddF, acc, acc, t)
+	iloop.I(ir.Add, i, i, 1)
+	iloop.Jmp(iloop)
+	clamp.I(ir.CmpGTF, t, acc, 3.0)
+	clamp.Br(ir.EQ, t, 0, hstore) // clamp rarely fires
+	clamp.Mov(acc, ir.FImm(3.0))
+	clamp.Fall(hstore)
+	hstore.Store(h, hBase, acc)
+	hstore.I(ir.AddF, sum, sum, acc)
+	hstore.Fall(hnext)
+	hnext.I(ir.Add, h, h, 1)
+	hnext.Jmp(hloop)
+	enext.I(ir.Add, e, e, 1)
+	enext.Jmp(eloop)
+	done.I(ir.MulF, sum, sum, 1024.0)
+	done.I(ir.CvtFI, cs, sum)
+	done.Store(0, CheckAddr, cs)
+	done.Halt()
+	return p.Program()
+}
+
+// Ear mirrors 056.ear: a cochlea-model filterbank — cascaded second-order
+// sections of floating-point arithmetic over a sample stream, with a rare
+// conditional on the rectified output.
+func Ear() *Kernel {
+	return &Kernel{Name: "056.ear", Paper: "SPEC 056.ear: cascaded biquad filterbank over an audio stream", Build: buildEar}
+}
+
+func buildEar() *ir.Program {
+	p := builder.New(1 << 17)
+	rng := newLCG(0xea7)
+	const channels, samples = 8, 2200
+	coef := make([]float64, channels*5)
+	for i := range coef {
+		coef[i] = rng.float()*0.5 - 0.25
+	}
+	sig := make([]float64, samples)
+	for i := range sig {
+		sig[i] = rng.float()*2 - 1
+	}
+	coefBase := p.Floats(coef...)
+	sigBase := p.Floats(sig...)
+	s1Base := p.Alloc(channels)
+	s2Base := p.Alloc(channels)
+
+	f := p.Func("main")
+	s, c, x, y, a0, a1, a2, b1, b2, s1, s2, t, u, energy, peaks, cs :=
+		f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(),
+		f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg()
+
+	entry := f.Entry()
+	sloop := f.Block("sample")
+	cloop := f.Block("channel")
+	peak := f.Block("peak")
+	cnext := f.Block("cnext")
+	snext := f.Block("snext")
+	done := f.Block("done")
+
+	entry.Mov(s, 0).Mov(energy, ir.FImm(0)).Mov(peaks, 0)
+	entry.Fall(sloop)
+	sloop.Br(ir.GE, s, int64(samples), done)
+	sloop.Load(x, s, sigBase)
+	sloop.Mov(c, 0)
+	sloop.Fall(cloop)
+	cloop.Br(ir.GE, c, int64(channels), snext)
+	cloop.I(ir.Mul, t, c, 5)
+	cloop.Load(a0, t, coefBase)
+	cloop.Load(a1, t, coefBase+1)
+	cloop.Load(a2, t, coefBase+2)
+	cloop.Load(b1, t, coefBase+3)
+	cloop.Load(b2, t, coefBase+4)
+	cloop.Load(s1, c, s1Base)
+	cloop.Load(s2, c, s2Base)
+	// Transposed direct-form II biquad:
+	//   y  = a0*x + s1
+	//   s1 = a1*x - b1*y + s2
+	//   s2 = a2*x - b2*y
+	cloop.I(ir.MulF, y, a0, x)
+	cloop.I(ir.AddF, y, y, s1)
+	cloop.I(ir.MulF, t, a1, x)
+	cloop.I(ir.MulF, u, b1, y)
+	cloop.I(ir.SubF, t, t, u)
+	cloop.I(ir.AddF, s1, t, s2)
+	cloop.I(ir.MulF, t, a2, x)
+	cloop.I(ir.MulF, u, b2, y)
+	cloop.I(ir.SubF, s2, t, u)
+	cloop.Store(c, s1Base, s1)
+	cloop.Store(c, s2Base, s2)
+	cloop.Mov(x, y) // cascade: output feeds the next section
+	cloop.I(ir.CmpGTF, t, y, 0.40)
+	cloop.Br(ir.EQ, t, 0, cnext) // peak detection rarely fires
+	cloop.Fall(peak)
+	peak.I(ir.Add, peaks, peaks, 1)
+	peak.Fall(cnext)
+	cnext.I(ir.Add, c, c, 1)
+	cnext.Jmp(cloop)
+	snext.I(ir.AbsF, t, y)
+	snext.I(ir.AddF, energy, energy, t)
+	snext.I(ir.Add, s, s, 1)
+	snext.Jmp(sloop)
+	done.I(ir.MulF, energy, energy, 4096.0)
+	done.I(ir.CvtFI, cs, energy)
+	done.I(ir.Mul, cs, cs, 31)
+	done.I(ir.Add, cs, cs, peaks)
+	done.Store(0, CheckAddr, cs)
+	done.Halt()
+	return p.Program()
+}

@@ -1,0 +1,310 @@
+package bench
+
+import (
+	"fmt"
+
+	"predication/internal/builder"
+	"predication/internal/ir"
+)
+
+// Lex mirrors the lex scanner: a table-driven DFA whose per-character class
+// computation is a cascade of biased range diamonds.  Conditional-move
+// conversion roughly doubles the dynamic instruction count (Table 2 shows
+// 2.10x for lex).
+func Lex() *Kernel {
+	return &Kernel{Name: "lex", Paper: "lex: table-driven DFA with class-computation diamonds", Build: buildLex}
+}
+
+func buildLex() *ir.Program {
+	p := builder.New(1 << 17)
+	rng := newLCG(0x1e8)
+	text := genText(rng, 8000)
+	buf := p.Bytes(text)
+	n := int64(len(text))
+
+	// DFA: 8 states x 6 classes.  Class 0: letter, 1: space, 2: newline,
+	// 3: tab, 4: digit, 5: other.  Transition table generated
+	// pseudo-randomly but fixed; state 7 is "accept".
+	const states, classes = 8, 6
+	tab := make([]int64, states*classes)
+	for i := range tab {
+		tab[i] = rng.intn(states)
+	}
+	// Ensure accept is reachable but uncommon.
+	for s := 0; s < states; s++ {
+		tab[s*classes+1] = 0 // space resets
+		if s >= 5 {
+			tab[s*classes] = 7
+		}
+	}
+	tabBase := p.Words(tab...)
+
+	f := p.Func("main")
+	i, c, cls, state, tok, t, cs :=
+		f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg()
+
+	entry := f.Entry()
+	loop := f.Block("loop")
+	cLetter := f.Block("cls-letter")
+	c1 := f.Block("c1")
+	cSpace := f.Block("cls-space")
+	c2 := f.Block("c2")
+	cNl := f.Block("cls-nl")
+	c3 := f.Block("c3")
+	cTab := f.Block("cls-tab")
+	c4 := f.Block("c4")
+	cDigit := f.Block("cls-digit")
+	cOther := f.Block("cls-other")
+	trans := f.Block("trans")
+	accept := f.Block("accept")
+	next := f.Block("next")
+	done := f.Block("done")
+
+	entry.Mov(i, 0).Mov(state, 0).Mov(tok, 0)
+	entry.Fall(loop)
+	loop.Br(ir.GE, i, n, done)
+	loop.Load(c, i, buf)
+	loop.Fall(c1)
+	c1.Br(ir.LT, c, int64('a'), c2) // ~20%: not a letter
+	c1.Fall(cLetter)
+	cLetter.Mov(cls, 0)
+	cLetter.Jmp(trans)
+	c2.Br(ir.NE, c, int64(' '), c3)
+	c2.Fall(cSpace)
+	cSpace.Mov(cls, 1)
+	cSpace.Jmp(trans)
+	c3.Br(ir.NE, c, int64('\n'), c4)
+	c3.Fall(cNl)
+	cNl.Mov(cls, 2)
+	cNl.Jmp(trans)
+	c4.Br(ir.NE, c, int64('\t'), cOther)
+	c4.Fall(cTab)
+	cTab.Mov(cls, 3)
+	cTab.Jmp(trans)
+	cOther.Br(ir.LT, c, int64('0'), cDigit) // punctuation below '0'
+	cOther.Mov(cls, 5)
+	cOther.Jmp(trans)
+	cDigit.Mov(cls, 4)
+	cDigit.Fall(trans)
+	trans.I(ir.Mul, t, state, int64(classes))
+	trans.I(ir.Add, t, t, cls)
+	trans.Load(state, t, tabBase)
+	trans.Br(ir.NE, state, 7, next)
+	trans.Fall(accept)
+	accept.I(ir.Add, tok, tok, 1)
+	accept.Mov(state, 0)
+	accept.Fall(next)
+	next.I(ir.Add, i, i, 1)
+	next.Jmp(loop)
+	done.I(ir.Mul, cs, tok, 131071).I(ir.Add, cs, cs, state)
+	done.Store(0, CheckAddr, cs)
+	done.Halt()
+	return p.Program()
+}
+
+// Yacc mirrors a yacc LALR parser loop: action-table lookups, a parse
+// stack in memory, and shift/reduce diamonds.
+func Yacc() *Kernel {
+	return &Kernel{Name: "yacc", Paper: "yacc: LALR shift/reduce loop with table lookups and a parse stack", Build: buildYacc}
+}
+
+func buildYacc() *ir.Program {
+	p := builder.New(1 << 17)
+	rng := newLCG(0xacc)
+	const nStates, nToks, nInput = 12, 6, 5000
+	// Action table: positive = shift to state, negative = reduce rule,
+	// generated to keep the machine live.
+	action := make([]int64, nStates*nToks)
+	for i := range action {
+		if rng.intn(100) < 62 {
+			action[i] = rng.intn(nStates) // shift
+		} else {
+			action[i] = -(1 + rng.intn(4)) // reduce rule 1..4
+		}
+	}
+	rlen := []int64{0, 1, 2, 3, 2} // rule lengths
+	gotoTab := make([]int64, nStates*5)
+	for i := range gotoTab {
+		gotoTab[i] = rng.intn(nStates)
+	}
+	input := make([]int64, nInput)
+	for i := range input {
+		input[i] = rng.intn(nToks)
+	}
+	actBase := p.Words(action...)
+	rlenBase := p.Words(rlen...)
+	gotoBase := p.Words(gotoTab...)
+	inBase := p.Words(input...)
+	stack := p.Alloc(4096)
+
+	f := p.Func("main")
+	ip, sp, state, tok, act, r, ln, t, reduces, shifts, cs :=
+		f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg()
+
+	entry := f.Entry()
+	loop := f.Block("loop")
+	lookup := f.Block("lookup")
+	shift := f.Block("shift")
+	reduce := f.Block("reduce")
+	clampSp := f.Block("clamp-sp")
+	afterClamp := f.Block("after-clamp")
+	next := f.Block("next")
+	done := f.Block("done")
+
+	entry.Mov(ip, 0).Mov(sp, 0).Mov(state, 0).Mov(reduces, 0).Mov(shifts, 0)
+	entry.Fall(loop)
+	loop.Br(ir.GE, ip, int64(nInput), done)
+	loop.Load(tok, ip, inBase)
+	loop.Fall(lookup)
+	lookup.I(ir.Mul, t, state, int64(nToks))
+	lookup.I(ir.Add, t, t, tok)
+	lookup.Load(act, t, actBase)
+	lookup.Br(ir.LT, act, 0, reduce) // ~38%
+	lookup.Fall(shift)
+	shift.Store(sp, stack, state)
+	shift.I(ir.Add, sp, sp, 1)
+	shift.I(ir.And, sp, sp, 1023)
+	shift.Mov(state, act)
+	shift.I(ir.Add, shifts, shifts, 1)
+	shift.I(ir.Add, ip, ip, 1)
+	shift.Jmp(next)
+	reduce.I(ir.Sub, r, 0, act)
+	reduce.Load(ln, r, rlenBase)
+	reduce.I(ir.Sub, sp, sp, ln)
+	reduce.Br(ir.GE, sp, 0, afterClamp)
+	reduce.Fall(clampSp)
+	clampSp.Mov(sp, 0)
+	clampSp.Fall(afterClamp)
+	afterClamp.Load(t, sp, stack)
+	afterClamp.I(ir.Mul, t, t, 5)
+	afterClamp.I(ir.Add, t, t, r)
+	afterClamp.Load(state, t, gotoBase)
+	afterClamp.I(ir.Add, reduces, reduces, 1)
+	afterClamp.I(ir.Add, ip, ip, 1)
+	afterClamp.Jmp(next)
+	next.Jmp(loop)
+	done.I(ir.Mul, cs, shifts, 8191).I(ir.Add, cs, cs, reduces)
+	done.I(ir.Mul, cs, cs, 8191).I(ir.Add, cs, cs, state)
+	done.Store(0, CheckAddr, cs)
+	done.Halt()
+	return p.Program()
+}
+
+// Eqn mirrors the eqn formatter: token dispatch over a large number of
+// distinct handlers, giving a static code footprint near the 64K
+// instruction cache boundary.  Conditional-move conversion inflates the
+// footprint past capacity, reproducing eqn's Figure 11 anomaly (I-cache
+// misses hurt the conditional-move model while superblock and full
+// predication stay proportional).
+func Eqn() *Kernel {
+	return &Kernel{Name: "eqn", Paper: "eqn: equation formatter with a large dispatch-heavy code footprint", Build: buildEqn}
+}
+
+func buildEqn() *ir.Program {
+	p := builder.New(1 << 17)
+	rng := newLCG(0xe42)
+	const handlers = 192
+	const nInput = 9000
+	input := make([]int64, nInput)
+	for i := range input {
+		input[i] = rng.intn(handlers)
+	}
+	inBase := p.Words(input...)
+	params := make([]int64, handlers*4)
+	for i := range params {
+		params[i] = 1 + rng.intn(1<<8)
+	}
+	parBase := p.Words(params...)
+
+	f := p.Func("main")
+	i, tok, acc, t1, t2, t3, cs :=
+		f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg()
+
+	entry := f.Entry()
+	loop := f.Block("loop")
+	next := f.Block("next")
+	done := f.Block("done")
+
+	entry.Mov(i, 0).Mov(acc, 0)
+	entry.Fall(loop)
+	loop.Br(ir.GE, i, int64(nInput), done)
+	loop.Load(tok, i, inBase)
+
+	// Binary dispatch tree over [0, handlers).
+	handlerBlocks := make([]*builder.Blk, handlers)
+	for h := 0; h < handlers; h++ {
+		handlerBlocks[h] = f.Block(fmt.Sprintf("h%d", h))
+	}
+	var buildTree func(parent *builder.Blk, lo, hi int)
+	buildTree = func(parent *builder.Blk, lo, hi int) {
+		if hi-lo == 1 {
+			parent.Jmp(handlerBlocks[lo])
+			return
+		}
+		mid := (lo + hi) / 2
+		left := f.Block(fmt.Sprintf("d%d_%d", lo, hi))
+		right := f.Block(fmt.Sprintf("d%d_%dr", lo, hi))
+		parent.Br(ir.GE, tok, int64(mid), right)
+		parent.Fall(left)
+		buildTree(left, lo, mid)
+		buildTree(right, mid, hi)
+	}
+	dispatch := f.Block("dispatch")
+	loop.Fall(dispatch)
+	buildTree(dispatch, 0, handlers)
+
+	// Each handler: distinct work dominated by small data-dependent
+	// diamonds.  Hyperblock formation if-converts the diamonds, so
+	// conditional-move conversion roughly doubles each handler's footprint
+	// while superblock and full predication stay near the original size —
+	// the ingredient for eqn's instruction-cache anomaly.
+	lr := newLCG(0x717)
+	emitWork := func(b *builder.Blk, k int) {
+		switch k % 5 {
+		case 0:
+			b.I(ir.Add, t3, t1, lr.intn(1<<10))
+		case 1:
+			b.I(ir.Xor, t1, t3, lr.intn(1<<10))
+		case 2:
+			b.I(ir.Mul, t2, t2, 3+lr.intn(5))
+		case 3:
+			b.I(ir.Shl, t3, t1, 1+lr.intn(3))
+		default:
+			b.I(ir.Sub, t1, t2, lr.intn(1<<10))
+		}
+	}
+	for h := 0; h < handlers; h++ {
+		hb := handlerBlocks[h]
+		hb.Load(t1, 0, parBase+int64(4*h))
+		hb.Load(t2, 0, parBase+int64(4*h+1))
+		cur := hb
+		// Six diamonds, each with distinct then/else work.
+		for d := 0; d < 6; d++ {
+			then := f.Block(fmt.Sprintf("h%d_d%d_t", h, d))
+			els := f.Block(fmt.Sprintf("h%d_d%d_e", h, d))
+			join := f.Block(fmt.Sprintf("h%d_d%d_j", h, d))
+			cur.I(ir.And, t3, t2, 0xffff)
+			cur.Br(ir.LT, t3, int64(lr.intn(1<<16)), els)
+			cur.Fall(then)
+			for k := 0; k < 3; k++ {
+				emitWork(then, int(lr.intn(5)))
+			}
+			then.Jmp(join)
+			for k := 0; k < 3; k++ {
+				emitWork(els, int(lr.intn(5)))
+			}
+			els.Fall(join)
+			cur = join
+		}
+		cur.I(ir.Xor, acc, acc, t1)
+		cur.I(ir.Add, acc, acc, t2)
+		cur.Jmp(next)
+	}
+
+	next.I(ir.Add, i, i, 1)
+	next.Jmp(loop)
+	done.I(ir.And, cs, acc, 0xffffffff)
+	done.Store(0, CheckAddr, cs)
+	done.Halt()
+	return p.Program()
+}

@@ -1,0 +1,525 @@
+package bench
+
+import (
+	"predication/internal/builder"
+	"predication/internal/ir"
+)
+
+// Espresso mirrors 008.espresso's cube-intersection inner loops: bitset
+// operations over cube words with data-dependent branches on intersection
+// results.
+func Espresso() *Kernel {
+	return &Kernel{Name: "008.espresso", Paper: "SPEC 008.espresso: boolean cube intersection/containment over bitsets", Build: buildEspresso}
+}
+
+func buildEspresso() *ir.Program {
+	p := builder.New(1 << 17)
+	rng := newLCG(0xe59)
+	const pairs, width = 1000, 8
+	av := make([]int64, pairs*width)
+	bv := make([]int64, pairs*width)
+	for i := range av {
+		av[i] = rng.intn(1 << 16)
+		bv[i] = rng.intn(1 << 16)
+		if rng.intn(3) == 0 {
+			bv[i] = av[i] // make containment plausible sometimes
+		}
+	}
+	a := p.Words(av...)
+	b := p.Words(bv...)
+
+	f := p.Func("main")
+	pi, w, base, x, y, z, inter, cover, acc, empty, cs :=
+		f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg()
+
+	entry := f.Entry()
+	outer := f.Block("outer")
+	initp := f.Block("initp")
+	inner := f.Block("inner")
+	nonzero := f.Block("nonzero")
+	l1 := f.Block("l1")
+	notcov := f.Block("notcov")
+	l2 := f.Block("l2")
+	wnext := f.Block("wnext")
+	pdone := f.Block("pdone")
+	isempty := f.Block("isempty")
+	pnext := f.Block("pnext")
+	done := f.Block("done")
+
+	entry.Mov(pi, 0).Mov(acc, 0).Mov(empty, 0)
+	entry.Fall(outer)
+	outer.Br(ir.GE, pi, int64(pairs), done)
+	outer.Fall(initp)
+	initp.I(ir.Mul, base, pi, int64(width))
+	initp.Mov(w, 0).Mov(inter, 0).Mov(cover, 1)
+	initp.Fall(inner)
+	inner.Br(ir.GE, w, int64(width), pdone)
+	inner.I(ir.Add, z, base, w)
+	inner.Load(x, z, a)
+	inner.Load(y, z, b)
+	inner.I(ir.And, z, x, y)
+	inner.Br(ir.EQ, z, 0, l1) // intersection empty for this word (~35%)
+	inner.Fall(nonzero)
+	nonzero.I(ir.Add, inter, inter, 1)
+	nonzero.I(ir.Xor, acc, acc, z)
+	nonzero.Fall(l1)
+	l1.Br(ir.EQ, z, y, l2) // b covered by a in this word?
+	l1.Fall(notcov)
+	notcov.Mov(cover, 0)
+	notcov.Fall(l2)
+	l2.Fall(wnext)
+	wnext.I(ir.Add, w, w, 1)
+	wnext.Jmp(inner)
+	pdone.I(ir.Add, acc, acc, cover)
+	pdone.Br(ir.NE, inter, 0, pnext)
+	pdone.Fall(isempty)
+	isempty.I(ir.Add, empty, empty, 1)
+	isempty.Fall(pnext)
+	pnext.I(ir.Add, pi, pi, 1)
+	pnext.Jmp(outer)
+	done.I(ir.Mul, cs, acc, 131071).I(ir.Add, cs, cs, empty)
+	done.Store(0, CheckAddr, cs)
+	done.Halt()
+	return p.Program()
+}
+
+// Li mirrors 022.li's evaluator: tag dispatch over linked list nodes with
+// small per-tag actions and pointer chasing.
+func Li() *Kernel {
+	return &Kernel{Name: "022.li", Paper: "SPEC 022.li: lisp evaluator tag dispatch over cons cells", Build: buildLi}
+}
+
+func buildLi() *ir.Program {
+	p := builder.New(1 << 17)
+	rng := newLCG(0x111)
+	const nodes = 3000
+	// Node layout: [tag, val, next] per node, permuted next pointers
+	// forming one long cycle (pointer chasing).
+	perm := make([]int64, nodes)
+	for i := range perm {
+		perm[i] = int64(i)
+	}
+	for i := nodes - 1; i > 0; i-- {
+		j := rng.intn(int64(i + 1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	mem := make([]int64, nodes*3)
+	for i := 0; i < nodes; i++ {
+		mem[3*i] = rng.intn(5) // tag
+		mem[3*i+1] = rng.intn(1 << 12)
+		next := perm[(i+1)%nodes]
+		mem[3*i+2] = next * 3
+	}
+	base := p.Words(mem...)
+
+	f := p.Func("main")
+	cur, tag, val, acc, depth, count, cs :=
+		f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg()
+
+	entry := f.Entry()
+	loop := f.Block("eval")
+	t0 := f.Block("tag-fixnum")
+	t1 := f.Block("tag-cons")
+	t2 := f.Block("tag-sym")
+	t3 := f.Block("tag-str")
+	t4 := f.Block("tag-subr")
+	deep := f.Block("deep")
+	cont := f.Block("cont")
+	done := f.Block("done")
+
+	entry.Mov(cur, 0).Mov(acc, 0).Mov(depth, 0).Mov(count, 0)
+	entry.Fall(loop)
+	loop.Br(ir.GE, count, 9000, done)
+	loop.Load(tag, cur, base)
+	loop.Load(val, cur, base+1)
+	loop.Br(ir.EQ, tag, 0, t0)
+	loop.Br(ir.EQ, tag, 1, t1)
+	loop.Br(ir.EQ, tag, 2, t2)
+	loop.Br(ir.EQ, tag, 3, t3)
+	loop.Fall(t4)
+	t0.I(ir.Add, acc, acc, val)
+	t0.Jmp(cont)
+	t1.I(ir.Add, depth, depth, 1)
+	t1.I(ir.Xor, acc, acc, val)
+	t1.Jmp(cont)
+	t2.I(ir.Sub, acc, acc, val)
+	t2.Jmp(cont)
+	t3.I(ir.Shl, val, val, 1)
+	t3.I(ir.Add, acc, acc, val)
+	t3.Jmp(cont)
+	t4.Br(ir.LE, depth, 0, cont)
+	t4.Fall(deep)
+	deep.I(ir.Sub, depth, depth, 1)
+	deep.Fall(cont)
+	cont.Load(cur, cur, base+2)
+	cont.I(ir.Add, count, count, 1)
+	cont.Jmp(loop)
+	done.I(ir.Mul, cs, acc, 8191).I(ir.Add, cs, cs, depth)
+	done.Store(0, CheckAddr, cs)
+	done.Halt()
+	return p.Program()
+}
+
+// Eqntott mirrors 023.eqntott's dominant cmppt routine: element-wise
+// comparison of two vectors of two-bit values with a data-dependent early
+// exit and an unpredictable less/greater diamond — the classic
+// if-conversion success story.
+func Eqntott() *Kernel {
+	return &Kernel{Name: "023.eqntott", Paper: "SPEC 023.eqntott: cmppt bit-vector comparison with unpredictable diamond", Build: buildEqntott}
+}
+
+func buildEqntott() *ir.Program {
+	p := builder.New(1 << 17)
+	rng := newLCG(0xe77)
+	const pairs, length = 700, 24
+	// Values are 0, 1, or 2 ("don't care", normalized to 0 by cmppt).
+	// Arrays agree after normalization until a random first-difference
+	// position, but the raw words frequently differ as 2-vs-0, so the
+	// normalization diamonds stay data dependent and unpredictable.
+	av := make([]int64, pairs*length)
+	bv := make([]int64, pairs*length)
+	obscure := func(v int64) int64 {
+		if v == 0 && rng.intn(2) == 0 {
+			return 2
+		}
+		return v
+	}
+	for pr := 0; pr < pairs; pr++ {
+		d := rng.intn(length) // first difference position
+		for i := 0; i < length; i++ {
+			v := rng.intn(2)
+			av[pr*length+i] = obscure(v)
+			if int64(i) < d {
+				bv[pr*length+i] = obscure(v)
+			} else {
+				w := rng.intn(2)
+				if int64(i) == d && w == v {
+					w = 1 - w
+				}
+				bv[pr*length+i] = obscure(w)
+			}
+		}
+	}
+	a := p.Words(av...)
+	b := p.Words(bv...)
+
+	f := p.Func("main")
+	pr, i, idx, acc, xv, yv, cs :=
+		f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg()
+	xs, ys := f.Regs(4), f.Regs(4)
+
+	entry := f.Entry()
+	outer := f.Block("outer")
+	initp := f.Block("initp")
+	inner := f.Block("inner")
+	const unroll = 2
+	neqs := make([]*builder.Blk, unroll)
+	for u := range neqs {
+		neqs[u] = f.Block("neq")
+	}
+	normA := make([]*builder.Blk, unroll)
+	normB := make([]*builder.Blk, unroll)
+	joinA := make([]*builder.Blk, unroll)
+	joinB := make([]*builder.Blk, unroll)
+	for u := 0; u < unroll; u++ {
+		normA[u] = f.Block("norm-a")
+		normB[u] = f.Block("norm-b")
+		joinA[u] = f.Block("join-a")
+		joinB[u] = f.Block("join-b")
+	}
+	cmpres := f.Block("cmpres")
+	less := f.Block("less")
+	greater := f.Block("greater")
+	cmpjoin := f.Block("cmpjoin")
+	eq := f.Block("eq")
+	pnext := f.Block("pnext")
+	done := f.Block("done")
+
+	entry.Mov(pr, 0).Mov(acc, 0)
+	entry.Fall(outer)
+	outer.Br(ir.GE, pr, int64(pairs), done)
+	outer.Fall(initp)
+	initp.I(ir.Mul, idx, pr, int64(length))
+	initp.Mov(i, 0)
+	initp.Fall(inner)
+	// Inner compare loop, unrolled two ways.  Per element, the don't-care
+	// normalization diamonds ("if (aa == 2) aa = 0") branch on essentially
+	// random data — the unpredictable branches that dominate eqntott's
+	// superblock misprediction count and that if-conversion eliminates.
+	// The mismatch exits themselves are rarely taken and get combined.
+	inner.Br(ir.GE, i, int64(length), eq)
+	cur := inner
+	for u := 0; u < unroll; u++ {
+		cur.I(ir.Add, xs[u], idx, i)
+		cur.Load(ys[u], xs[u], b+int64(u))
+		cur.Load(xs[u], xs[u], a+int64(u))
+		cur.Br(ir.NE, xs[u], 2, joinA[u])
+		cur.Fall(normA[u])
+		normA[u].Mov(xs[u], 0)
+		normA[u].Fall(joinA[u])
+		joinA[u].Br(ir.NE, ys[u], 2, joinB[u])
+		joinA[u].Fall(normB[u])
+		normB[u].Mov(ys[u], 0)
+		normB[u].Fall(joinB[u])
+		joinB[u].Br(ir.NE, xs[u], ys[u], neqs[u])
+		cur = joinB[u] // the next unrolled element continues here
+	}
+	cur.I(ir.Add, i, i, int64(unroll))
+	cur.Jmp(inner)
+	// All mismatch exits funnel into one less/greater hammock, ~50/50 on
+	// random data: unpredictable for the BTB, trivially if-converted with
+	// predication.
+	for u := 0; u < unroll; u++ {
+		neqs[u].Mov(xv, xs[u])
+		neqs[u].Mov(yv, ys[u])
+		neqs[u].Jmp(cmpres)
+	}
+	cmpres.Br(ir.LT, xv, yv, less)
+	cmpres.Fall(greater)
+	greater.I(ir.Add, acc, acc, 1)
+	greater.Fall(cmpjoin)
+	less.I(ir.Sub, acc, acc, 1)
+	less.Fall(cmpjoin)
+	cmpjoin.Jmp(pnext)
+	eq.I(ir.Xor, acc, acc, 3)
+	eq.Fall(pnext)
+	pnext.I(ir.Add, pr, pr, 1)
+	pnext.Jmp(outer)
+	done.I(ir.Mul, cs, acc, 1000003)
+	done.Store(0, CheckAddr, cs)
+	done.Halt()
+	return p.Program()
+}
+
+// Compress mirrors 026.compress: an LZW-style hash-table probe loop whose
+// table exceeds the 64K data cache, so the speculative loads introduced by
+// predication raise memory traffic (the Figure 11 effect).
+func Compress() *Kernel {
+	return &Kernel{Name: "026.compress", Paper: "SPEC 026.compress: LZW hash probing with a larger-than-cache table", Build: buildCompress}
+}
+
+func buildCompress() *ir.Program {
+	const tabBits = 14
+	const tabSize = 1 << tabBits // 16K words x 2 tables = 256KB > 64KB cache
+	p := builder.New(1 << 18)
+	rng := newLCG(0xc03)
+	const n = 5000
+	data := make([]int64, n)
+	for i := range data {
+		// A 64-symbol alphabet makes roughly half the digrams repeats:
+		// the hash-hit branch is data dependent and unpredictable, as in
+		// real LZW compression of text.
+		data[i] = rng.intn(64)
+	}
+	buf := p.Words(data...)
+	keyTab := p.Alloc(tabSize)
+	codeTab := p.Alloc(tabSize)
+
+	f := p.Func("main")
+	t, c, w, key, h, h2, k, k2, nextCode, acc, cs, tmp :=
+		f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(),
+		f.Reg(), f.Reg(), f.Reg(), f.Reg()
+
+	entry := f.Entry()
+	loop := f.Block("loop")
+	hit := f.Block("hit")
+	probe2 := f.Block("probe2")
+	hit2 := f.Block("hit2")
+	emit := f.Block("emit")
+	next := f.Block("next")
+	done := f.Block("done")
+
+	entry.Mov(t, 1).Mov(nextCode, 256).Mov(acc, 0)
+	entry.Load(w, 0, buf)
+	entry.Fall(loop)
+	// Two-level hash probe (primary slot, then a fixed secondary slot,
+	// then evict-and-insert).  The probe is acyclic, so if-conversion can
+	// absorb the hit/miss diamonds; the table is four times the data
+	// cache, so the speculative probe loads introduced by predication add
+	// real memory traffic — the compress effect in Figure 11.
+	loop.Br(ir.GE, t, int64(n), done)
+	loop.Load(c, t, buf)
+	loop.I(ir.Shl, key, w, 8)
+	loop.I(ir.Or, key, key, c)
+	loop.I(ir.Add, key, key, 1) // keys are nonzero (0 marks empty slots)
+	loop.I(ir.Mul, h, key, 40503)
+	loop.I(ir.And, h, h, int64(tabSize-1))
+	loop.Load(k, h, keyTab)
+	loop.Br(ir.EQ, k, key, hit) // ~45%
+	loop.Fall(probe2)
+	probe2.I(ir.Mul, h2, key, 2654435761)
+	probe2.I(ir.And, h2, h2, int64(tabSize-1))
+	probe2.Load(k2, h2, keyTab)
+	probe2.Br(ir.NE, k2, key, emit)
+	probe2.Fall(hit2)
+	hit2.Load(w, h2, codeTab)
+	hit2.Jmp(next)
+	hit.Load(w, h, codeTab)
+	hit.Jmp(next)
+	// Miss: evict into the primary slot unconditionally.
+	emit.Store(h, keyTab, key)
+	emit.Store(h, codeTab, nextCode)
+	emit.I(ir.Add, nextCode, nextCode, 1)
+	emit.I(ir.Mul, tmp, acc, 31)
+	emit.I(ir.Add, acc, tmp, w)
+	emit.Mov(w, c)
+	emit.Fall(next)
+	next.I(ir.Add, t, t, 1)
+	next.Jmp(loop)
+	done.I(ir.Mul, cs, acc, 131).I(ir.Add, cs, cs, nextCode)
+	done.Store(0, CheckAddr, cs)
+	done.Halt()
+	return p.Program()
+}
+
+// Sc mirrors 072.sc's formula evaluation: a long loop-carried dependence
+// chain updated through data-dependent conditionals.  Conditional-move
+// conversion serializes the accumulator updates, lengthening the critical
+// path — the paper's one benchmark where the conditional-move model falls
+// below superblock.
+func Sc() *Kernel {
+	return &Kernel{Name: "072.sc", Paper: "SPEC 072.sc: spreadsheet recalculation with a serial accumulator chain", Build: buildSc}
+}
+
+func buildSc() *ir.Program {
+	p := builder.New(1 << 17)
+	rng := newLCG(0x5cc)
+	const n = 4000
+	ops := make([]int64, n)
+	vals := make([]int64, n)
+	for i := range ops {
+		ops[i] = rng.intn(4)
+		vals[i] = rng.intn(1 << 10)
+	}
+	opBase := p.Words(ops...)
+	valBase := p.Words(vals...)
+
+	f := p.Func("main")
+	i, op, v, acc, t, cs := f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg()
+
+	entry := f.Entry()
+	loop := f.Block("loop")
+	o0 := f.Block("op-add")
+	o1 := f.Block("op-mul")
+	o2 := f.Block("op-max")
+	omaxSet := f.Block("op-max-set")
+	o3 := f.Block("op-sub")
+	next := f.Block("next")
+	done := f.Block("done")
+
+	entry.Mov(i, 0).Mov(acc, 1)
+	entry.Fall(loop)
+	loop.Br(ir.GE, i, int64(n), done)
+	loop.Load(op, i, opBase)
+	loop.Load(v, i, valBase)
+	loop.Br(ir.EQ, op, 0, o0)
+	loop.Br(ir.EQ, op, 1, o1)
+	loop.Br(ir.EQ, op, 2, o2)
+	loop.Fall(o3)
+	o0.I(ir.Add, acc, acc, v)
+	o0.Jmp(next)
+	o1.I(ir.Mul, t, acc, 3)
+	o1.I(ir.Add, acc, t, v)
+	o1.I(ir.And, acc, acc, 0xffffff)
+	o1.Jmp(next)
+	o2.Br(ir.GE, acc, v, next)
+	o2.Fall(omaxSet)
+	omaxSet.Mov(acc, v)
+	omaxSet.Fall(next)
+	o3.I(ir.Sub, acc, acc, v)
+	o3.I(ir.Xor, acc, acc, 5)
+	o3.Jmp(next)
+	next.I(ir.Add, i, i, 1)
+	next.Jmp(loop)
+	done.I(ir.Mul, cs, acc, 65599)
+	done.Store(0, CheckAddr, cs)
+	done.Halt()
+	return p.Program()
+}
+
+// Qsort mirrors the Unix qsort utility: an iterative quicksort whose
+// partition loop branches on random data (highly unpredictable), making
+// the conditional-swap diamond an ideal if-conversion target.
+func Qsort() *Kernel {
+	return &Kernel{Name: "qsort", Paper: "Unix qsort: quicksort partitioning with unpredictable compare/swap", Build: buildQsort}
+}
+
+func buildQsort() *ir.Program {
+	p := builder.New(1 << 17)
+	rng := newLCG(0x450)
+	const n = 600
+	arr := make([]int64, n)
+	for i := range arr {
+		arr[i] = rng.intn(1 << 20)
+	}
+	a := p.Words(arr...)
+	stack := p.Alloc(4 * n)
+
+	f := p.Func("main")
+	sp, lo, hi, pivot, i, j, v, u, t, acc, cs :=
+		f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg()
+
+	entry := f.Entry()
+	outer := f.Block("outer")
+	pop := f.Block("pop")
+	part := f.Block("part")
+	swap := f.Block("swap")
+	pskip := f.Block("pskip")
+	endpart := f.Block("endpart")
+	sumInit := f.Block("sum-init")
+	sum := f.Block("sum")
+	done := f.Block("done")
+
+	entry.Mov(sp, 2)
+	entry.Store(0, stack, 0)
+	entry.Store(0, stack+1, int64(n-1))
+	entry.Fall(outer)
+	outer.Br(ir.EQ, sp, 0, sumInit)
+	outer.Fall(pop)
+	pop.I(ir.Sub, sp, sp, 2)
+	pop.I(ir.Add, t, sp, 0)
+	pop.Load(lo, t, stack)
+	pop.Load(hi, t, stack+1)
+	pop.Br(ir.GE, lo, hi, outer)
+	pop.Load(pivot, hi, a)
+	pop.I(ir.Sub, i, lo, 1)
+	pop.Mov(j, lo)
+	pop.Fall(part)
+	part.Br(ir.GE, j, hi, endpart)
+	part.Load(v, j, a)
+	part.Br(ir.GT, v, pivot, pskip) // ~50/50 on random data
+	part.Fall(swap)
+	swap.I(ir.Add, i, i, 1)
+	swap.Load(u, i, a)
+	swap.Store(i, a, v)
+	swap.Store(j, a, u)
+	swap.Fall(pskip)
+	pskip.I(ir.Add, j, j, 1)
+	pskip.Jmp(part)
+	endpart.I(ir.Add, i, i, 1)
+	endpart.Load(u, i, a)
+	endpart.Load(v, hi, a)
+	endpart.Store(i, a, v)
+	endpart.Store(hi, a, u)
+	// push (lo, i-1) and (i+1, hi)
+	endpart.I(ir.Sub, t, i, 1)
+	endpart.Store(sp, stack, lo)
+	endpart.Store(sp, stack+1, t)
+	endpart.I(ir.Add, t, i, 1)
+	endpart.Store(sp, stack+2, t)
+	endpart.Store(sp, stack+3, hi)
+	endpart.I(ir.Add, sp, sp, 4)
+	endpart.Jmp(outer)
+	sumInit.Mov(i, 0).Mov(acc, 0)
+	sumInit.Fall(sum)
+	sum.Br(ir.GE, i, int64(n), done)
+	sum.Load(v, i, a)
+	sum.I(ir.Mul, t, v, i)
+	sum.I(ir.Add, acc, acc, t)
+	sum.I(ir.Add, i, i, 1)
+	sum.Jmp(sum)
+	done.I(ir.Xor, cs, acc, 0x5a5a)
+	done.Store(0, CheckAddr, cs)
+	done.Halt()
+	return p.Program()
+}

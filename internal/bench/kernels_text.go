@@ -1,0 +1,412 @@
+package bench
+
+import (
+	"predication/internal/builder"
+	"predication/internal/ir"
+)
+
+// genText produces deterministic pseudo-text: words of lowercase letters
+// separated by spaces, tabs and newlines.
+func genText(rng *lcg, n int) string {
+	sb := make([]byte, 0, n)
+	for len(sb) < n {
+		r := rng.intn(100)
+		switch {
+		case r < 15:
+			sb = append(sb, ' ')
+		case r < 18:
+			sb = append(sb, '\n')
+		case r < 20:
+			sb = append(sb, '\t')
+		default:
+			sb = append(sb, byte('a'+rng.intn(26)))
+		}
+	}
+	return string(sb)
+}
+
+// Wc mirrors the Unix wc utility's inner loop (the paper's Figure 5
+// example): per-character classification through a dense cluster of tiny
+// basic blocks, with roughly 40% of the dynamic instructions being
+// branches.
+func Wc() *Kernel {
+	return &Kernel{Name: "wc", Paper: "Unix wc: character/word/line counting, branch-dominated tiny blocks", Build: buildWc}
+}
+
+func buildWc() *ir.Program {
+	p := builder.New(1 << 16)
+	rng := newLCG(0x5eed)
+	text := genText(rng, 6000)
+	buf := p.Bytes(text)
+	n := int64(len(text))
+
+	f := p.Func("main")
+	i, c, nc, nw, nl, inw, nv, nh, nt, cs :=
+		f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg()
+
+	entry := f.Entry()
+	hdr := f.Block("hdr")
+	body := f.Block("body")
+	nlb := f.Block("nl")
+	va := f.Block("vowel-a")
+	vb2 := f.Block("vowel-e")
+	vc := f.Block("vowel-i")
+	vhit := f.Block("vowel-hit")
+	vjoin := f.Block("vowel-join")
+	hi := f.Block("upper-half")
+	hjoin := f.Block("half-join")
+	tb := f.Block("tail-char")
+	tjoin := f.Block("tail-join")
+	l2 := f.Block("ws-space")
+	l3 := f.Block("ws-nl")
+	l4 := f.Block("ws-tab")
+	notws := f.Block("notws")
+	startw := f.Block("startw")
+	isws := f.Block("isws")
+	next := f.Block("next")
+	done := f.Block("done")
+
+	entry.Mov(i, 0).Mov(nc, 0).Mov(nw, 0).Mov(nl, 0).Mov(inw, 0)
+	entry.Mov(nv, 0).Mov(nh, 0).Mov(nt, 0)
+	entry.Fall(hdr)
+	hdr.Br(ir.GE, i, n, done)
+	hdr.Fall(body)
+	body.Load(c, i, buf).I(ir.Add, nc, nc, 1)
+	body.Br(ir.NE, c, int64('\n'), va)
+	body.Fall(nlb)
+	nlb.I(ir.Add, nl, nl, 1)
+	nlb.Fall(va)
+	// Independent classification diamonds (vowels, upper-half letters,
+	// tail letters): these convert to parallel predicate defines, the
+	// profitable case for predication, alongside the sequential
+	// word-state chain below.
+	va.Br(ir.EQ, c, int64('a'), vhit)
+	va.Fall(vb2)
+	vb2.Br(ir.EQ, c, int64('e'), vhit)
+	vb2.Fall(vc)
+	vc.Br(ir.NE, c, int64('i'), vjoin)
+	vc.Fall(vhit)
+	vhit.I(ir.Add, nv, nv, 1)
+	vhit.Fall(vjoin)
+	vjoin.Br(ir.LE, c, int64('m'), hjoin)
+	vjoin.Fall(hi)
+	hi.I(ir.Add, nh, nh, 1)
+	hi.Fall(hjoin)
+	hjoin.Br(ir.LE, c, int64('t'), tjoin)
+	hjoin.Fall(tb)
+	tb.I(ir.Add, nt, nt, 1)
+	tb.Fall(tjoin)
+	tjoin.Fall(l2)
+	l2.Br(ir.EQ, c, int64(' '), isws)
+	l2.Fall(l3)
+	l3.Br(ir.EQ, c, int64('\n'), isws)
+	l3.Fall(l4)
+	l4.Br(ir.EQ, c, int64('\t'), isws)
+	l4.Fall(notws)
+	notws.Br(ir.NE, inw, 0, next)
+	notws.Fall(startw)
+	startw.Mov(inw, 1).I(ir.Add, nw, nw, 1)
+	startw.Jmp(next)
+	isws.Mov(inw, 0)
+	isws.Fall(next)
+	next.I(ir.Add, i, i, 1)
+	next.Jmp(hdr)
+	done.I(ir.Mul, cs, nc, 1000003).I(ir.Add, cs, cs, nw)
+	done.I(ir.Mul, cs, cs, 4093).I(ir.Add, cs, cs, nl)
+	done.I(ir.Mul, cs, cs, 4093).I(ir.Add, cs, cs, nv)
+	done.I(ir.Mul, cs, cs, 4093).I(ir.Add, cs, cs, nh)
+	done.I(ir.Mul, cs, cs, 4093).I(ir.Add, cs, cs, nt)
+	done.Store(0, CheckAddr, cs)
+	done.Halt()
+	return p.Program()
+}
+
+// Grep mirrors the grep scan loop (the paper's Figure 6 example): a tight
+// loop dominated by several very-unlikely-taken exit branches (end of
+// input, newline, first pattern character), the canonical target for
+// branch combining and OR-type predicate defines.
+func Grep() *Kernel {
+	return &Kernel{Name: "grep", Paper: "Unix grep: multi-exit scan loop with highly biased exits", Build: buildGrep}
+}
+
+func buildGrep() *ir.Program {
+	p := builder.New(1 << 16)
+	rng := newLCG(0x9e3)
+	// Text with rare 'q' (pattern head) and rare newlines; NUL terminated.
+	sb := make([]byte, 0, 8192)
+	for len(sb) < 8190 {
+		r := rng.intn(1000)
+		switch {
+		case r < 12:
+			sb = append(sb, 'q') // pattern head candidate
+		case r < 30:
+			sb = append(sb, '\n')
+		case r < 170:
+			sb = append(sb, ' ')
+		default:
+			sb = append(sb, byte('a'+rng.intn(16))) // 'a'..'p': never 'q' or 'z'
+		}
+	}
+	// Plant a handful of true matches "qz".
+	for k := 0; k < 6; k++ {
+		pos := int(rng.intn(int64(len(sb) - 2)))
+		sb[pos], sb[pos+1] = 'q', 'z'
+	}
+	sb = append(sb, 0)
+	buf := p.Bytes(string(sb))
+
+	f := p.Func("main")
+	i, c, d, c1, lines, matches, acc, cs :=
+		f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg()
+
+	entry := f.Entry()
+	loop := f.Block("scan")
+	nlb := f.Block("newline")
+	nlb2 := f.Block("newline2")
+	maybe := f.Block("maybe")
+	maybe2 := f.Block("maybe2")
+	hit := f.Block("hit")
+	done := f.Block("done")
+
+	entry.Mov(i, 0).Mov(lines, 0).Mov(matches, 0).Mov(acc, 0)
+	entry.Fall(loop)
+	// The scan loop handles two characters per iteration (the compiler's
+	// unrolling of grep's hot loop), giving six rarely taken exit branches
+	// per iteration — the Figure 6 shape.
+	loop.Load(c, i, buf)
+	loop.Load(d, i, buf+1)
+	loop.Br(ir.EQ, c, 0, done)           // end of input (taken once)
+	loop.Br(ir.EQ, c, int64('\n'), nlb)  // ~1.8%
+	loop.Br(ir.EQ, c, int64('q'), maybe) // ~1.2%
+	loop.Br(ir.EQ, d, 0, done)
+	loop.Br(ir.EQ, d, int64('\n'), nlb2)
+	loop.Br(ir.EQ, d, int64('q'), maybe2)
+	loop.I(ir.Xor, acc, acc, c)
+	loop.I(ir.Xor, acc, acc, d)
+	loop.I(ir.Add, i, i, 2)
+	loop.Jmp(loop)
+	nlb.I(ir.Add, lines, lines, 1)
+	nlb.I(ir.Add, i, i, 1)
+	nlb.Jmp(loop)
+	nlb2.I(ir.Xor, acc, acc, c)
+	nlb2.I(ir.Add, lines, lines, 1)
+	nlb2.I(ir.Add, i, i, 2)
+	nlb2.Jmp(loop)
+	maybe.I(ir.Add, i, i, 1)
+	maybe.Mov(c1, d)
+	maybe.Fall(hit)
+	maybe2.I(ir.Xor, acc, acc, c)
+	maybe2.I(ir.Add, i, i, 2)
+	maybe2.Load(c1, i, buf)
+	maybe2.Fall(hit)
+	hit.Br(ir.NE, c1, int64('z'), loop)
+	hit.I(ir.Add, matches, matches, 1)
+	hit.I(ir.Add, i, i, 1)
+	hit.Jmp(loop)
+	done.I(ir.Mul, cs, lines, 65599).I(ir.Add, cs, cs, matches)
+	done.I(ir.Mul, cs, cs, 65599).I(ir.Add, cs, cs, acc)
+	done.Store(0, CheckAddr, cs)
+	done.Halt()
+	return p.Program()
+}
+
+// Cmp mirrors the Unix cmp utility: compare two buffers that differ only
+// near the end.  The loop is unrolled four ways (as a compiler would) with
+// almost-never-taken mismatch exits, giving the extreme branch reduction
+// the paper reports for cmp in Table 3.
+func Cmp() *Kernel {
+	return &Kernel{Name: "cmp", Paper: "Unix cmp: buffer comparison, near-never-taken mismatch exits", Build: buildCmp}
+}
+
+func buildCmp() *ir.Program {
+	p := builder.New(1 << 17)
+	rng := newLCG(0xc41)
+	n := 20000
+	words := make([]int64, n)
+	for i := range words {
+		words[i] = rng.intn(256)
+	}
+	a := p.Words(words...)
+	// Second buffer identical except one word near the end.
+	words2 := append([]int64(nil), words...)
+	words2[n-7] ^= 0x55
+	b := p.Words(words2...)
+
+	const unroll = 8
+	f := p.Func("main")
+	i, va, vb, pos, cs := f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg()
+	t := f.Regs(2 * unroll)
+	accs := f.Regs(4) // rotating accumulators keep the checksum off the critical path
+
+	entry := f.Entry()
+	loop := f.Block("loop")
+	diffs := make([]*builder.Blk, unroll)
+	for u := range diffs {
+		diffs[u] = f.Block("diff")
+	}
+	locate := f.Block("locate")
+	equal := f.Block("equal")
+	out := f.Block("out")
+
+	entry.Mov(i, 0)
+	for _, a := range accs {
+		entry.Mov(a, 0)
+	}
+	entry.Fall(loop)
+	// Eight-way unrolled comparison with mismatch exits (cmp's inner loop
+	// unrolls deeply: the exits are essentially never taken, giving the
+	// extreme branch reduction of Table 3).  The mismatch path never reads
+	// the accumulators, so the exits stay combinable even though the
+	// running XORs are updated between them.
+	for u := 0; u < unroll; u++ {
+		loop.Load(t[2*u], i, a+int64(u))
+		loop.Load(t[2*u+1], i, b+int64(u))
+		loop.Br(ir.NE, t[2*u], t[2*u+1], diffs[u])
+		loop.I(ir.Xor, accs[u%4], accs[u%4], t[2*u])
+	}
+	loop.I(ir.Add, i, i, int64(unroll))
+	loop.Br(ir.LT, i, int64(n), loop)
+	loop.Jmp(equal)
+	// Per-unroll mismatch landing pads record the exact index.
+	for u := 0; u < unroll; u++ {
+		diffs[u].I(ir.Add, pos, i, int64(u))
+		diffs[u].Jmp(locate)
+	}
+	locate.Load(va, pos, a)
+	locate.Load(vb, pos, b)
+	locate.I(ir.Mul, cs, pos, 2654435761)
+	locate.I(ir.Xor, cs, cs, va)
+	locate.I(ir.Add, cs, cs, vb)
+	locate.Jmp(out)
+	equal.I(ir.Xor, cs, accs[0], accs[1])
+	equal.I(ir.Xor, cs, cs, accs[2])
+	equal.I(ir.Xor, cs, cs, accs[3])
+	equal.I(ir.Mul, cs, cs, 16777619)
+	equal.I(ir.Add, cs, cs, 1)
+	equal.Fall(out)
+	out.Store(0, CheckAddr, cs)
+	out.Halt()
+	return p.Program()
+}
+
+// Cccp mirrors the GNU C preprocessor's scanning loop: a character-driven
+// state machine (normal / comment / string) with moderately predictable
+// state branches and identifier counting.
+func Cccp() *Kernel {
+	return &Kernel{Name: "cccp", Paper: "GNU cccp: lexical scanning state machine over source text", Build: buildCccp}
+}
+
+func buildCccp() *ir.Program {
+	p := builder.New(1 << 16)
+	rng := newLCG(0xcc9)
+	// Pseudo C source: identifiers, punctuation, occasional comments and
+	// strings.
+	sb := make([]byte, 0, 7000)
+	for len(sb) < 6980 {
+		r := rng.intn(100)
+		switch {
+		case r < 4:
+			sb = append(sb, '/', '*')
+			for k := int64(0); k < 6+rng.intn(20); k++ {
+				sb = append(sb, byte('a'+rng.intn(26)))
+			}
+			sb = append(sb, '*', '/')
+		case r < 8:
+			sb = append(sb, '"')
+			for k := int64(0); k < 3+rng.intn(10); k++ {
+				sb = append(sb, byte('a'+rng.intn(26)))
+			}
+			sb = append(sb, '"')
+		case r < 20:
+			sb = append(sb, ' ')
+		case r < 26:
+			sb = append(sb, ';')
+		case r < 30:
+			sb = append(sb, '\n')
+		default:
+			sb = append(sb, byte('a'+rng.intn(26)))
+		}
+	}
+	sb = append(sb, 0)
+	buf := p.Bytes(string(sb))
+
+	f := p.Func("main")
+	i, c, c1, ids, strs, cmts, lines, semis, cs :=
+		f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg()
+
+	entry := f.Entry()
+	loop := f.Block("loop")
+	nSlash := f.Block("n-slash")
+	skipC := f.Block("skip-comment")
+	skipCEnd := f.Block("skip-comment-end")
+	skipCNext := f.Block("skip-comment-next")
+	skipS := f.Block("skip-string")
+	sLoop := f.Block("string-loop")
+	nIdent := f.Block("n-ident")
+	iJoin := f.Block("ident-join")
+	nNl := f.Block("n-nl")
+	nlJoin := f.Block("nl-join")
+	nSemi := f.Block("n-semi")
+	next := f.Block("next")
+	done := f.Block("done")
+
+	entry.Mov(i, 0).Mov(ids, 0).Mov(strs, 0).Mov(cmts, 0).Mov(lines, 0).Mov(semis, 0)
+	entry.Fall(loop)
+	// Main scan: classification diamonds plus two rare exits into inner
+	// skip loops (comment and string literals), the way cccp's scanner is
+	// actually structured.  The skip loops are separate natural loops, so
+	// hyperblock formation leaves them out of the main loop's hyperblock.
+	loop.Load(c, i, buf)
+	loop.Br(ir.EQ, c, 0, done)
+	loop.Br(ir.EQ, c, int64('/'), nSlash) // ~2%
+	loop.Br(ir.EQ, c, int64('"'), skipS)  // ~2%
+	loop.Br(ir.LT, c, int64('a'), iJoin)  // ~30%: not an identifier char
+	loop.Fall(nIdent)
+	nIdent.I(ir.Add, ids, ids, 1)
+	nIdent.Fall(iJoin)
+	iJoin.Br(ir.NE, c, int64('\n'), nlJoin)
+	iJoin.Fall(nNl)
+	nNl.I(ir.Add, lines, lines, 1)
+	nNl.Fall(nlJoin)
+	nlJoin.Br(ir.NE, c, int64(';'), next)
+	nlJoin.Fall(nSemi)
+	nSemi.I(ir.Add, semis, semis, 1)
+	nSemi.Fall(next)
+	next.I(ir.Add, i, i, 1)
+	next.Jmp(loop)
+
+	// Comment: "/" must be followed by "*", then skip to the closing "*/".
+	nSlash.Load(c1, i, buf+1)
+	nSlash.Br(ir.NE, c1, int64('*'), next)
+	nSlash.I(ir.Add, cmts, cmts, 1)
+	nSlash.I(ir.Add, i, i, 2)
+	nSlash.Fall(skipC)
+	skipC.Load(c1, i, buf)
+	skipC.Br(ir.EQ, c1, 0, done)
+	skipC.Br(ir.EQ, c1, int64('*'), skipCEnd)
+	skipC.Fall(skipCNext)
+	skipCNext.I(ir.Add, i, i, 1)
+	skipCNext.Jmp(skipC)
+	skipCEnd.Load(c1, i, buf+1)
+	skipCEnd.Br(ir.NE, c1, int64('/'), skipCNext)
+	skipCEnd.I(ir.Add, i, i, 2)
+	skipCEnd.Jmp(loop)
+
+	// String literal: skip to the closing quote.
+	skipS.I(ir.Add, strs, strs, 1)
+	skipS.I(ir.Add, i, i, 1)
+	skipS.Fall(sLoop)
+	sLoop.Load(c1, i, buf)
+	sLoop.Br(ir.EQ, c1, 0, done)
+	sLoop.Br(ir.EQ, c1, int64('"'), next)
+	sLoop.I(ir.Add, i, i, 1)
+	sLoop.Jmp(sLoop)
+
+	done.I(ir.Mul, cs, ids, 131).I(ir.Add, cs, cs, strs)
+	done.I(ir.Mul, cs, cs, 131).I(ir.Add, cs, cs, cmts)
+	done.I(ir.Mul, cs, cs, 131).I(ir.Add, cs, cs, lines)
+	done.I(ir.Mul, cs, cs, 131).I(ir.Add, cs, cs, semis)
+	done.Store(0, CheckAddr, cs)
+	done.Halt()
+	return p.Program()
+}

@@ -1,0 +1,182 @@
+// Package cfg provides control-flow-graph analyses over the IR: successor
+// and predecessor maps, reverse postorder, dominators, natural loops,
+// liveness, and the dynamic edge profile collected by the emulator.
+package cfg
+
+import "predication/internal/ir"
+
+// Graph is the control-flow graph of one function, computed on demand from
+// the block structure.  Recompute it after any pass that adds or removes
+// edges.
+type Graph struct {
+	F     *ir.Func
+	Succs [][]int // block ID -> successor block IDs
+	Preds [][]int // block ID -> predecessor block IDs
+	RPO   []int   // reverse postorder over reachable live blocks
+	rpoIx []int   // block ID -> position in RPO (-1 if unreachable)
+}
+
+// NewGraph builds the CFG for f.
+func NewGraph(f *ir.Func) *Graph {
+	g := &Graph{F: f}
+	n := len(f.Blocks)
+	g.Succs = make([][]int, n)
+	g.Preds = make([][]int, n)
+	for _, b := range f.Blocks {
+		if b == nil || b.Dead {
+			continue
+		}
+		g.Succs[b.ID] = b.Succs(nil)
+	}
+	for id, succs := range g.Succs {
+		for _, s := range succs {
+			g.Preds[s] = append(g.Preds[s], id)
+		}
+	}
+	// Depth-first postorder from the entry, reversed.
+	visited := make([]bool, n)
+	var post []int
+	var dfs func(int)
+	dfs = func(id int) {
+		visited[id] = true
+		for _, s := range g.Succs[id] {
+			if !visited[s] {
+				dfs(s)
+			}
+		}
+		post = append(post, id)
+	}
+	dfs(f.Entry)
+	g.RPO = make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		g.RPO = append(g.RPO, post[i])
+	}
+	g.rpoIx = make([]int, n)
+	for i := range g.rpoIx {
+		g.rpoIx[i] = -1
+	}
+	for i, id := range g.RPO {
+		g.rpoIx[id] = i
+	}
+	return g
+}
+
+// Reachable reports whether the block is reachable from the entry.
+func (g *Graph) Reachable(id int) bool { return g.rpoIx[id] >= 0 }
+
+// Dominators computes the immediate-dominator array using the
+// Cooper/Harvey/Kennedy iterative algorithm.  idom[entry] == entry;
+// unreachable blocks have idom -1.
+func (g *Graph) Dominators() []int {
+	n := len(g.F.Blocks)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	idom[g.F.Entry] = g.F.Entry
+	intersect := func(a, b int) int {
+		for a != b {
+			for g.rpoIx[a] > g.rpoIx[b] {
+				a = idom[a]
+			}
+			for g.rpoIx[b] > g.rpoIx[a] {
+				b = idom[b]
+			}
+		}
+		return a
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range g.RPO {
+			if id == g.F.Entry {
+				continue
+			}
+			newIdom := -1
+			for _, p := range g.Preds[id] {
+				if idom[p] == -1 {
+					continue
+				}
+				if newIdom == -1 {
+					newIdom = p
+				} else {
+					newIdom = intersect(newIdom, p)
+				}
+			}
+			if newIdom != -1 && idom[id] != newIdom {
+				idom[id] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+// Dominates reports whether a dominates b under the given idom array.
+func Dominates(idom []int, a, b int) bool {
+	for {
+		if b == a {
+			return true
+		}
+		if idom[b] == b || idom[b] == -1 {
+			return false
+		}
+		b = idom[b]
+	}
+}
+
+// Loop is a natural loop: the header plus the set of body blocks (including
+// the header).
+type Loop struct {
+	Header int
+	Blocks map[int]bool
+	// Backedges lists the source blocks of the loop's back edges.
+	Backedges []int
+}
+
+// NaturalLoops finds all natural loops (back edges whose target dominates
+// the source), merging loops that share a header.  Inner loops come first in
+// the returned slice (ordered by ascending body size).
+func (g *Graph) NaturalLoops() []*Loop {
+	idom := g.Dominators()
+	byHeader := map[int]*Loop{}
+	for _, b := range g.RPO {
+		for _, s := range g.Succs[b] {
+			if !Dominates(idom, s, b) {
+				continue
+			}
+			l := byHeader[s]
+			if l == nil {
+				l = &Loop{Header: s, Blocks: map[int]bool{s: true}}
+				byHeader[s] = l
+			}
+			l.Backedges = append(l.Backedges, b)
+			// Collect the natural loop body: blocks reaching the back edge
+			// source without passing through the header.
+			stack := []int{b}
+			for len(stack) > 0 {
+				x := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				if l.Blocks[x] {
+					continue
+				}
+				l.Blocks[x] = true
+				for _, p := range g.Preds[x] {
+					if g.Reachable(p) {
+						stack = append(stack, p)
+					}
+				}
+			}
+		}
+	}
+	loops := make([]*Loop, 0, len(byHeader))
+	for _, l := range byHeader {
+		loops = append(loops, l)
+	}
+	// Ascending body size: inner loops first.
+	for i := 1; i < len(loops); i++ {
+		for j := i; j > 0 && len(loops[j].Blocks) < len(loops[j-1].Blocks); j-- {
+			loops[j], loops[j-1] = loops[j-1], loops[j]
+		}
+	}
+	return loops
+}

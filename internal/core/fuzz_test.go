@@ -1,0 +1,124 @@
+package core
+
+import (
+	"testing"
+
+	"predication/internal/emu"
+	"predication/internal/machine"
+	"predication/internal/progen"
+)
+
+// TestRandomProgramsAllModels compiles randomly generated programs under
+// every model and configuration and checks the checksum against the
+// unoptimized reference — a broad property test over the whole pipeline
+// (formation, if-conversion, promotion, combining, conversion, peephole,
+// scheduling).
+func TestRandomProgramsAllModels(t *testing.T) {
+	n := 60
+	if testing.Short() {
+		n = 10
+	}
+	params := progen.Default()
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		src := progen.Generate(seed, params)
+		ref, err := emu.Run(src, emu.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v", seed, err)
+		}
+		want := ref.Word(progen.CheckAddr)
+		for _, mc := range []machine.Config{machine.Issue8Br1(), machine.Issue4Br1()} {
+			for _, model := range []Model{Superblock, CondMove, FullPred} {
+				c, err := Compile(progen.Generate(seed, params), model, DefaultOptions(mc))
+				if err != nil {
+					t.Fatalf("seed %d %v @%s: %v", seed, model, mc.Name, err)
+				}
+				res, err := emu.Run(c.Prog, emu.Options{})
+				if err != nil {
+					t.Fatalf("seed %d %v @%s: run: %v", seed, model, mc.Name, err)
+				}
+				if got := res.Word(progen.CheckAddr); got != want {
+					t.Errorf("seed %d %v @%s: checksum %#x, want %#x",
+						seed, model, mc.Name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestRandomProgramsOptionMatrix exercises the pipeline's option space
+// (excepting conversions, selects, ablation switches) on random programs.
+func TestRandomProgramsOptionMatrix(t *testing.T) {
+	n := 25
+	if testing.Short() {
+		n = 5
+	}
+	params := progen.Default()
+	mods := []func(*Options){
+		func(o *Options) { o.Partial.NonExcepting = false },
+		func(o *Options) { o.Partial.NonExcepting = false; o.Partial.UseSelect = true },
+		func(o *Options) { o.Partial.UseSelect = true },
+		func(o *Options) { o.NoPromotion = true },
+		func(o *Options) { o.NoPeephole = true },
+		func(o *Options) { o.NoSchedule = true },
+		func(o *Options) { o.Hyperblock.CombineBranches = false },
+		func(o *Options) { o.Machine.WritebackSuppression = true },
+	}
+	for seed := uint64(100); seed < uint64(100+n); seed++ {
+		src := progen.Generate(seed, params)
+		ref, err := emu.Run(src, emu.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v", seed, err)
+		}
+		want := ref.Word(progen.CheckAddr)
+		for mi, mod := range mods {
+			for _, model := range []Model{CondMove, FullPred} {
+				opts := DefaultOptions(machine.Issue8Br1())
+				mod(&opts)
+				c, err := Compile(progen.Generate(seed, params), model, opts)
+				if err != nil {
+					t.Fatalf("seed %d mod %d %v: %v", seed, mi, model, err)
+				}
+				res, err := emu.Run(c.Prog, emu.Options{})
+				if err != nil {
+					t.Fatalf("seed %d mod %d %v: run: %v", seed, mi, model, err)
+				}
+				if got := res.Word(progen.CheckAddr); got != want {
+					t.Errorf("seed %d mod %d %v: checksum %#x, want %#x",
+						seed, mi, model, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestNestedProgramsAllModels fuzzes the pipelines with two-level loop
+// nests (inner-loop hyperblocks, outer-context dominated regions, tail
+// duplication across nesting levels).
+func TestNestedProgramsAllModels(t *testing.T) {
+	n := 40
+	if testing.Short() {
+		n = 8
+	}
+	params := progen.Default()
+	for seed := uint64(1); seed <= uint64(n); seed++ {
+		src := progen.GenerateNested(seed, params)
+		ref, err := emu.Run(src, emu.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v", seed, err)
+		}
+		want := ref.Word(progen.CheckAddr)
+		for _, model := range []Model{Superblock, CondMove, FullPred, GuardInstr} {
+			c, err := Compile(progen.GenerateNested(seed, params), model, DefaultOptions(machine.Issue8Br1()))
+			if err != nil {
+				t.Fatalf("seed %d %v: %v", seed, model, err)
+			}
+			res, err := emu.Run(c.Prog, emu.Options{})
+			if err != nil {
+				t.Fatalf("seed %d %v: run: %v", seed, model, err)
+			}
+			if got := res.Word(progen.CheckAddr); got != want {
+				t.Errorf("seed %d %v: checksum %#x, want %#x", seed, model, got, want)
+			}
+		}
+	}
+}

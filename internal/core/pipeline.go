@@ -1,0 +1,211 @@
+// Package core ties the compilation passes into the three pipelines the
+// paper evaluates (§4.1):
+//
+//   - Superblock: the baseline ILP compilation — superblock formation plus
+//     speculative scheduling using silent instructions; no predication.
+//   - CondMove: hyperblock formation and if-conversion in the fully
+//     predicated IR, then lowering to conditional-move code (predicate
+//     promotion, basic conversions, peephole optimization).
+//   - FullPred: hyperblock formation with the code left fully predicated.
+//
+// Every pipeline profiles its own clone of the input program (the paper's
+// profile-driven formation), optimizes, schedules for the target machine,
+// and assigns code addresses for the cache/BTB models.
+package core
+
+import (
+	"fmt"
+
+	"predication/internal/cfg"
+	"predication/internal/emu"
+	"predication/internal/guardinstr"
+	"predication/internal/hyperblock"
+	"predication/internal/ir"
+	"predication/internal/machine"
+	"predication/internal/opt"
+	"predication/internal/partial"
+	"predication/internal/sched"
+	"predication/internal/superblock"
+	"predication/internal/unroll"
+)
+
+// Model selects the predication support of the target processor.
+type Model int
+
+const (
+	// Superblock is the baseline: no predicated execution, superblock
+	// compilation with speculative scheduling.
+	Superblock Model = iota
+	// CondMove extends the baseline with conditional move instructions
+	// (partial predication).
+	CondMove
+	// FullPred extends the baseline with full predicate support: a
+	// predicate register file and predicate define instructions.
+	FullPred
+	// GuardInstr is the intermediate design point of §1/§5: the predicate
+	// register file and defines of full predication, but guards delivered
+	// by prefix guard instructions instead of per-instruction operand
+	// bits (Pnevmatikatos & Sohi's guarded execution).
+	GuardInstr
+)
+
+// String names the model as in the paper's figures.
+func (m Model) String() string {
+	switch m {
+	case Superblock:
+		return "Superblock"
+	case CondMove:
+		return "Conditional Move"
+	case FullPred:
+		return "Full Predication"
+	case GuardInstr:
+		return "Guard Instr"
+	}
+	return fmt.Sprintf("Model(%d)", int(m))
+}
+
+// Options configures a compilation pipeline.
+type Options struct {
+	Machine    machine.Config
+	Superblock superblock.Params
+	Hyperblock hyperblock.Params
+	Partial    partial.Options
+	// Unroll configures pre-formation loop unrolling (§5's "more advanced
+	// compiler optimization techniques"; disabled by default).
+	Unroll unroll.Params
+
+	// NoPromotion disables predicate promotion (ablation: Figure 2 shows
+	// the code bloat promotion avoids).
+	NoPromotion bool
+	// NoPeephole disables the partial-predication peephole pass including
+	// OR-tree height reduction (ablation).
+	NoPeephole bool
+	// NoSchedule keeps original instruction order (ablation).
+	NoSchedule bool
+	// ProfileSteps bounds the profiling emulation run.
+	ProfileSteps int64
+	// StageHook, when non-nil, is invoked with the program after each
+	// pipeline stage (for -stages dumps and stage-level tests).  The
+	// program must not be modified by the hook.
+	StageHook func(stage string, p *ir.Program)
+}
+
+// DefaultOptions returns the configuration used for the paper's
+// experiments on the given machine.
+func DefaultOptions(mc machine.Config) Options {
+	return Options{
+		Machine:    mc,
+		Superblock: superblock.DefaultParams(),
+		Hyperblock: hyperblock.DefaultParams(),
+		Partial:    partial.DefaultOptions(),
+		Unroll:     unroll.DefaultParams(),
+	}
+}
+
+// Compiled is the result of running a pipeline.
+type Compiled struct {
+	Prog  *ir.Program
+	Model Model
+	// HyperblockHeads maps function index to hyperblock head block IDs
+	// (empty for the superblock model).
+	HyperblockHeads map[int][]int
+	// Profile is the edge profile collected on Prog before transformation.
+	Profile *cfg.Profile
+}
+
+// Compile clones the source program and runs the pipeline for the model.
+// The source program is never modified.
+func Compile(src *ir.Program, model Model, opts Options) (*Compiled, error) {
+	p := src.Clone()
+	p.Normalize()
+	stage := func(name string) {
+		if opts.StageHook != nil {
+			opts.StageHook(name, p)
+		}
+	}
+	stage("normalize")
+	prof := cfg.NewProfile()
+	if _, err := emu.Run(p, emu.Options{Profile: prof, MaxSteps: opts.ProfileSteps}); err != nil {
+		return nil, fmt.Errorf("core: profiling run failed: %w", err)
+	}
+	res := &Compiled{Prog: p, Model: model, Profile: prof}
+
+	if unroll.Apply(p, prof, opts.Unroll) > 0 {
+		stage("unroll")
+		if err := p.Verify(); err != nil {
+			return nil, fmt.Errorf("core: unrolling produced invalid IR: %w", err)
+		}
+	}
+
+	switch model {
+	case Superblock:
+		superblock.Form(p, prof, opts.Superblock)
+		stage("superblock-formation")
+		cleanup(p)
+		stage("cleanup")
+	case CondMove, FullPred, GuardInstr:
+		hb := hyperblock.Form(p, prof, opts.Hyperblock)
+		res.HyperblockHeads = hb.Heads
+		stage("hyperblock-formation")
+		cleanup(p)
+		if !opts.NoPromotion {
+			for _, f := range p.Funcs {
+				for i := 0; i < 4; i++ {
+					n := hyperblock.PromoteDefines(f)
+					n += hyperblock.Promote(f)
+					if n == 0 {
+						break
+					}
+				}
+			}
+			cleanup(p)
+			stage("promotion")
+		}
+		for fi, heads := range hb.Heads {
+			hyperblock.CombineBranches(p.Funcs[fi], heads, prof, opts.Hyperblock)
+		}
+		stage("branch-combining")
+		if model == CondMove {
+			partial.Convert(p, opts.Partial)
+			cleanup(p)
+			stage("partial-conversion")
+			if !opts.NoPeephole {
+				partial.Peephole(p)
+				if opts.Partial.UseSelect {
+					partial.FuseSelects(p)
+				}
+				cleanup(p)
+				stage("peephole")
+			}
+		}
+	default:
+		return nil, fmt.Errorf("core: unknown model %v", model)
+	}
+
+	if err := p.Verify(); err != nil {
+		return nil, fmt.Errorf("core: %v pipeline produced invalid IR: %w", model, err)
+	}
+	if !opts.NoSchedule {
+		sched.Schedule(p, opts.Machine)
+		stage("schedule")
+		if err := p.Verify(); err != nil {
+			return nil, fmt.Errorf("core: scheduling produced invalid IR: %w", err)
+		}
+	}
+	if model == GuardInstr {
+		// Lower after scheduling so run lengths reflect the final order.
+		guardinstr.Lower(p)
+		stage("guard-lowering")
+		if err := p.Verify(); err != nil {
+			return nil, fmt.Errorf("core: guard lowering produced invalid IR: %w", err)
+		}
+	}
+	p.AssignAddresses()
+	return res, nil
+}
+
+func cleanup(p *ir.Program) {
+	for _, f := range p.Funcs {
+		opt.Cleanup(f)
+	}
+}

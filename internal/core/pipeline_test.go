@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"predication/internal/bench"
+	"predication/internal/emu"
+	"predication/internal/machine"
+)
+
+// TestModelsPreserveSemantics is the backbone correctness test: every
+// benchmark kernel, compiled under every model and several machine
+// configurations, must produce the checksum of the unoptimized program.
+func TestModelsPreserveSemantics(t *testing.T) {
+	configs := []machine.Config{machine.Issue8Br1(), machine.Issue4Br1(), machine.Issue1()}
+	for _, k := range bench.All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			ref := k.Build()
+			refRes, err := emu.Run(ref, emu.Options{})
+			if err != nil {
+				t.Fatalf("reference run: %v", err)
+			}
+			want := refRes.Word(bench.CheckAddr)
+			for _, mc := range configs {
+				for _, model := range []Model{Superblock, CondMove, FullPred} {
+					c, err := Compile(k.Build(), model, DefaultOptions(mc))
+					if err != nil {
+						t.Fatalf("%v @ %s: compile: %v", model, mc.Name, err)
+					}
+					res, err := emu.Run(c.Prog, emu.Options{})
+					if err != nil {
+						t.Fatalf("%v @ %s: run: %v", model, mc.Name, err)
+					}
+					if got := res.Word(bench.CheckAddr); got != want {
+						t.Errorf("%v @ %s: checksum %#x, want %#x", model, mc.Name, got, want)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,184 @@
+// Package experiments reproduces the paper's evaluation (§4): it compiles
+// every benchmark kernel under the three processor models, runs
+// emulation-driven simulation for each machine configuration, and renders
+// the paper's figures and tables.
+//
+// Speedup follows the paper's definition: the cycle count of the 1-issue
+// baseline (superblock) processor divided by the cycle count of the k-issue
+// processor of the specified model.  For the real-cache experiment
+// (Figure 11) the 1-issue baseline also uses real caches.
+package experiments
+
+import (
+	"fmt"
+
+	"predication/internal/bench"
+	"predication/internal/core"
+	"predication/internal/emu"
+	"predication/internal/machine"
+	"predication/internal/sim"
+)
+
+// Models lists the three processor models in reporting order.
+var Models = []core.Model{core.Superblock, core.CondMove, core.FullPred}
+
+// Key identifies one (model, machine) measurement.
+type Key struct {
+	Model  core.Model
+	Config string
+}
+
+// BenchResult holds every measurement for one benchmark.
+type BenchResult struct {
+	Name  string
+	Stats map[Key]sim.Stats
+	// Checksum sanity: identical across all runs.
+	Checksum int64
+}
+
+// Stat returns the stats for one model/config pair.
+func (r *BenchResult) Stat(m core.Model, cfg string) sim.Stats {
+	return r.Stats[Key{m, cfg}]
+}
+
+// Suite is the complete set of measurements.
+type Suite struct {
+	Results []*BenchResult
+}
+
+// Options configures a suite run.
+type Options struct {
+	// Kernels restricts the run to the named kernels (nil = all).
+	Kernels []string
+	// Progress, when non-nil, receives one line per benchmark.
+	Progress func(string)
+}
+
+// schedTargets are the machine configurations code is scheduled for.  The
+// cache variant shares the 8-issue 1-branch code: caches change timing, not
+// compilation.
+var schedTargets = []machine.Config{
+	machine.Issue1(),
+	machine.Issue4Br1(),
+	machine.Issue8Br1(),
+	machine.Issue8Br2(),
+}
+
+// simsFor returns the simulator configurations to run against code
+// scheduled for the given target.
+func simsFor(target machine.Config) []machine.Config {
+	switch target.Name {
+	case "issue1":
+		return []machine.Config{machine.Issue1(), machine.Issue1Cache()}
+	case "issue8-br1":
+		return []machine.Config{machine.Issue8Br1(), machine.Issue8Br1Cache()}
+	default:
+		return []machine.Config{target}
+	}
+}
+
+// Run executes the full evaluation.
+func Run(opts Options) (*Suite, error) {
+	kernels := bench.All()
+	if opts.Kernels != nil {
+		kernels = kernels[:0]
+		for _, name := range opts.Kernels {
+			k, err := bench.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			kernels = append(kernels, k)
+		}
+	}
+	suite := &Suite{}
+	for _, k := range kernels {
+		r, err := RunBenchmark(k)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", k.Name, err)
+		}
+		suite.Results = append(suite.Results, r)
+		if opts.Progress != nil {
+			opts.Progress(fmt.Sprintf("%-14s done (%d configurations)", k.Name, len(r.Stats)))
+		}
+	}
+	return suite, nil
+}
+
+// RunBenchmark measures one kernel across all models and configurations.
+func RunBenchmark(k *bench.Kernel) (*BenchResult, error) {
+	res := &BenchResult{Name: k.Name, Stats: map[Key]sim.Stats{}}
+	ref, err := emu.Run(k.Build(), emu.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("reference run: %w", err)
+	}
+	res.Checksum = ref.Word(bench.CheckAddr)
+
+	for _, model := range Models {
+		for _, target := range schedTargets {
+			if target.Name == "issue1" && model != core.Superblock {
+				continue // the 1-issue baseline is always superblock code
+			}
+			c, err := core.Compile(k.Build(), model, core.DefaultOptions(target))
+			if err != nil {
+				return nil, fmt.Errorf("%v @ %s: %w", model, target.Name, err)
+			}
+			run, err := emu.Run(c.Prog, emu.Options{Trace: true})
+			if err != nil {
+				return nil, fmt.Errorf("%v @ %s: emulate: %w", model, target.Name, err)
+			}
+			if got := run.Word(bench.CheckAddr); got != res.Checksum {
+				return nil, fmt.Errorf("%v @ %s: checksum mismatch %#x != %#x",
+					model, target.Name, got, res.Checksum)
+			}
+			for _, sc := range simsFor(target) {
+				st := sim.Simulate(c.Prog, run.Trace, sc)
+				res.Stats[Key{model, sc.Name}] = st
+			}
+		}
+	}
+	return res, nil
+}
+
+// Speedup computes the paper's speedup metric for one benchmark: cycles of
+// the superblock 1-issue baseline divided by cycles of the model on the
+// named configuration.  The baseline uses the cache variant matching the
+// configuration.
+func (r *BenchResult) Speedup(m core.Model, cfg string) float64 {
+	base := "issue1"
+	if cfg == "issue8-br1-64k" {
+		base = "issue1-64k"
+	}
+	b := r.Stat(core.Superblock, base).Cycles
+	c := r.Stat(m, cfg).Cycles
+	if c == 0 {
+		return 0
+	}
+	return float64(b) / float64(c)
+}
+
+// MeanSpeedup averages the speedup metric across the suite's benchmarks.
+func (s *Suite) MeanSpeedup(m core.Model, cfg string) float64 {
+	if len(s.Results) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range s.Results {
+		sum += r.Speedup(m, cfg)
+	}
+	return sum / float64(len(s.Results))
+}
+
+// MeanInstrRatio averages each model's dynamic instruction count relative
+// to the superblock model on the 8-issue 1-branch configuration (Table 2's
+// summary statistic).
+func (s *Suite) MeanInstrRatio(m core.Model) float64 {
+	if len(s.Results) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range s.Results {
+		base := r.Stat(core.Superblock, "issue8-br1").Instrs
+		sum += float64(r.Stat(m, "issue8-br1").Instrs) / float64(base)
+	}
+	return sum / float64(len(s.Results))
+}

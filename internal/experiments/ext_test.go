@@ -1,0 +1,22 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestExtensions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second evaluation")
+	}
+	tables, err := Extensions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 7 {
+		t.Fatalf("%d extension tables", len(tables))
+	}
+	for _, tab := range tables {
+		fmt.Println(tab.String())
+	}
+}

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestQuickLook(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite")
+	}
+	s, err := Run(Options{Kernels: []string{"wc", "grep", "cmp", "023.eqntott", "072.sc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range s.AllTables() {
+		fmt.Println(tab.String())
+	}
+}
+
+func TestFullSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite")
+	}
+	s, err := Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range s.AllTables() {
+		fmt.Println(tab.String())
+	}
+}

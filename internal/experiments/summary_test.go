@@ -1,0 +1,48 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"predication/internal/core"
+)
+
+// TestPrintSummary prints the aggregate statistics quoted in README.md and
+// EXPERIMENTS.md so documentation can be regenerated from source.
+func TestPrintSummary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full evaluation")
+	}
+	s, err := Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []string{"issue8-br1", "issue8-br2", "issue4-br1", "issue8-br1-64k"} {
+		fmt.Printf("%s means: SB=%.2f CM=%.2f FP=%.2f\n", cfg,
+			s.MeanSpeedup(core.Superblock, cfg),
+			s.MeanSpeedup(core.CondMove, cfg),
+			s.MeanSpeedup(core.FullPred, cfg))
+	}
+	fmt.Printf("instr ratios: CM=%.2f FP=%.2f\n",
+		s.MeanInstrRatio(core.CondMove), s.MeanInstrRatio(core.FullPred))
+	fpWins, cmWins, cm4Below := 0, 0, 0
+	brCM, brFP := 0.0, 0.0
+	for _, r := range s.Results {
+		if r.Speedup(core.FullPred, "issue8-br1") > r.Speedup(core.Superblock, "issue8-br1")*1.01 {
+			fpWins++
+		}
+		if r.Speedup(core.CondMove, "issue8-br1") > r.Speedup(core.Superblock, "issue8-br1")*1.01 {
+			cmWins++
+		}
+		if r.Speedup(core.CondMove, "issue4-br1") < r.Speedup(core.Superblock, "issue4-br1")*0.99 {
+			cm4Below++
+		}
+		sb := float64(r.Stat(core.Superblock, "issue8-br1").Branches)
+		brCM += float64(r.Stat(core.CondMove, "issue8-br1").Branches) / sb
+		brFP += float64(r.Stat(core.FullPred, "issue8-br1").Branches) / sb
+	}
+	n := float64(len(s.Results))
+	fmt.Printf("FP beats SB: %d/15, CM beats SB: %d/15, CM below SB at 4-issue: %d/15\n",
+		fpWins, cmWins, cm4Below)
+	fmt.Printf("mean branch ratio: CM=%.2f FP=%.2f\n", brCM/n, brFP/n)
+}

@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"predication/internal/core"
+)
+
+// Table is a rendered result table: a title, column headers, and rows.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", t.Title)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return sb.String()
+}
+
+// speedupFigure renders one of the paper's speedup figures.
+func (s *Suite) speedupFigure(title, cfg string) *Table {
+	t := &Table{
+		Title:   title,
+		Headers: []string{"Benchmark", "Superblock", "Cond. Move", "Full Pred."},
+	}
+	sums := [3]float64{}
+	for _, r := range s.Results {
+		row := []string{r.Name}
+		for i, m := range Models {
+			sp := r.Speedup(m, cfg)
+			sums[i] += sp
+			row = append(row, fmt.Sprintf("%.2f", sp))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	if n := len(s.Results); n > 0 {
+		row := []string{"mean"}
+		for i := range Models {
+			row = append(row, fmt.Sprintf("%.2f", sums[i]/float64(n)))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// Figure8 is the 8-issue, 1-branch, perfect-cache speedup comparison.
+func (s *Suite) Figure8() *Table {
+	return s.speedupFigure("Figure 8: speedup, 8-issue 1-branch, perfect caches", "issue8-br1")
+}
+
+// Figure9 is the 8-issue, 2-branch, perfect-cache speedup comparison.
+func (s *Suite) Figure9() *Table {
+	return s.speedupFigure("Figure 9: speedup, 8-issue 2-branch, perfect caches", "issue8-br2")
+}
+
+// Figure10 is the 4-issue, 1-branch, perfect-cache speedup comparison.
+func (s *Suite) Figure10() *Table {
+	return s.speedupFigure("Figure 10: speedup, 4-issue 1-branch, perfect caches", "issue4-br1")
+}
+
+// Figure11 is the 8-issue, 1-branch speedup comparison with 64K
+// instruction and data caches.
+func (s *Suite) Figure11() *Table {
+	return s.speedupFigure("Figure 11: speedup, 8-issue 1-branch, 64K I/D caches", "issue8-br1-64k")
+}
+
+// Table2 is the dynamic instruction count comparison (8-issue 1-branch
+// code), with ratios to superblock in parentheses as in the paper.
+func (s *Suite) Table2() *Table {
+	t := &Table{
+		Title:   "Table 2: dynamic instruction count comparison",
+		Headers: []string{"Benchmark", "Superblk", "Cond. Move", "Full Pred."},
+	}
+	var ratioCM, ratioFP float64
+	for _, r := range s.Results {
+		base := r.Stat(core.Superblock, "issue8-br1").Instrs
+		cm := r.Stat(core.CondMove, "issue8-br1").Instrs
+		fp := r.Stat(core.FullPred, "issue8-br1").Instrs
+		ratioCM += float64(cm) / float64(base)
+		ratioFP += float64(fp) / float64(base)
+		t.Rows = append(t.Rows, []string{
+			r.Name,
+			fmtCount(base),
+			fmt.Sprintf("%s (%.2f)", fmtCount(cm), float64(cm)/float64(base)),
+			fmt.Sprintf("%s (%.2f)", fmtCount(fp), float64(fp)/float64(base)),
+		})
+	}
+	if n := float64(len(s.Results)); n > 0 {
+		t.Rows = append(t.Rows, []string{"mean ratio", "1.00",
+			fmt.Sprintf("(%.2f)", ratioCM/n), fmt.Sprintf("(%.2f)", ratioFP/n)})
+	}
+	return t
+}
+
+// Table3 is the branch statistics comparison: dynamic branches (BR),
+// mispredictions (MP), and misprediction rate (MPR) per model on the
+// 8-issue 1-branch configuration.
+func (s *Suite) Table3() *Table {
+	t := &Table{
+		Title: "Table 3: branch statistics (8-issue 1-branch)",
+		Headers: []string{"Benchmark",
+			"SB BR", "SB MP", "SB MPR",
+			"CM BR", "CM MP", "CM MPR",
+			"FP BR", "FP MP", "FP MPR"},
+	}
+	for _, r := range s.Results {
+		row := []string{r.Name}
+		for _, m := range Models {
+			st := r.Stat(m, "issue8-br1")
+			row = append(row, fmtCount(st.Branches), fmtCount(st.Mispredicts),
+				fmt.Sprintf("%.2f%%", 100*st.MispredictRate()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// fmtCount renders a count the way the paper does (K/M suffixes).
+func fmtCount(n int64) string {
+	switch {
+	case n >= 10_000_000:
+		return fmt.Sprintf("%dM", n/1_000_000)
+	case n >= 10_000:
+		return fmt.Sprintf("%dK", n/1_000)
+	default:
+		return fmt.Sprintf("%d", n)
+	}
+}
+
+// AllTables renders every figure and table in paper order.
+func (s *Suite) AllTables() []*Table {
+	return []*Table{s.Figure8(), s.Figure9(), s.Figure10(), s.Figure11(), s.Table2(), s.Table3()}
+}
+
+// CSV renders the table as comma-separated values for external plotting.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+		}
+		return s
+	}
+	row := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(esc(c))
+		}
+		sb.WriteByte('\n')
+	}
+	row(t.Headers)
+	for _, r := range t.Rows {
+		row(r)
+	}
+	return sb.String()
+}

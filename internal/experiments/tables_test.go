@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"predication/internal/core"
+	"predication/internal/sim"
+)
+
+func fakeSuite() *Suite {
+	r := &BenchResult{Name: "toy", Stats: map[Key]sim.Stats{}}
+	put := func(m core.Model, cfg string, cycles, instrs, br, mp, cond int64) {
+		r.Stats[Key{m, cfg}] = sim.Stats{Cycles: cycles, Instrs: instrs,
+			Branches: br, Mispredicts: mp, CondBranches: cond}
+	}
+	put(core.Superblock, "issue1", 1000, 900, 300, 30, 200)
+	put(core.Superblock, "issue1-64k", 1200, 900, 300, 30, 200)
+	put(core.Superblock, "issue8-br1", 500, 900, 300, 30, 200)
+	put(core.Superblock, "issue8-br1-64k", 600, 900, 300, 30, 200)
+	put(core.Superblock, "issue8-br2", 400, 900, 300, 30, 200)
+	put(core.Superblock, "issue4-br1", 550, 900, 300, 30, 200)
+	put(core.CondMove, "issue8-br1", 400, 1300, 100, 10, 90)
+	put(core.CondMove, "issue8-br1-64k", 480, 1300, 100, 10, 90)
+	put(core.CondMove, "issue8-br2", 390, 1300, 100, 10, 90)
+	put(core.CondMove, "issue4-br1", 520, 1300, 100, 10, 90)
+	put(core.FullPred, "issue8-br1", 250, 950, 100, 10, 90)
+	put(core.FullPred, "issue8-br1-64k", 300, 950, 100, 10, 90)
+	put(core.FullPred, "issue8-br2", 240, 950, 100, 10, 90)
+	put(core.FullPred, "issue4-br1", 300, 950, 100, 10, 90)
+	return &Suite{Results: []*BenchResult{r}}
+}
+
+func TestSpeedupDefinition(t *testing.T) {
+	s := fakeSuite()
+	r := s.Results[0]
+	if got := r.Speedup(core.Superblock, "issue8-br1"); got != 2.0 {
+		t.Errorf("superblock speedup %v, want 2.0 (1000/500)", got)
+	}
+	if got := r.Speedup(core.FullPred, "issue8-br1"); got != 4.0 {
+		t.Errorf("full pred speedup %v, want 4.0", got)
+	}
+	// The cache figure uses the cache baseline.
+	if got := r.Speedup(core.FullPred, "issue8-br1-64k"); got != 4.0 {
+		t.Errorf("cache speedup %v, want 1200/300 = 4.0", got)
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	s := fakeSuite()
+	tables := s.AllTables()
+	if len(tables) != 6 {
+		t.Fatalf("%d tables, want 6 (Figures 8-11, Tables 2-3)", len(tables))
+	}
+	f8 := s.Figure8().String()
+	for _, want := range []string{"Figure 8", "toy", "2.00", "2.50", "4.00", "mean"} {
+		if !strings.Contains(f8, want) {
+			t.Errorf("Figure 8 output missing %q:\n%s", want, f8)
+		}
+	}
+	t2 := s.Table2().String()
+	// 1300/900 = 1.44, 950/900 = 1.06.
+	for _, want := range []string{"(1.44)", "(1.06)"} {
+		if !strings.Contains(t2, want) {
+			t.Errorf("Table 2 missing %q:\n%s", want, t2)
+		}
+	}
+	t3 := s.Table3().String()
+	if !strings.Contains(t3, "15.00%") { // SB MPR 30/200
+		t.Errorf("Table 3 missing misprediction rate:\n%s", t3)
+	}
+}
+
+func TestFmtCount(t *testing.T) {
+	cases := map[int64]string{
+		999:        "999",
+		9999:       "9999",
+		10000:      "10K",
+		2999000:    "2999K",
+		10_000_000: "10M",
+	}
+	for n, want := range cases {
+		if got := fmtCount(n); got != want {
+			t.Errorf("fmtCount(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestRunUnknownKernel(t *testing.T) {
+	if _, err := Run(Options{Kernels: []string{"no-such-benchmark"}}); err == nil {
+		t.Error("unknown kernel must error")
+	}
+}
+
+// TestRunSingleBenchmark is an integration check of the harness path.
+func TestRunSingleBenchmark(t *testing.T) {
+	s, err := Run(Options{Kernels: []string{"wc"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Results) != 1 {
+		t.Fatalf("results %d", len(s.Results))
+	}
+	r := s.Results[0]
+	// Every (model, config) cell must be populated.
+	wantConfigs := map[core.Model][]string{
+		core.Superblock: {"issue1", "issue1-64k", "issue4-br1", "issue8-br1", "issue8-br1-64k", "issue8-br2"},
+		core.CondMove:   {"issue4-br1", "issue8-br1", "issue8-br1-64k", "issue8-br2"},
+		core.FullPred:   {"issue4-br1", "issue8-br1", "issue8-br1-64k", "issue8-br2"},
+	}
+	for m, cfgs := range wantConfigs {
+		for _, c := range cfgs {
+			if r.Stat(m, c).Cycles == 0 {
+				t.Errorf("missing measurement %v/%s", m, c)
+			}
+		}
+	}
+	if r.Checksum == 0 {
+		t.Error("checksum not recorded")
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := &Table{
+		Title:   "t",
+		Headers: []string{"a", "b"},
+		Rows:    [][]string{{"1", "two, \"quoted\""}},
+	}
+	got := tab.CSV()
+	want := "a,b\n1,\"two, \"\"quoted\"\"\"\n"
+	if got != want {
+		t.Errorf("csv %q, want %q", got, want)
+	}
+}

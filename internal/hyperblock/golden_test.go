@@ -1,0 +1,118 @@
+package hyperblock
+
+import (
+	"strings"
+	"testing"
+
+	"predication/internal/builder"
+	"predication/internal/cfg"
+	"predication/internal/emu"
+	"predication/internal/ir"
+)
+
+// TestFigure1Golden pins the exact if-conversion output for the paper's
+// Figure 1 code:
+//
+//	if ((a == 0) || (b == 0)) j++;
+//	else if (c != 0) k++;
+//	else k--;
+//	i++;
+//
+// The expected text mirrors Figure 1(c): a pred_clear, an OR-type define
+// pair for the disjunction (with the second test guarded by the first's
+// complement), a U/U-complement pair for the inner condition guarded by
+// the else-predicate, predicated add/sub, and an unconditional final
+// increment.
+func TestFigure1Golden(t *testing.T) {
+	p := builder.New(256)
+	// One straight-line execution: a=1, b=0 -> then-path.
+	f := p.Func("main")
+	a, b, c, j, k, i := f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg(), f.Reg()
+	entry := f.Entry()
+	t1 := f.Block("t1")
+	thenB := f.Block("then")
+	elseTest := f.Block("elseTest")
+	inc := f.Block("inc")
+	dec := f.Block("dec")
+	join := f.Block("join")
+
+	entry.Mov(a, 1).Mov(b, 0).Mov(c, 3).Mov(j, 10).Mov(k, 20).Mov(i, 30)
+	entry.Br(ir.EQ, a, 0, thenB)
+	entry.Fall(t1)
+	t1.Br(ir.EQ, b, 0, thenB)
+	t1.Fall(elseTest)
+	thenB.I(ir.Add, j, j, 1)
+	thenB.Jmp(join)
+	elseTest.Br(ir.NE, c, 0, inc)
+	elseTest.Fall(dec)
+	inc.I(ir.Add, k, k, 1)
+	inc.Jmp(join)
+	dec.I(ir.Sub, k, k, 1)
+	dec.Fall(join)
+	out := f.Block("out")
+	join.I(ir.Add, i, i, 1)
+	join.Fall(out)
+	out.Store(0, 8, j).Store(0, 9, k).Store(0, 10, i)
+	out.Halt()
+	prog := p.Program()
+	prog.Normalize()
+
+	// Run formation with a synthetic profile: every block "hot enough".
+	prof := cfg.NewProfile()
+	for _, blk := range prog.Funcs[0].LiveBlocks(nil) {
+		prof.BlockCount[blk] = 1000
+	}
+	for _, blk := range prog.Funcs[0].LiveBlocks(nil) {
+		if tm := blk.Terminator(); tm != nil && tm.Op.IsCondBranch() {
+			prof.Taken[tm] = 500
+			prof.NotTaken[tm] = 500
+		}
+		prof.FallExit[blk] = 500
+	}
+	params := DefaultParams()
+	params.MinCount = 1
+	res := Form(prog, prof, params)
+	if len(res.Heads[0]) != 1 {
+		t.Fatalf("expected one hyperblock, got %v", res.Heads)
+	}
+	head := prog.Funcs[0].Blocks[res.Heads[0][0]]
+
+	var lines []string
+	for _, in := range head.Instrs {
+		lines = append(lines, in.String())
+	}
+	if len(lines) < 8 || lines[0] != "pred_clear" {
+		t.Fatalf("hyperblock must start with pred_clear (OR-type targets):\n%s", strings.Join(lines, "\n"))
+	}
+	got := strings.Join(lines[7:], "\n") // skip pred_clear + six initializing movs
+
+	// Figure 1(c), in this compiler's canonical emission order (deepest
+	// fallthrough path first; the paper lists the then-path first — the
+	// ordering is cosmetic, the predicate structure is identical):
+	//   p5 = (a==0) || (b==0)   via OR-type defines, short-circuit chained
+	//   p4/p3 = (c!=0) and complement, guarded by the else predicate
+	//   k-- (else-else), k++ (else-then), j++ (then), unconditional i++.
+	want := strings.Join([]string{
+		"pred_eq p5_OR, p1_U~, r1, 0",
+		"pred_eq p5_OR, p2_U~, r2, 0 (p1)",
+		"pred_ne p4_U, p3_U~, r3, 0 (p2)",
+		"sub r5, r5, 1 (p3)",
+		"add r5, r5, 1 (p4)",
+		"add r4, r4, 1 (p5)",
+		"add r6, r6, 1",
+		"jump B7",
+	}, "\n")
+	if got != want {
+		t.Errorf("if-conversion output differs from Figure 1(c):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// And it still computes the right values.
+	run, err := emu.Run(prog, emu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// a=1,b=0 -> then path: j=11, k=20, i=31.
+	if run.Word(8) != 11 || run.Word(9) != 20 || run.Word(10) != 31 {
+		t.Errorf("results %d/%d/%d, want 11/20/31", run.Word(8), run.Word(9), run.Word(10))
+	}
+}

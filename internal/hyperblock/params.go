@@ -1,0 +1,89 @@
+// Package hyperblock implements hyperblock formation (Mahlke et al.,
+// "Effective compiler support for predicated execution using the
+// hyperblock", MICRO-25), the compilation structure at the heart of the
+// paper's full-predication results, plus the associated hyperblock
+// optimizations: predicate promotion and branch combining.
+//
+// A hyperblock is a single-entry collection of basic blocks selected from
+// multiple control-flow paths; all internal control flow is eliminated by
+// if-conversion using U/OR-type predicate defines (Table 1 of the paper).
+// Exit branches to unselected blocks remain, possibly predicated.
+package hyperblock
+
+// Params tunes hyperblock formation.
+type Params struct {
+	// MinCount is the minimum execution count for a region entry to be
+	// considered for formation.
+	MinCount int64
+	// IncludeRatio is the minimum ratio of a block's execution weight to
+	// the region entry's weight for a large block to be included; smaller
+	// blocks use the graded Medium/Small thresholds below.  Low values
+	// give aggressive formation (include both sides of most branches).
+	IncludeRatio float64
+	// MediumBlockInstrs/MediumBlockRatio set the inclusion threshold for
+	// mid-sized blocks.
+	MediumBlockInstrs int
+	MediumBlockRatio  float64
+	// MaxInstrs bounds the total instructions selected into one
+	// hyperblock (resource consumption heuristic, §3.1).
+	MaxInstrs int
+	// HeightProb exempts blocks from the height rule when their execution
+	// probability relative to the entry reaches this fraction: a block on
+	// (nearly) every path contributes its latency chain regardless of
+	// predication, so excluding it buys nothing.
+	HeightProb float64
+	// MaxBlockHeight excludes blocks whose internal dependence height (in
+	// cycles, using machine latencies) is comparatively large: predicating
+	// such a block puts its latency chain on every iteration's critical
+	// path even when the block's predicate is false (§3.1: "including a
+	// block which has a comparatively large dependence height ... is
+	// likely to result in performance loss").
+	MaxBlockHeight int
+	// MaxWaste bounds the expected number of nullified instructions per
+	// hyperblock execution: selecting block B adds (1 - weight(B)/entryW) *
+	// len(B) expected wasted fetch/issue slots.  This is §3.1's
+	// over-saturation heuristic — "including too many blocks may over
+	// saturate the processor causing an overall performance loss".
+	MaxWaste float64
+	// SmallBlockInstrs/SmallBlockRatio admit rare but tiny blocks: a block
+	// with at most SmallBlockInstrs instructions is included when its
+	// weight reaches SmallBlockRatio of the entry weight, since it costs
+	// almost no fetch or issue resources (§3.1's resource-consumption
+	// heuristic cuts both ways).
+	SmallBlockInstrs int
+	SmallBlockRatio  float64
+	// MaxDupInstrs bounds tail duplication for removing side entrances.
+	MaxDupInstrs int
+	// CombineBranches enables the branch-combining transformation:
+	// unlikely-taken exit branches are merged into a single predicated
+	// exit (§4.2, the grep discussion).
+	CombineBranches bool
+	// CombineProb is the maximum taken probability of an exit branch
+	// eligible for combining.
+	CombineProb float64
+	// MinCombine is the minimum number of exit branches worth combining.
+	MinCombine int
+}
+
+// DefaultParams returns the aggressive formation parameters used for the
+// 8-issue experiments.  The 4-issue conditional-move anomaly in Figure 10
+// arises precisely because this configuration is not made more
+// conservative for narrower machines (§4.2).
+func DefaultParams() Params {
+	return Params{
+		MinCount:          32,
+		IncludeRatio:      0.35,
+		MediumBlockInstrs: 6,
+		MediumBlockRatio:  0.22,
+		SmallBlockInstrs:  2,
+		SmallBlockRatio:   0.02,
+		MaxInstrs:         160,
+		MaxBlockHeight:    5,
+		HeightProb:        0.7,
+		MaxWaste:          24,
+		MaxDupInstrs:      256,
+		CombineBranches:   true,
+		CombineProb:       0.12,
+		MinCombine:        2,
+	}
+}

@@ -1,0 +1,202 @@
+package hyperblock
+
+import "predication/internal/ir"
+
+// PromoteDefines hoists predicate define instructions out of their guard
+// chains when integer interval reasoning proves the hoist cannot change any
+// destination value.  This is the transformation that lets a chain of
+// if-converted switch/classification tests evaluate in parallel: e.g. after
+// converting
+//
+//	if (c == 'a') ... else if (c == 'e') ... else if (c == 'i') ...
+//
+// the second define is guarded by the first's complement, but since
+// (c=='e') already implies (c!='a'), the guard is redundant and the define
+// can execute unconditionally.  Together with OR-type defines this yields
+// the zero-dependence-height condition evaluation highlighted in §2.1.
+//
+// A define D guarded by g may be hoisted to g's parent guard when, for the
+// situation "parent true but g false" (the only behavioural difference):
+//
+//   - U/OR/AND-complement destinations write or fire only when D's
+//     comparison holds, so D.cmp must imply g's own condition;
+//   - U-complement/OR-complement/AND destinations fire when D's comparison
+//     fails, so the complement of D.cmp must imply g's condition.
+//
+// Implication is decided for same-register comparisons against integer
+// immediates.  It returns the number of hoists performed.
+func PromoteDefines(f *ir.Func) int {
+	hoisted := 0
+	for _, b := range f.LiveBlocks(nil) {
+		for changed := true; changed; {
+			changed = false
+			nodes := defineNodes(b)
+			for idx, in := range b.Instrs {
+				if in.Op != ir.PredDef || in.Guard == ir.PNone {
+					continue
+				}
+				n, ok := nodes[in.Guard]
+				if !ok || n.idx >= idx {
+					continue
+				}
+				ok1, ok2 := hoistableDests(b, n, idx, in)
+				if ok1 && ok2 {
+					in.Guard = n.def.Guard
+					hoisted++
+					changed = true
+					continue
+				}
+				// Exactly one populated destination tolerates the hoist:
+				// split the define so it can still rise out of the chain.
+				splitP1 := ok1 && in.P1.Type != ir.PredNone && in.P2.Type != ir.PredNone
+				splitP2 := ok2 && in.P2.Type != ir.PredNone && in.P1.Type != ir.PredNone
+				if splitP1 || splitP2 {
+					moved := in.Clone()
+					if splitP1 {
+						moved.P2 = ir.PredDest{}
+						in.P1 = ir.PredDest{}
+					} else {
+						moved.P1 = ir.PredDest{}
+						in.P2 = ir.PredDest{}
+					}
+					moved.Guard = n.def.Guard
+					b.InsertAt(idx, moved)
+					hoisted++
+					changed = true
+					break // instruction indices shifted; rescan the block
+				}
+			}
+		}
+	}
+	return hoisted
+}
+
+// defNode describes the unique define of a tree predicate within a block.
+type defNode struct {
+	def    *ir.Instr
+	idx    int
+	negate bool // U-complement side
+}
+
+// defineNodes maps each single-definition U/U~ predicate to its define.
+func defineNodes(b *ir.Block) map[ir.PReg]defNode {
+	writes := map[ir.PReg]int{}
+	var pBuf [2]ir.PReg
+	for _, in := range b.Instrs {
+		for _, p := range in.PredDefs(pBuf[:0]) {
+			writes[p]++
+		}
+	}
+	nodes := map[ir.PReg]defNode{}
+	for i, in := range b.Instrs {
+		if in.Op != ir.PredDef {
+			continue
+		}
+		for _, pd := range []ir.PredDest{in.P1, in.P2} {
+			if (pd.Type == ir.PredU || pd.Type == ir.PredUBar) && writes[pd.P] == 1 {
+				nodes[pd.P] = defNode{def: in, idx: i, negate: pd.Type == ir.PredUBar}
+			}
+		}
+	}
+	return nodes
+}
+
+// hoistableDests checks which destinations of define D (at position dIdx,
+// guarded by the predicate described by n) tolerate the guard hoist.  An
+// absent destination reports true.
+func hoistableDests(b *ir.Block, n defNode, dIdx int, d *ir.Instr) (bool, bool) {
+	e := n.def
+	// Both comparisons must test the same register against immediates, and
+	// the register must be stable between the two defines.
+	if !d.A.IsReg() || !d.B.IsImm || !e.A.IsReg() || !e.B.IsImm || d.A.R != e.A.R {
+		return false, false
+	}
+	if d.Cmp.IsFloat() || e.Cmp.IsFloat() {
+		return false, false
+	}
+	for j := n.idx + 1; j < dIdx; j++ {
+		if b.Instrs[j].DefReg() == d.A.R {
+			return false, false
+		}
+	}
+	condCmp := e.Cmp
+	if n.negate {
+		condCmp = condCmp.Invert()
+	}
+	destOK := func(pd ir.PredDest) bool {
+		var need ir.Cmp
+		switch pd.Type {
+		case ir.PredNone:
+			return true
+		case ir.PredU, ir.PredOR, ir.PredANDBar:
+			need = d.Cmp
+		case ir.PredUBar, ir.PredORBar, ir.PredAND:
+			need = d.Cmp.Invert()
+		default:
+			return false
+		}
+		return impliesCmp(need, d.B.Imm, condCmp, e.B.Imm)
+	}
+	return destOK(d.P1), destOK(d.P2)
+}
+
+// impliesCmp reports whether (x <a> ka) implies (x <b> kb) over the
+// integers, for comparison kinds a, b against immediates ka, kb.
+func impliesCmp(a ir.Cmp, ka int64, b ir.Cmp, kb int64) bool {
+	switch b {
+	case ir.EQ:
+		return a == ir.EQ && ka == kb
+	case ir.NE:
+		switch a {
+		case ir.EQ:
+			return ka != kb
+		case ir.NE:
+			return ka == kb
+		case ir.LT:
+			return ka <= kb
+		case ir.LE:
+			return ka < kb
+		case ir.GT:
+			return ka >= kb
+		case ir.GE:
+			return ka > kb
+		}
+	case ir.LT:
+		switch a {
+		case ir.EQ:
+			return ka < kb
+		case ir.LT:
+			return ka <= kb
+		case ir.LE:
+			return ka < kb
+		}
+	case ir.LE:
+		switch a {
+		case ir.EQ:
+			return ka <= kb
+		case ir.LT:
+			return ka <= kb+1
+		case ir.LE:
+			return ka <= kb
+		}
+	case ir.GT:
+		switch a {
+		case ir.EQ:
+			return ka > kb
+		case ir.GT:
+			return ka >= kb
+		case ir.GE:
+			return ka >= kb+1
+		}
+	case ir.GE:
+		switch a {
+		case ir.EQ:
+			return ka >= kb
+		case ir.GE:
+			return ka >= kb
+		case ir.GT:
+			return ka >= kb-1
+		}
+	}
+	return false
+}

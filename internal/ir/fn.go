@@ -1,0 +1,190 @@
+package ir
+
+import "fmt"
+
+// Func is a single function: a control-flow graph of blocks plus register
+// counters.  Blocks is indexed by block ID and append-only; removed blocks
+// are marked Dead rather than deleted so that IDs stay stable across passes.
+// Blocks[Entry] is the function entry.
+type Func struct {
+	Name   string
+	Blocks []*Block
+	Entry  int
+
+	// NextReg and NextPReg are the next unallocated virtual register
+	// numbers (registers are numbered from 1; see NewReg/NewPReg).
+	NextReg  Reg
+	NextPReg PReg
+}
+
+// NewFunc creates an empty function with a fresh entry block.
+func NewFunc(name string) *Func {
+	f := &Func{Name: name, NextReg: 1, NextPReg: 1}
+	f.Entry = f.NewBlock().ID
+	return f
+}
+
+// NewBlock appends a fresh, live block and returns it.
+func (f *Func) NewBlock() *Block {
+	b := &Block{ID: len(f.Blocks), Fall: -1}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// NewReg allocates a fresh virtual integer/FP register.
+func (f *Func) NewReg() Reg {
+	r := f.NextReg
+	f.NextReg++
+	return r
+}
+
+// NewPReg allocates a fresh predicate register.
+func (f *Func) NewPReg() PReg {
+	p := f.NextPReg
+	f.NextPReg++
+	return p
+}
+
+// EntryBlock returns the function's entry block.
+func (f *Func) EntryBlock() *Block { return f.Blocks[f.Entry] }
+
+// LiveBlocks appends all non-dead blocks in ID order to dst and returns it.
+func (f *Func) LiveBlocks(dst []*Block) []*Block {
+	for _, b := range f.Blocks {
+		if b != nil && !b.Dead {
+			dst = append(dst, b)
+		}
+	}
+	return dst
+}
+
+// NumInstrs counts instructions across live blocks.
+func (f *Func) NumInstrs() int {
+	n := 0
+	for _, b := range f.LiveBlocks(nil) {
+		n += len(b.Instrs)
+	}
+	return n
+}
+
+// Clone deep-copies the function.
+func (f *Func) Clone() *Func {
+	nf := &Func{Name: f.Name, Entry: f.Entry, NextReg: f.NextReg, NextPReg: f.NextPReg}
+	nf.Blocks = make([]*Block, len(f.Blocks))
+	for i, b := range f.Blocks {
+		if b == nil {
+			continue
+		}
+		nb := &Block{ID: b.ID, Fall: b.Fall, Dead: b.Dead, Name: b.Name}
+		nb.Instrs = make([]*Instr, len(b.Instrs))
+		for j, in := range b.Instrs {
+			nb.Instrs[j] = in.Clone()
+		}
+		nf.Blocks[i] = nb
+	}
+	return nf
+}
+
+// Program is a complete translation unit: functions plus the initial data
+// image.  Funcs[Entry] is the program entry point.  Memory is word addressed
+// (8-byte words); Data holds the initial contents starting at word 0, and
+// MemWords is the total memory size in words available to the program.
+//
+// Word 0 is reserved as the $safe_addr scratch location used by the partial
+// predication store conversion (§3.2): stores whose predicate is false are
+// redirected there.
+type Program struct {
+	Funcs    []*Func
+	Entry    int
+	Data     []int64
+	MemWords int
+}
+
+// NewProgram creates an empty program with the given memory size in words.
+func NewProgram(memWords int) *Program {
+	return &Program{MemWords: memWords}
+}
+
+// AddFunc appends a function and returns its index.
+func (p *Program) AddFunc(f *Func) int {
+	p.Funcs = append(p.Funcs, f)
+	return len(p.Funcs) - 1
+}
+
+// EntryFunc returns the program entry function.
+func (p *Program) EntryFunc() *Func { return p.Funcs[p.Entry] }
+
+// Clone deep-copies the program (the data image is shared: passes never
+// modify initial data).
+func (p *Program) Clone() *Program {
+	np := &Program{Entry: p.Entry, Data: p.Data, MemWords: p.MemWords}
+	np.Funcs = make([]*Func, len(p.Funcs))
+	for i, f := range p.Funcs {
+		np.Funcs[i] = f.Clone()
+	}
+	return np
+}
+
+// NumInstrs counts static instructions across all functions.
+func (p *Program) NumInstrs() int {
+	n := 0
+	for _, f := range p.Funcs {
+		n += f.NumInstrs()
+	}
+	return n
+}
+
+// InstrBytes is the encoded size of one instruction, used for code
+// addresses (instruction cache, branch target buffer).
+const InstrBytes = 4
+
+// AssignAddresses lays out all live blocks of all functions in ID order and
+// assigns each instruction a unique code byte address.  It returns the total
+// code size in bytes.  Layout order follows function order then block ID
+// order, which matches the emitted fallthrough chains produced by the
+// compilation passes.
+func (p *Program) AssignAddresses() int32 {
+	var addr int32
+	for _, f := range p.Funcs {
+		for _, b := range f.LiveBlocks(nil) {
+			for _, in := range b.Instrs {
+				in.Addr = addr
+				addr += InstrBytes
+			}
+		}
+	}
+	return addr
+}
+
+// SafeAddr is the reserved $safe_addr word used by partial predication to
+// absorb suppressed stores (and as a known-legal load address).
+const SafeAddr int64 = 0
+
+// Fprint formats the whole program.
+func (p *Program) String() string {
+	s := ""
+	for i, f := range p.Funcs {
+		s += fmt.Sprintf("func F%d %s:\n", i, f.Name)
+		s += f.String()
+	}
+	return s
+}
+
+// String formats the function's live blocks.
+func (f *Func) String() string {
+	s := ""
+	for _, b := range f.LiveBlocks(nil) {
+		label := ""
+		if b.Name != "" {
+			label = " ; " + b.Name
+		}
+		s += fmt.Sprintf("B%d:%s\n", b.ID, label)
+		for _, in := range b.Instrs {
+			s += "\t" + in.String() + "\n"
+		}
+		if !b.EndsUnconditionally() && b.Fall >= 0 {
+			s += fmt.Sprintf("\t; fall B%d\n", b.Fall)
+		}
+	}
+	return s
+}

@@ -1,0 +1,55 @@
+package ir
+
+// Normalize splits every block containing internal control transfers into a
+// chain of proper basic blocks (branches only in terminal position), which
+// the formation passes require.  JSR does not end a basic block: control
+// returns to the following instruction.  Instructions after an
+// unconditional mid-block Jump/Ret/Halt are unreachable and dropped.
+//
+// The builder DSL permits writing multi-exit blocks for convenience;
+// pipelines call Normalize before profiling so that profiles and
+// transformations see canonical basic blocks.
+func (p *Program) Normalize() {
+	for _, f := range p.Funcs {
+		f.Normalize()
+	}
+}
+
+// Normalize canonicalizes one function; see Program.Normalize.
+func (f *Func) Normalize() {
+	work := f.LiveBlocks(nil)
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		split := -1
+		for i, in := range b.Instrs {
+			if i == len(b.Instrs)-1 {
+				break
+			}
+			if in.Op.IsBranch() && in.Op != JSR {
+				split = i
+				break
+			}
+		}
+		if split < 0 {
+			continue
+		}
+		term := b.Instrs[split]
+		rest := b.Instrs[split+1:]
+		b.Instrs = b.Instrs[:split+1]
+		switch term.Op {
+		case Jump, Ret, Halt:
+			if term.Guard == PNone {
+				// Unreachable tail: drop it.
+				b.Fall = -1
+				continue
+			}
+		}
+		nb := f.NewBlock()
+		nb.Name = b.Name + ".s"
+		nb.Instrs = append(nb.Instrs, rest...)
+		nb.Fall = b.Fall
+		b.Fall = nb.ID
+		work = append(work, nb)
+	}
+}

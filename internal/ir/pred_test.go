@@ -1,0 +1,143 @@
+package ir
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestPredicateTruthTable checks Table 1 of the paper exactly.  Rows are
+// (Pin, comparison) pairs; entries are the value written to the destination
+// for each predicate type, with "-" meaning left unchanged.
+func TestPredicateTruthTable(t *testing.T) {
+	type entry struct {
+		value   int // 0 or 1
+		written bool
+	}
+	unchanged := entry{0, false}
+	w0, w1 := entry{0, true}, entry{1, true}
+	// Table 1 rows: Pin=0/C=0, Pin=0/C=1, Pin=1/C=0, Pin=1/C=1.
+	table := map[PredType][4]entry{
+		PredU:      {w0, w0, w0, w1},
+		PredUBar:   {w0, w0, w1, w0},
+		PredOR:     {unchanged, unchanged, unchanged, w1},
+		PredORBar:  {unchanged, unchanged, w1, unchanged},
+		PredAND:    {unchanged, unchanged, w0, unchanged},
+		PredANDBar: {unchanged, unchanged, unchanged, w0},
+	}
+	for pt, rows := range table {
+		for row, want := range rows {
+			pin, cmp := row >= 2, row%2 == 1
+			v, written := pt.Eval(pin, cmp)
+			if written != want.written {
+				t.Errorf("%v Pin=%v C=%v: written=%v, want %v", pt, pin, cmp, written, want.written)
+			}
+			if written && v != (want.value == 1) {
+				t.Errorf("%v Pin=%v C=%v: value=%v, want %d", pt, pin, cmp, v, want.value)
+			}
+		}
+	}
+}
+
+// TestPredTypeComplement verifies that complementing the type is the same
+// as complementing the comparison result.
+func TestPredTypeComplement(t *testing.T) {
+	types := []PredType{PredU, PredUBar, PredOR, PredORBar, PredAND, PredANDBar}
+	for _, pt := range types {
+		c := pt.Complement()
+		if c.Complement() != pt {
+			t.Errorf("%v: complement not an involution", pt)
+		}
+		for _, pin := range []bool{false, true} {
+			for _, cmp := range []bool{false, true} {
+				v1, w1 := pt.Eval(pin, cmp)
+				v2, w2 := c.Eval(pin, !cmp)
+				if v1 != v2 || w1 != w2 {
+					t.Errorf("%v(%v,%v) != %v(%v,%v)", pt, pin, cmp, c, pin, !cmp)
+				}
+			}
+		}
+	}
+}
+
+func TestPredTypeInitialization(t *testing.T) {
+	if !PredOR.NeedsClear() || !PredORBar.NeedsClear() {
+		t.Error("OR types must require clearing")
+	}
+	if !PredAND.NeedsSet() || !PredANDBar.NeedsSet() {
+		t.Error("AND types must require setting")
+	}
+	for _, pt := range []PredType{PredU, PredUBar} {
+		if pt.NeedsClear() || pt.NeedsSet() {
+			t.Errorf("%v must not require initialization", pt)
+		}
+	}
+}
+
+// TestORTypeMonotonic: OR-type defines only ever set bits, so any execution
+// order of OR defines over a cleared register yields the same result —
+// the wired-OR property (§2.1).
+func TestORTypeMonotonic(t *testing.T) {
+	f := func(pins, cmps [8]bool, order [8]uint8) bool {
+		apply := func(perm []int) bool {
+			v := false // cleared
+			for _, i := range perm {
+				if nv, w := PredOR.Eval(pins[i], cmps[i]); w {
+					v = nv
+				}
+			}
+			return v
+		}
+		base := []int{0, 1, 2, 3, 4, 5, 6, 7}
+		// Build a permutation from the random order bytes.
+		perm := append([]int(nil), base...)
+		for i := 7; i > 0; i-- {
+			j := int(order[i]) % (i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		return apply(base) == apply(perm)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvalCmpInvert: a comparison and its inversion always disagree.
+func TestEvalCmpInvert(t *testing.T) {
+	cmps := []Cmp{EQ, NE, LT, LE, GT, GE}
+	f := func(a, b int64, i uint8) bool {
+		c := cmps[int(i)%len(cmps)]
+		return EvalCmp(c, a, b) != EvalCmp(c.Invert(), a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	// Float comparisons: disagreement holds except for NaN, which our
+	// integer-valued programs never produce; check on ordered values.
+	fcmps := []Cmp{EQF, NEF, LTF, LEF, GTF, GEF}
+	g := func(a, b int32, i uint8) bool {
+		c := fcmps[int(i)%len(fcmps)]
+		x, y := F2I(float64(a)), F2I(float64(b))
+		return EvalCmp(c, x, y) != EvalCmp(c.Invert(), x, y)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmpRoundTrips(t *testing.T) {
+	for c := EQ; c < numCmps; c++ {
+		if got, ok := CompareCmp(c.CompareOp()); !ok || got != c {
+			t.Errorf("CompareCmp(CompareOp(%v)) = %v, %v", c, got, ok)
+		}
+		if op, ok := c.BranchOp(); ok {
+			if got, ok2 := BranchCmp(op); !ok2 || got != c {
+				t.Errorf("BranchCmp(BranchOp(%v)) = %v, %v", c, got, ok2)
+			}
+		} else if !c.IsFloat() {
+			t.Errorf("integer comparison %v has no branch opcode", c)
+		}
+		if c.Invert().Invert() != c {
+			t.Errorf("Invert not an involution for %v", c)
+		}
+	}
+}

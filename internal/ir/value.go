@@ -1,0 +1,13 @@
+package ir
+
+import "math"
+
+// f64bits converts a float64 to its bit pattern for storage in an int64
+// register or memory word.
+func f64bits(f float64) uint64 { return math.Float64bits(f) }
+
+// F2I converts a float64 to the int64 register representation.
+func F2I(f float64) int64 { return int64(math.Float64bits(f)) }
+
+// I2F converts the int64 register representation back to a float64.
+func I2F(v int64) float64 { return math.Float64frombits(uint64(v)) }

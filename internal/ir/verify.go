@@ -1,0 +1,106 @@
+package ir
+
+import "fmt"
+
+// Verify performs structural verification of the program, returning a
+// descriptive error for the first inconsistency found.  Every compilation
+// pass is expected to preserve Verify; the test suite checks this after each
+// stage of every pipeline.
+func (p *Program) Verify() error {
+	if p.Entry < 0 || p.Entry >= len(p.Funcs) {
+		return fmt.Errorf("program entry %d out of range", p.Entry)
+	}
+	for fi, f := range p.Funcs {
+		if err := f.verify(p, fi); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *Func) verify(p *Program, fi int) error {
+	fail := func(b *Block, i int, format string, args ...any) error {
+		loc := fmt.Sprintf("F%d(%s) B%d", fi, f.Name, b.ID)
+		if i >= 0 {
+			loc += fmt.Sprintf(" instr %d (%s)", i, b.Instrs[i])
+		}
+		return fmt.Errorf("%s: %s", loc, fmt.Sprintf(format, args...))
+	}
+	if f.Entry < 0 || f.Entry >= len(f.Blocks) || f.Blocks[f.Entry] == nil || f.Blocks[f.Entry].Dead {
+		return fmt.Errorf("F%d(%s): entry block %d missing or dead", fi, f.Name, f.Entry)
+	}
+	liveTarget := func(id int) bool {
+		return id >= 0 && id < len(f.Blocks) && f.Blocks[id] != nil && !f.Blocks[id].Dead
+	}
+	for _, b := range f.Blocks {
+		if b == nil || b.Dead {
+			continue
+		}
+		for i, in := range b.Instrs {
+			if in == nil {
+				return fail(b, -1, "nil instruction at %d", i)
+			}
+			switch {
+			case in.Op == Jump || in.Op.IsCondBranch():
+				if !liveTarget(in.Target) {
+					return fail(b, i, "branch to missing/dead block B%d", in.Target)
+				}
+			case in.Op == JSR:
+				if in.Target < 0 || in.Target >= len(p.Funcs) {
+					return fail(b, i, "call to missing function F%d", in.Target)
+				}
+			case in.Op == GuardApply:
+				if in.Guard == PNone {
+					return fail(b, i, "guard instruction without a predicate")
+				}
+				if !in.A.IsImm || in.A.Imm < 1 {
+					return fail(b, i, "guard instruction needs a positive count")
+				}
+			case in.Op == PredDef:
+				if in.P1.Type == PredNone && in.P2.Type == PredNone {
+					return fail(b, i, "predicate define with no destinations")
+				}
+				if in.P1.Type != PredNone && in.P1.P == PNone {
+					return fail(b, i, "predicate define writes p_none")
+				}
+				if in.P2.Type != PredNone && in.P2.P == PNone {
+					return fail(b, i, "predicate define writes p_none")
+				}
+				if in.Cmp >= numCmps {
+					return fail(b, i, "invalid comparison kind %d", in.Cmp)
+				}
+			}
+			if in.Op.HasDst() && in.Dst == RNone {
+				return fail(b, i, "%s requires a destination register", in.Op)
+			}
+			if !in.Op.HasDst() && in.Dst != RNone {
+				return fail(b, i, "%s must not write a register", in.Op)
+			}
+			if in.Dst != RNone && in.Dst >= f.NextReg {
+				return fail(b, i, "destination %s beyond allocated registers", in.Dst)
+			}
+			for _, o := range []Operand{in.A, in.B, in.C} {
+				if o.IsReg() && o.R >= f.NextReg {
+					return fail(b, i, "source %s beyond allocated registers", o.R)
+				}
+			}
+			if in.Guard != PNone && in.Guard >= f.NextPReg {
+				return fail(b, i, "guard %s beyond allocated predicate registers", in.Guard)
+			}
+			for _, pd := range []PredDest{in.P1, in.P2} {
+				if pd.Type != PredNone && pd.P >= f.NextPReg {
+					return fail(b, i, "predicate destination %s beyond allocated predicate registers", pd.P)
+				}
+			}
+			if in.Silent && !in.Op.CanExcept() {
+				return fail(b, i, "silent flag on non-excepting opcode %s", in.Op)
+			}
+		}
+		if !b.EndsUnconditionally() {
+			if !liveTarget(b.Fall) {
+				return fail(b, -1, "fallthrough to missing/dead block B%d", b.Fall)
+			}
+		}
+	}
+	return nil
+}

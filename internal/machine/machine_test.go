@@ -1,0 +1,59 @@
+package machine
+
+import (
+	"testing"
+
+	"predication/internal/ir"
+)
+
+func TestPaperConfigs(t *testing.T) {
+	cases := []struct {
+		cfg     Config
+		issue   int
+		branch  int
+		perfect bool
+	}{
+		{Issue8Br1(), 8, 1, true},
+		{Issue8Br2(), 8, 2, true},
+		{Issue4Br1(), 4, 1, true},
+		{Issue8Br1Cache(), 8, 1, false},
+		{Issue1(), 1, 1, true},
+		{Issue1Cache(), 1, 1, false},
+	}
+	for _, c := range cases {
+		if c.cfg.IssueWidth != c.issue || c.cfg.BranchSlots != c.branch || c.cfg.PerfectCache != c.perfect {
+			t.Errorf("%s: %+v", c.cfg.Name, c.cfg)
+		}
+		// Paper parameters (§4.1).
+		if c.cfg.BTBEntries != 1024 || c.cfg.MispredictPenalty != 2 {
+			t.Errorf("%s: BTB/penalty wrong", c.cfg.Name)
+		}
+		if !c.perfect {
+			if c.cfg.ICache.SizeBytes != 64<<10 || c.cfg.ICache.BlockSize != 64 ||
+				c.cfg.DCache.MissCycles != 12 {
+				t.Errorf("%s: cache parameters wrong", c.cfg.Name)
+			}
+			if c.cfg.ICache.Lines() != 1024 {
+				t.Errorf("%s: lines %d", c.cfg.Name, c.cfg.ICache.Lines())
+			}
+		}
+	}
+}
+
+func TestLatencies(t *testing.T) {
+	if Latency(ir.Add) != 1 || Latency(ir.Mov) != 1 {
+		t.Error("single-cycle ALU")
+	}
+	if Latency(ir.Load) != 2 {
+		t.Error("load hit latency is 2 (PA7100)")
+	}
+	if Latency(ir.Mul) != 2 || Latency(ir.AddF) != 2 {
+		t.Error("multiply/FP-add latency is 2")
+	}
+	if Latency(ir.Div) < 8 || Latency(ir.DivF) < 8 {
+		t.Error("divide is a long-latency operation")
+	}
+	if Latency(ir.PredDef) != 1 || Latency(ir.CMov) != 1 {
+		t.Error("predicate ops are single cycle")
+	}
+}

@@ -1,0 +1,377 @@
+// Package partial lowers fully predicated IR to partially predicated code
+// whose only conditional instructions are conditional moves (and optionally
+// selects), implementing §3.2 of the paper.
+//
+// The code generation procedure has three steps: predicate promotion
+// (internal/hyperblock.Promote, shared with the full-predication
+// optimizer), the basic conversions of each remaining predicated
+// instruction (this file, Figures 3 and 4), and peephole optimization
+// (peephole.go, ortree.go).
+//
+// After conversion, predicate registers live in general registers holding
+// 0/1 values, every formerly predicated computation executes speculatively
+// into a temporary, and conditional moves commit results to architectural
+// state.
+package partial
+
+import (
+	"fmt"
+
+	"predication/internal/ir"
+)
+
+// Options configures the conversion.
+type Options struct {
+	// NonExcepting selects the Figure 3 conversions, which assume the
+	// architecture provides silent (non-excepting) versions of all
+	// instructions.  When false the Figure 4 excepting conversions are
+	// used: safe values are conditionally substituted into the sources of
+	// potentially excepting instructions.
+	NonExcepting bool
+	// UseSelect permits select instructions, which shorten the excepting
+	// conversions by one instruction (mov + cmov_com becomes one select).
+	UseSelect bool
+}
+
+// DefaultOptions matches the paper's Conditional Move model: the baseline
+// architecture has silent versions of all instructions, so the more
+// efficient non-excepting conversions apply (§4.1).
+func DefaultOptions() Options { return Options{NonExcepting: true} }
+
+// Convert rewrites every function of the program, eliminating all
+// full-predication constructs (guards, predicate defines, pred_clear,
+// pred_set).  The result uses only conditional moves/selects plus ordinary
+// instructions.
+func Convert(p *ir.Program, opts Options) {
+	for _, f := range p.Funcs {
+		convertFunc(f, opts)
+	}
+}
+
+// conv carries per-function conversion state.
+type conv struct {
+	f    *ir.Func
+	opts Options
+	// pregMap maps each predicate register to the general register that
+	// holds its value in the converted code.
+	pregMap map[ir.PReg]ir.Reg
+	// orPreds / andPreds are predicates used as OR-type (resp. AND-type)
+	// define targets, in first-seen order: pred_clear (pred_set) must
+	// initialize them.
+	orPreds, andPreds []ir.PReg
+	orSeen, andSeen   map[ir.PReg]bool
+	out               []*ir.Instr
+}
+
+func convertFunc(f *ir.Func, opts Options) {
+	c := &conv{f: f, opts: opts,
+		pregMap: map[ir.PReg]ir.Reg{}, orSeen: map[ir.PReg]bool{}, andSeen: map[ir.PReg]bool{}}
+	// Pre-scan: find OR/AND accumulation targets so pred_clear/pred_set
+	// can initialize exactly those.
+	for _, b := range f.LiveBlocks(nil) {
+		for _, in := range b.Instrs {
+			if in.Op != ir.PredDef {
+				continue
+			}
+			for _, pd := range []ir.PredDest{in.P1, in.P2} {
+				if pd.Type.NeedsClear() && !c.orSeen[pd.P] {
+					c.orSeen[pd.P] = true
+					c.orPreds = append(c.orPreds, pd.P)
+				}
+				if pd.Type.NeedsSet() && !c.andSeen[pd.P] {
+					c.andSeen[pd.P] = true
+					c.andPreds = append(c.andPreds, pd.P)
+				}
+			}
+		}
+	}
+	for _, b := range f.LiveBlocks(nil) {
+		c.out = c.out[:0]
+		for _, in := range b.Instrs {
+			c.convertInstr(in)
+		}
+		b.Instrs = append([]*ir.Instr(nil), c.out...)
+	}
+}
+
+// preg returns the general register holding predicate p.
+func (c *conv) preg(p ir.PReg) ir.Reg {
+	r, ok := c.pregMap[p]
+	if !ok {
+		r = c.f.NewReg()
+		c.pregMap[p] = r
+	}
+	return r
+}
+
+func (c *conv) emit(in *ir.Instr) { c.out = append(c.out, in) }
+
+func (c *conv) emitOp(op ir.Op, dst ir.Reg, a, b ir.Operand) ir.Reg {
+	c.emit(&ir.Instr{Op: op, Dst: dst, A: a, B: b})
+	return dst
+}
+
+// convertInstr lowers one instruction, appending the replacement sequence.
+func (c *conv) convertInstr(in *ir.Instr) {
+	switch in.Op {
+	case ir.PredDef:
+		c.convertPredDef(in)
+		return
+	case ir.PredClear:
+		for _, p := range c.orPreds {
+			c.emit(&ir.Instr{Op: ir.Mov, Dst: c.preg(p), A: ir.Imm(0)})
+		}
+		return
+	case ir.PredSet:
+		for _, p := range c.andPreds {
+			c.emit(&ir.Instr{Op: ir.Mov, Dst: c.preg(p), A: ir.Imm(1)})
+		}
+		return
+	}
+	if in.Guard == ir.PNone {
+		c.emit(in)
+		return
+	}
+	rp := c.preg(in.Guard)
+	in.Guard = ir.PNone
+	switch {
+	case in.Op == ir.Jump:
+		// jump L (p)  ->  bne rp, 0, L
+		c.emit(&ir.Instr{Op: ir.BrNE, A: ir.R(rp), B: ir.Imm(0), Target: in.Target})
+	case in.Op.IsCondBranch():
+		// blt a, b, L (p)  ->  ge t, a, b ; blt t, rp, L
+		// (taken iff t == 0 and rp == 1, i.e. cond && p; Figure 3.)
+		cmp, _ := ir.BranchCmp(in.Op)
+		t := c.f.NewReg()
+		c.emitOp(cmp.Invert().CompareOp(), t, in.A, in.B)
+		c.emit(&ir.Instr{Op: ir.BrLT, A: ir.R(t), B: ir.R(rp), Target: in.Target})
+	case in.Op == ir.Store:
+		// store addr, off, val (p) ->
+		//   add temp_addr, addr, off ; cmov_com temp_addr, $safe_addr, rp ;
+		//   store temp_addr, 0, val
+		ta := c.f.NewReg()
+		c.emitOp(ir.Add, ta, in.A, in.B)
+		c.emit(&ir.Instr{Op: ir.CMovCom, Dst: ta, A: ir.Imm(ir.SafeAddr), C: ir.R(rp)})
+		c.emit(&ir.Instr{Op: ir.Store, A: ir.R(ta), B: ir.Imm(0), C: in.C})
+	case in.Op == ir.CMov, in.Op == ir.CMovCom:
+		// Guarded conditional move: fold the guard into the condition.
+		t := c.f.NewReg()
+		cmpOp := ir.CmpNE
+		if in.Op == ir.CMovCom {
+			cmpOp = ir.CmpEQ
+		}
+		c.emitOp(cmpOp, t, in.C, ir.Imm(0))
+		c.emitOp(ir.And, t, ir.R(t), ir.R(rp))
+		c.emit(&ir.Instr{Op: ir.CMov, Dst: in.Dst, A: in.A, C: ir.R(t)})
+	case in.Op == ir.Select:
+		// Guarded select writes its destination unconditionally under the
+		// guard; lower to a speculative select plus a commit cmov.
+		t := c.f.NewReg()
+		c.emit(&ir.Instr{Op: ir.Select, Dst: t, A: in.A, B: in.B, C: in.C})
+		c.emit(&ir.Instr{Op: ir.CMov, Dst: in.Dst, A: ir.R(t), C: ir.R(rp)})
+	case in.DefReg() != ir.RNone:
+		c.convertCompute(in, rp)
+	case in.Op == ir.JSR, in.Op == ir.Ret, in.Op == ir.Halt:
+		panic(fmt.Sprintf("partial: guarded %s not supported (hyperblock formation excludes calls)", in.Op))
+	default:
+		panic("partial: cannot convert " + in.String())
+	}
+}
+
+// convertCompute lowers a guarded arithmetic/logic/memory computation:
+// rename the destination, execute speculatively, and commit with a
+// conditional move (Figure 3); in excepting mode, substitute safe source
+// values first (Figure 4).
+func (c *conv) convertCompute(in *ir.Instr, rp ir.Reg) {
+	t := c.f.NewReg()
+	dst := in.Dst
+	in.Dst = t
+	if in.Op.CanExcept() {
+		if c.opts.NonExcepting {
+			in.Silent = true
+		} else {
+			c.guardSources(in, rp)
+		}
+	}
+	c.emit(in)
+	c.emit(&ir.Instr{Op: ir.CMov, Dst: dst, A: ir.R(t), C: ir.R(rp)})
+}
+
+// guardSources applies the Figure 4 excepting conversions: a value known
+// not to fault is conditionally moved into the offending source when the
+// predicate is false.
+func (c *conv) guardSources(in *ir.Instr, rp ir.Reg) {
+	switch in.Op {
+	case ir.Load:
+		// Compute the address separately and redirect it to $safe_addr.
+		ta := c.f.NewReg()
+		c.emitOp(ir.Add, ta, in.A, in.B)
+		ta = c.safeSubstitute(ta, ir.R(ta), ir.Imm(ir.SafeAddr), rp)
+		in.A, in.B = ir.R(ta), ir.Imm(0)
+	case ir.Div, ir.Rem:
+		ts := c.safeSubstituteFresh(in.B, ir.Imm(1), rp)
+		in.B = ir.R(ts)
+	case ir.DivF:
+		ts := c.safeSubstituteFresh(in.B, ir.FImm(1), rp)
+		in.B = ir.R(ts)
+	}
+}
+
+// safeSubstituteFresh materializes src into a fresh register, substituting
+// the safe value when the predicate is false.
+func (c *conv) safeSubstituteFresh(src ir.Operand, safe ir.Operand, rp ir.Reg) ir.Reg {
+	if c.opts.UseSelect {
+		t := c.f.NewReg()
+		c.emit(&ir.Instr{Op: ir.Select, Dst: t, A: src, B: safe, C: ir.R(rp)})
+		return t
+	}
+	t := c.f.NewReg()
+	c.emit(&ir.Instr{Op: ir.Mov, Dst: t, A: src})
+	c.emit(&ir.Instr{Op: ir.CMovCom, Dst: t, A: safe, C: ir.R(rp)})
+	return t
+}
+
+// safeSubstitute overwrites reg in place (or via select into a fresh
+// register) with the safe value when the predicate is false.
+func (c *conv) safeSubstitute(t ir.Reg, src, safe ir.Operand, rp ir.Reg) ir.Reg {
+	if c.opts.UseSelect {
+		t2 := c.f.NewReg()
+		c.emit(&ir.Instr{Op: ir.Select, Dst: t2, A: src, B: safe, C: ir.R(rp)})
+		return t2
+	}
+	c.emit(&ir.Instr{Op: ir.CMovCom, Dst: t, A: safe, C: ir.R(rp)})
+	return t
+}
+
+// convertPredDef lowers a predicate define (Figure 3, top).  For each
+// destination, one comparison feeds a deposit into the predicate's general
+// register; complementary destinations reuse the single comparison through
+// complemented logic ops (the comparison-inversion peephole applied
+// inline).
+func (c *conv) convertPredDef(in *ir.Instr) {
+	var rPin ir.Reg
+	guarded := in.Guard != ir.PNone
+	if guarded {
+		rPin = c.preg(in.Guard)
+	}
+	// Constant comparisons (e.g. the always-true defines emitted for
+	// unconditional edges into join blocks) need no compare instruction.
+	if in.A.IsImm && in.B.IsImm {
+		c.convertConstPredDef(in, rPin, guarded)
+		return
+	}
+	// One comparison computes the define's condition; complement
+	// destinations derive the inverse without a second compare where the
+	// consuming logic op allows it (and -> and_not).
+	tc := c.f.NewReg()
+	c.emitOp(in.Cmp.CompareOp(), tc, in.A, in.B)
+	var tInv ir.Reg // lazily created inverse (0/1) of tc
+
+	inverse := func() ir.Reg {
+		if tInv == ir.RNone {
+			tInv = c.f.NewReg()
+			c.emitOp(ir.Xor, tInv, ir.R(tc), ir.Imm(1))
+		}
+		return tInv
+	}
+
+	for _, pd := range []ir.PredDest{in.P1, in.P2} {
+		if pd.Type == ir.PredNone {
+			continue
+		}
+		rp := c.preg(pd.P)
+		switch pd.Type {
+		case ir.PredU:
+			if guarded {
+				c.emitOp(ir.And, rp, ir.R(rPin), ir.R(tc))
+			} else {
+				c.emitOp(ir.Mov, rp, ir.R(tc), ir.Operand{})
+			}
+		case ir.PredUBar:
+			if guarded {
+				// Pin & ~cmp: and_not works on 0/1 values.
+				c.emitOp(ir.AndNot, rp, ir.R(rPin), ir.R(tc))
+			} else {
+				c.emitOp(ir.Mov, rp, ir.R(inverse()), ir.Operand{})
+			}
+		case ir.PredOR:
+			t := tc
+			if guarded {
+				t = c.f.NewReg()
+				c.emitOp(ir.And, t, ir.R(rPin), ir.R(tc))
+			}
+			c.emitOp(ir.Or, rp, ir.R(rp), ir.R(t))
+		case ir.PredORBar:
+			var t ir.Reg
+			if guarded {
+				t = c.f.NewReg()
+				c.emitOp(ir.AndNot, t, ir.R(rPin), ir.R(tc))
+			} else {
+				t = inverse()
+			}
+			c.emitOp(ir.Or, rp, ir.R(rp), ir.R(t))
+		case ir.PredAND:
+			// Clear rp when Pin && !cmp: rp &= ~(Pin & ~cmp).
+			var t ir.Reg
+			if guarded {
+				t = c.f.NewReg()
+				c.emitOp(ir.AndNot, t, ir.R(rPin), ir.R(tc))
+			} else {
+				t = inverse()
+			}
+			c.emitOp(ir.AndNot, rp, ir.R(rp), ir.R(t))
+		case ir.PredANDBar:
+			t := tc
+			if guarded {
+				t = c.f.NewReg()
+				c.emitOp(ir.And, t, ir.R(rPin), ir.R(tc))
+			}
+			c.emitOp(ir.AndNot, rp, ir.R(rp), ir.R(t))
+		}
+	}
+}
+
+// convertConstPredDef handles predicate defines whose comparison folds to a
+// constant: each destination reduces to a move or a single logic
+// instruction on the input predicate.
+func (c *conv) convertConstPredDef(in *ir.Instr, rPin ir.Reg, guarded bool) {
+	cond := ir.EvalCmp(in.Cmp, in.A.Imm, in.B.Imm)
+	pinOp := func() ir.Operand {
+		if guarded {
+			return ir.R(rPin)
+		}
+		return ir.Imm(1)
+	}
+	for _, pd := range []ir.PredDest{in.P1, in.P2} {
+		if pd.Type == ir.PredNone {
+			continue
+		}
+		rp := c.preg(pd.P)
+		// Normalize the complement types by flipping the condition.
+		t, cc := pd.Type, cond
+		switch t {
+		case ir.PredUBar:
+			t, cc = ir.PredU, !cond
+		case ir.PredORBar:
+			t, cc = ir.PredOR, !cond
+		case ir.PredANDBar:
+			t, cc = ir.PredAND, !cond
+		}
+		switch t {
+		case ir.PredU:
+			if cc {
+				c.emit(&ir.Instr{Op: ir.Mov, Dst: rp, A: pinOp()})
+			} else {
+				c.emit(&ir.Instr{Op: ir.Mov, Dst: rp, A: ir.Imm(0)})
+			}
+		case ir.PredOR:
+			if cc {
+				c.emit(&ir.Instr{Op: ir.Or, Dst: rp, A: ir.R(rp), B: pinOp()})
+			}
+		case ir.PredAND:
+			if !cc {
+				c.emit(&ir.Instr{Op: ir.AndNot, Dst: rp, A: ir.R(rp), B: pinOp()})
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package partial
+
+import "predication/internal/ir"
+
+// ReduceORTrees applies the OR-tree height reduction of §3.2: sequences of
+// OR-type predicate deposits, which full predication executes
+// simultaneously but partial predication serializes into a dependent chain
+//
+//	or rp, rp, t1 ; or rp, rp, t2 ; ... ; or rp, rp, tn
+//
+// are rebalanced into a binary tree of fresh temporaries, reducing the
+// dependence height from n to ceil(log2(n+1)).  The same rewrite applies to
+// AND-accumulation chains produced by AND-type predicate conversion.
+func ReduceORTrees(f *ir.Func) int {
+	reduced := 0
+	for _, b := range f.LiveBlocks(nil) {
+		reduced += reduceInBlock(f, b, ir.Or)
+		reduced += reduceInBlock(f, b, ir.AndNot)
+	}
+	return reduced
+}
+
+// accChain is a run of accumulation instructions into the same register.
+type accChain struct {
+	acc     ir.Reg
+	indices []int
+	terms   []ir.Operand
+}
+
+// closeAll closes every open chain in deterministic (ascending register)
+// order, so fresh-register allocation is reproducible run to run.
+func closeAll(open map[ir.Reg]*accChain, closeChain func(ir.Reg)) {
+	var regs []ir.Reg
+	for r := range open {
+		regs = append(regs, r)
+	}
+	for i := 1; i < len(regs); i++ {
+		for j := i; j > 0 && regs[j] < regs[j-1]; j-- {
+			regs[j], regs[j-1] = regs[j-1], regs[j]
+		}
+	}
+	for _, r := range regs {
+		closeChain(r)
+	}
+}
+
+// reduceInBlock finds and rewrites accumulation chains for the given
+// opcode.  For ir.Or the chain is "acc = acc | t"; for ir.AndNot it is
+// "acc = acc &^ t" (complement-AND accumulation), where the rebalanced form
+// first ORs the terms together and applies a single and_not.
+func reduceInBlock(f *ir.Func, b *ir.Block, accOp ir.Op) int {
+	var chains []accChain
+	open := map[ir.Reg]*accChain{}
+	var srcBuf [4]ir.Reg
+
+	closeChain := func(r ir.Reg) {
+		if c, ok := open[r]; ok {
+			if len(c.indices) >= 3 {
+				chains = append(chains, *c)
+			}
+			delete(open, r)
+		}
+	}
+
+	for i, in := range b.Instrs {
+		// An accumulation step: acc = acc <op> term, unguarded.
+		if in.Op == accOp && in.Guard == ir.PNone &&
+			in.A.IsReg() && in.A.R == in.Dst &&
+			!(in.B.IsReg() && in.B.R == in.Dst) {
+			acc := in.Dst
+			c := open[acc]
+			if c == nil {
+				c = &accChain{acc: acc}
+				open[acc] = c
+			}
+			c.indices = append(c.indices, i)
+			c.terms = append(c.terms, in.B)
+			// This instruction also reads/writes other chains' registers.
+			if in.B.IsReg() {
+				closeChain(in.B.R)
+			}
+			continue
+		}
+		// Any other read or write of an open chain's accumulator or use of
+		// the accumulator as a term closes that chain.
+		for _, s := range in.SrcRegs(srcBuf[:0]) {
+			closeChain(s)
+		}
+		if d := in.DefReg(); d != ir.RNone {
+			closeChain(d)
+		}
+		if in.Op.IsBranch() {
+			// Control may leave: accumulators must hold their architectural
+			// values at every exit.
+			closeAll(open, closeChain)
+		}
+	}
+	closeAll(open, closeChain)
+	if len(chains) == 0 {
+		return 0
+	}
+
+	// Rewrite: drop the original chain instructions; at the position of
+	// each chain's last instruction, emit a balanced tree combining the
+	// accumulator's incoming value with all terms.
+	removed := map[int]bool{}
+	insertAfter := map[int][]*ir.Instr{}
+	for _, c := range chains {
+		for _, idx := range c.indices {
+			removed[idx] = true
+		}
+		last := c.indices[len(c.indices)-1]
+		var tree []*ir.Instr
+		// Combine the terms pairwise with OR into fresh temporaries.
+		level := append([]ir.Operand(nil), c.terms...)
+		for len(level) > 1 {
+			var next []ir.Operand
+			for j := 0; j+1 < len(level); j += 2 {
+				t := f.NewReg()
+				tree = append(tree, &ir.Instr{Op: ir.Or, Dst: t, A: level[j], B: level[j+1]})
+				next = append(next, ir.R(t))
+			}
+			if len(level)%2 == 1 {
+				next = append(next, level[len(level)-1])
+			}
+			level = next
+		}
+		// Fold the combined terms into the accumulator's incoming value.
+		tree = append(tree, &ir.Instr{Op: accOp, Dst: c.acc, A: ir.R(c.acc), B: level[0]})
+		insertAfter[last] = tree
+	}
+
+	var out []*ir.Instr
+	for i, in := range b.Instrs {
+		if !removed[i] {
+			out = append(out, in)
+		}
+		if tree, ok := insertAfter[i]; ok {
+			out = append(out, tree...)
+		}
+	}
+	b.Instrs = out
+	return len(chains)
+}

@@ -1,0 +1,276 @@
+// Package progen generates random but well-formed IR programs for
+// property-based testing.  Generated programs terminate (loops have bounded
+// trip counts), never trap (addresses are masked into a valid array, no
+// division), and deposit a checksum of their visible state at word 8 — so
+// any semantics-preserving transformation pipeline can be validated by
+// comparing emulation results before and after.
+package progen
+
+import (
+	"predication/internal/builder"
+	"predication/internal/ir"
+)
+
+// CheckAddr is where generated programs store their checksum.
+const CheckAddr int64 = 8
+
+// rng is a deterministic generator (mirrors the bench package's LCG).
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s = r.s*6364136223846793005 + 1442695040888963407
+	return r.s >> 11
+}
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// Params bounds the generated program shape.
+type Params struct {
+	// Diamonds is the number of if-then-else regions in the loop body.
+	Diamonds int
+	// BlockOps is the maximum ALU/memory operations per generated block.
+	BlockOps int
+	// Iterations is the loop trip count.
+	Iterations int
+	// Regs is the number of mutable user registers woven through the
+	// computation.
+	Regs int
+}
+
+// Default returns moderate generation parameters.
+func Default() Params {
+	return Params{Diamonds: 4, BlockOps: 4, Iterations: 200, Regs: 6}
+}
+
+// Generate builds a random program from the seed: a counted loop whose body
+// is a chain of data-dependent diamonds (some with else-sides, some with
+// memory accesses), followed by a checksum of every register and the data
+// array.
+func Generate(seed uint64, p Params) *ir.Program {
+	r := &rng{s: seed ^ 0x9e3779b97f4a7c15}
+	pb := builder.New(1 << 14)
+	const arrWords = 256
+	init := make([]int64, arrWords)
+	for i := range init {
+		init[i] = int64(r.intn(1 << 16))
+	}
+	arr := pb.Words(init...)
+
+	f := pb.Func("main")
+	i := f.Reg()
+	regs := make([]ir.Reg, p.Regs)
+	for k := range regs {
+		regs[k] = f.Reg()
+	}
+	tmp := f.Reg()
+
+	entry := f.Entry()
+	loop := f.Block("loop")
+	done := f.Block("done")
+
+	entry.Mov(i, 0)
+	for k, rg := range regs {
+		entry.Mov(rg, int64(k*7+1))
+	}
+	entry.Fall(loop)
+
+	loop.Br(ir.GE, i, int64(p.Iterations), done)
+
+	emitOps := func(b *builder.Blk, n int) {
+		for k := 0; k < n; k++ {
+			d := regs[r.intn(len(regs))]
+			a := regs[r.intn(len(regs))]
+			c := regs[r.intn(len(regs))]
+			switch r.intn(8) {
+			case 0:
+				b.I(ir.Add, d, a, c)
+			case 1:
+				b.I(ir.Sub, d, a, int64(r.intn(64)))
+			case 2:
+				b.I(ir.Xor, d, a, c)
+			case 3:
+				b.I(ir.Mul, d, a, int64(1+r.intn(7)))
+			case 4:
+				b.I(ir.Shl, d, a, int64(r.intn(4)))
+			case 5:
+				// Masked load: always a legal address.
+				b.I(ir.And, tmp, a, int64(arrWords-1))
+				b.Load(d, tmp, arr)
+			case 6:
+				// Masked store.
+				b.I(ir.And, tmp, a, int64(arrWords-1))
+				b.Store(tmp, arr, c)
+			default:
+				b.I(ir.And, d, a, 0xffff)
+			}
+		}
+	}
+
+	cur := loop
+	for dIdx := 0; dIdx < p.Diamonds; dIdx++ {
+		condReg := regs[r.intn(len(regs))]
+		cmp := []ir.Cmp{ir.EQ, ir.NE, ir.LT, ir.GE}[r.intn(4)]
+		thresh := int64(r.intn(1 << 12))
+		then := f.Block("then")
+		join := f.Block("join")
+		hasElse := r.intn(3) > 0
+		if hasElse {
+			els := f.Block("else")
+			cur.I(ir.And, tmp, condReg, 0xfff)
+			cur.Br(cmp, tmp, thresh, els)
+			cur.Fall(then)
+			emitOps(then, 1+r.intn(p.BlockOps))
+			then.Jmp(join)
+			emitOps(els, 1+r.intn(p.BlockOps))
+			els.Fall(join)
+		} else {
+			cur.I(ir.And, tmp, condReg, 0xfff)
+			cur.Br(cmp, tmp, thresh, join)
+			cur.Fall(then)
+			emitOps(then, 1+r.intn(p.BlockOps))
+			then.Fall(join)
+		}
+		emitOps(join, r.intn(2))
+		cur = join
+	}
+	cur.I(ir.Add, i, i, 1)
+	cur.Jmp(loop)
+
+	// Checksum registers and a slice of memory.
+	cs, j, v := f.Reg(), f.Reg(), f.Reg()
+	sum := f.Block("sum")
+	out := f.Block("out")
+	done.Mov(cs, 0)
+	for _, rg := range regs {
+		done.I(ir.Mul, cs, cs, 1000003)
+		done.I(ir.Add, cs, cs, rg)
+	}
+	done.Mov(j, 0)
+	done.Fall(sum)
+	sum.Br(ir.GE, j, arrWords, out)
+	sum.Load(v, j, arr)
+	sum.I(ir.Mul, cs, cs, 31)
+	sum.I(ir.Add, cs, cs, v)
+	sum.I(ir.Add, j, j, 1)
+	sum.Jmp(sum)
+	out.Store(0, CheckAddr, cs)
+	out.Halt()
+	return pb.Program()
+}
+
+// GenerateNested builds a random program with a two-level loop nest: an
+// outer loop carrying accumulators, an inner loop with data-dependent
+// diamonds, and post-inner-loop diamonds in the outer body.  This shape
+// stresses region discovery (innermost-loop hyperblocks, dominated acyclic
+// regions in the outer context) and tail duplication.
+func GenerateNested(seed uint64, p Params) *ir.Program {
+	r := &rng{s: seed ^ 0xdeadbeefcafef00d}
+	pb := builder.New(1 << 14)
+	const arrWords = 128
+	init := make([]int64, arrWords)
+	for i := range init {
+		init[i] = int64(r.intn(1 << 12))
+	}
+	arr := pb.Words(init...)
+
+	f := pb.Func("main")
+	oi, ii := f.Reg(), f.Reg()
+	regs := make([]ir.Reg, p.Regs)
+	for k := range regs {
+		regs[k] = f.Reg()
+	}
+	tmp := f.Reg()
+
+	entry := f.Entry()
+	outer := f.Block("outer")
+	innerHdr := f.Block("inner-hdr")
+	done := f.Block("done")
+
+	entry.Mov(oi, 0)
+	for k, rg := range regs {
+		entry.Mov(rg, int64(3*k+1))
+	}
+	entry.Fall(outer)
+	outerIters := 20 + r.intn(20)
+	innerIters := 5 + r.intn(10)
+	outer.Br(ir.GE, oi, int64(outerIters), done)
+	outer.Mov(ii, 0)
+	outer.Fall(innerHdr)
+
+	emitOps := func(b *builder.Blk, n int) {
+		for k := 0; k < n; k++ {
+			d := regs[r.intn(len(regs))]
+			a := regs[r.intn(len(regs))]
+			c := regs[r.intn(len(regs))]
+			switch r.intn(6) {
+			case 0:
+				b.I(ir.Add, d, a, c)
+			case 1:
+				b.I(ir.Xor, d, a, int64(r.intn(256)))
+			case 2:
+				b.I(ir.Mul, d, a, int64(1+r.intn(5)))
+			case 3:
+				b.I(ir.And, tmp, a, int64(arrWords-1))
+				b.Load(d, tmp, arr)
+			case 4:
+				b.I(ir.And, tmp, a, int64(arrWords-1))
+				b.Store(tmp, arr, c)
+			default:
+				b.I(ir.Sub, d, a, int64(r.intn(32)))
+			}
+		}
+	}
+
+	// Inner loop body: a couple of diamonds.
+	cur := f.Block("inner-body")
+	tail := f.Block("outer-tail")
+	innerHdr.Br(ir.GE, ii, int64(innerIters), tail)
+	innerHdr.Fall(cur)
+	for d := 0; d < 2; d++ {
+		then := f.Block("i-then")
+		els := f.Block("i-else")
+		join := f.Block("i-join")
+		cur.I(ir.And, tmp, regs[r.intn(len(regs))], 0xff)
+		cur.Br(ir.LT, tmp, int64(r.intn(256)), els)
+		cur.Fall(then)
+		emitOps(then, 1+r.intn(3))
+		then.Jmp(join)
+		emitOps(els, 1+r.intn(3))
+		els.Fall(join)
+		cur = join
+	}
+	cur.I(ir.Add, ii, ii, 1)
+	cur.Jmp(innerHdr)
+
+	// Outer-body tail after the inner loop: one more diamond, then the
+	// outer backedge.
+	then := f.Block("o-then")
+	join := f.Block("o-join")
+	tail.I(ir.And, tmp, regs[0], 0xfff)
+	tail.Br(ir.GE, tmp, int64(r.intn(4096)), join)
+	tail.Fall(then)
+	emitOps(then, 1+r.intn(p.BlockOps))
+	then.Fall(join)
+	emitOps(join, 1)
+	join.I(ir.Add, oi, oi, 1)
+	join.Jmp(outer)
+
+	cs, j, v := f.Reg(), f.Reg(), f.Reg()
+	sum := f.Block("sum")
+	out := f.Block("out")
+	done.Mov(cs, 0)
+	for _, rg := range regs {
+		done.I(ir.Mul, cs, cs, 131)
+		done.I(ir.Add, cs, cs, rg)
+	}
+	done.Mov(j, 0)
+	done.Fall(sum)
+	sum.Br(ir.GE, j, arrWords, out)
+	sum.Load(v, j, arr)
+	sum.I(ir.Mul, cs, cs, 31)
+	sum.I(ir.Add, cs, cs, v)
+	sum.I(ir.Add, j, j, 1)
+	sum.Jmp(sum)
+	out.Store(0, CheckAddr, cs)
+	out.Halt()
+	return pb.Program()
+}

@@ -1,0 +1,114 @@
+// Package regalloc provides register pressure analysis and a linear-scan
+// register allocator for the predication IR.
+//
+// The paper assumes an infinite register file (§4.1) but argues
+// qualitatively that partial predication "requires a larger number of
+// registers to hold intermediate values" than full predication (§1):
+// every converted predicated instruction computes into a renamed
+// temporary before a conditional move commits it.  This package makes the
+// claim measurable (MaxLive/Pressure) and provides the substrate a real
+// port would need: allocation of virtual registers onto a finite machine
+// register file with spilling.
+package regalloc
+
+import (
+	"predication/internal/cfg"
+	"predication/internal/ir"
+)
+
+// Pressure reports register demand for one function.
+type Pressure struct {
+	// MaxLive is the largest number of integer/FP virtual registers
+	// simultaneously live at any instruction boundary.
+	MaxLive int
+	// MaxLivePreds is the same for predicate registers.
+	MaxLivePreds int
+	// Virtual counts allocated virtual registers (a static measure of
+	// renaming demand).
+	Virtual int
+}
+
+// Analyze computes register pressure for a function.
+func Analyze(f *ir.Func) Pressure {
+	g := cfg.NewGraph(f)
+	lv := cfg.ComputeLiveness(g)
+	pr := Pressure{Virtual: int(f.NextReg) - 1}
+	count := func(s cfg.BitSet) int {
+		n := 0
+		for _, w := range s {
+			for ; w != 0; w &= w - 1 {
+				n++
+			}
+		}
+		return n
+	}
+	for _, b := range f.LiveBlocks(nil) {
+		if !g.Reachable(b.ID) {
+			continue
+		}
+		// Walk backwards from live-out, sampling after every instruction.
+		regs := lv.RegOut[b.ID].Copy()
+		preds := lv.PredOut[b.ID].Copy()
+		sample := func() {
+			if n := count(regs); n > pr.MaxLive {
+				pr.MaxLive = n
+			}
+			if n := count(preds); n > pr.MaxLivePreds {
+				pr.MaxLivePreds = n
+			}
+		}
+		sample()
+		var srcBuf [4]ir.Reg
+		for i := len(b.Instrs) - 1; i >= 0; i-- {
+			in := b.Instrs[i]
+			switch in.Op {
+			case ir.Jump, ir.BrEQ, ir.BrNE, ir.BrLT, ir.BrLE, ir.BrGT, ir.BrGE:
+				if in.Target >= 0 {
+					regs.OrWith(lv.RegIn[in.Target])
+					preds.OrWith(lv.PredIn[in.Target])
+				}
+			}
+			if d := in.DefReg(); d != ir.RNone && in.Guard == ir.PNone && !in.ConditionalDef() {
+				regs.Clear(int32(d))
+			}
+			if in.Op == ir.PredDef && in.Guard == ir.PNone {
+				for _, pd := range []ir.PredDest{in.P1, in.P2} {
+					if pd.Type == ir.PredU || pd.Type == ir.PredUBar {
+						preds.Clear(int32(pd.P))
+					}
+				}
+			}
+			for _, s := range in.SrcRegs(srcBuf[:0]) {
+				regs.Set(int32(s))
+			}
+			if in.Guard != ir.PNone {
+				preds.Set(int32(in.Guard))
+			}
+			if in.Op == ir.PredDef {
+				for _, pd := range []ir.PredDest{in.P1, in.P2} {
+					if pd.Type != ir.PredNone && pd.Type != ir.PredU && pd.Type != ir.PredUBar {
+						preds.Set(int32(pd.P))
+					}
+				}
+			}
+			sample()
+		}
+	}
+	return pr
+}
+
+// AnalyzeProgram returns the maximum pressure over all functions.
+func AnalyzeProgram(p *ir.Program) Pressure {
+	var pr Pressure
+	for _, f := range p.Funcs {
+		fp := Analyze(f)
+		if fp.MaxLive > pr.MaxLive {
+			pr.MaxLive = fp.MaxLive
+		}
+		if fp.MaxLivePreds > pr.MaxLivePreds {
+			pr.MaxLivePreds = fp.MaxLivePreds
+		}
+		pr.Virtual += fp.Virtual
+	}
+	return pr
+}

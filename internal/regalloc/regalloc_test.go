@@ -1,0 +1,222 @@
+package regalloc
+
+import (
+	"testing"
+
+	"predication/internal/bench"
+	"predication/internal/core"
+	"predication/internal/emu"
+	"predication/internal/ir"
+	"predication/internal/machine"
+	"predication/internal/progen"
+)
+
+// TestAllocatePreservesSemantics allocates every benchmark kernel under
+// every model to small register files and checks checksums.
+func TestAllocatePreservesSemantics(t *testing.T) {
+	kernels := []string{"wc", "grep", "cmp", "072.sc", "023.eqntott", "qsort", "052.alvinn"}
+	for _, name := range kernels {
+		k, _ := bench.ByName(name)
+		ref, err := emu.Run(k.Build(), emu.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ref.Word(bench.CheckAddr)
+		for _, model := range []core.Model{core.Superblock, core.CondMove, core.FullPred} {
+			for _, nregs := range []int{12, 24, 64} {
+				c, err := core.Compile(k.Build(), model, core.DefaultOptions(machine.Issue8Br1()))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Allocate(c.Prog, nregs)
+				if err != nil {
+					t.Fatalf("%s %v K=%d: %v", name, model, nregs, err)
+				}
+				GrowMemory(c.Prog, res)
+				if err := c.Prog.Verify(); err != nil {
+					t.Fatalf("%s %v K=%d: %v", name, model, nregs, err)
+				}
+				run, err := emu.Run(c.Prog, emu.Options{})
+				if err != nil {
+					t.Fatalf("%s %v K=%d: run: %v", name, model, nregs, err)
+				}
+				if got := run.Word(bench.CheckAddr); got != want {
+					t.Errorf("%s %v K=%d: checksum %#x, want %#x", name, model, nregs, got, want)
+				}
+				// No register beyond the physical file.
+				for _, f := range c.Prog.Funcs {
+					for _, b := range f.LiveBlocks(nil) {
+						for _, in := range b.Instrs {
+							if d := in.DefReg(); int(d) > nregs {
+								t.Fatalf("%s: register %v beyond file of %d", name, d, nregs)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAllocateRandomPrograms fuzzes allocation on generated programs.
+func TestAllocateRandomPrograms(t *testing.T) {
+	for seed := uint64(1); seed <= 25; seed++ {
+		src := progen.Generate(seed, progen.Default())
+		ref, _ := emu.Run(src, emu.Options{})
+		p := progen.Generate(seed, progen.Default())
+		res, err := Allocate(p, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		GrowMemory(p, res)
+		got, err := emu.Run(p, emu.Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if got.Word(progen.CheckAddr) != ref.Word(progen.CheckAddr) {
+			t.Errorf("seed %d: allocation changed semantics", seed)
+		}
+	}
+}
+
+func TestAllocateSpillsWhenTight(t *testing.T) {
+	k, _ := bench.ByName("wc")
+	c, err := core.Compile(k.Build(), core.CondMove, core.DefaultOptions(machine.Issue8Br1()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Allocate(c.Prog, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spilled == 0 {
+		t.Error("a 10-register file should force spills for converted wc")
+	}
+	if res.SlotWords != res.Spilled {
+		t.Errorf("slots %d != spilled %d", res.SlotWords, res.Spilled)
+	}
+}
+
+func TestAllocateRejectsTinyFile(t *testing.T) {
+	p := progen.Generate(1, progen.Default())
+	if _, err := Allocate(p, 3); err == nil {
+		t.Error("a file smaller than the scratch reserve must be rejected")
+	}
+}
+
+// TestPressureOrdering verifies the paper's qualitative claim: the
+// conditional-move model needs the most registers, full predication fewer,
+// superblock fewest.
+func TestPressureOrdering(t *testing.T) {
+	for _, name := range []string{"wc", "072.sc", "lex"} {
+		k, _ := bench.ByName(name)
+		press := map[core.Model]Pressure{}
+		for _, model := range []core.Model{core.Superblock, core.CondMove, core.FullPred} {
+			c, err := core.Compile(k.Build(), model, core.DefaultOptions(machine.Issue8Br1()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			press[model] = AnalyzeProgram(c.Prog)
+		}
+		if press[core.CondMove].MaxLive < press[core.FullPred].MaxLive {
+			t.Errorf("%s: conditional move max-live (%d) below full predication (%d)",
+				name, press[core.CondMove].MaxLive, press[core.FullPred].MaxLive)
+		}
+		if press[core.CondMove].Virtual <= press[core.Superblock].Virtual {
+			t.Errorf("%s: conversion should allocate more temporaries (%d vs %d)",
+				name, press[core.CondMove].Virtual, press[core.Superblock].Virtual)
+		}
+	}
+}
+
+func TestAnalyzeSimple(t *testing.T) {
+	f := ir.NewFunc("t")
+	b := f.EntryBlock()
+	rs := make([]ir.Reg, 5)
+	for i := range rs {
+		rs[i] = f.NewReg()
+		b.Append(ir.NewInstr(ir.Mov, rs[i], ir.Imm(int64(i))))
+	}
+	// All five live simultaneously at the final sum.
+	sum := f.NewReg()
+	b.Append(ir.NewInstr(ir.Add, sum, ir.R(rs[0]), ir.R(rs[1])))
+	b.Append(ir.NewInstr(ir.Add, sum, ir.R(sum), ir.R(rs[2])))
+	b.Append(ir.NewInstr(ir.Add, sum, ir.R(sum), ir.R(rs[3])))
+	b.Append(ir.NewInstr(ir.Add, sum, ir.R(sum), ir.R(rs[4])))
+	b.Append(ir.NewInstr(ir.Store, ir.RNone, ir.Imm(0), ir.Imm(8), ir.R(sum)))
+	b.Append(&ir.Instr{Op: ir.Halt})
+	pr := Analyze(f)
+	if pr.MaxLive < 5 {
+		t.Errorf("max live %d, want >= 5", pr.MaxLive)
+	}
+	if pr.Virtual != 6 {
+		t.Errorf("virtual %d, want 6", pr.Virtual)
+	}
+}
+
+// TestAllocateGuardedSpills: spill stores after guarded definitions carry
+// the guard, so nullified instructions leave their slots untouched.
+func TestAllocateGuardedSpills(t *testing.T) {
+	k, _ := bench.ByName("wc")
+	c, err := core.Compile(k.Build(), core.FullPred, core.DefaultOptions(machine.Issue8Br1()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := emu.Run(c.Prog, emu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Allocate(c.Prog, 8) // very tight: guarded code must spill
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spilled == 0 {
+		t.Fatal("expected spills at 8 registers")
+	}
+	// At least one spill store must be guarded (full-pred code).
+	foundGuardedStore := false
+	for _, f := range c.Prog.Funcs {
+		for _, b := range f.LiveBlocks(nil) {
+			for _, in := range b.Instrs {
+				if in.Op == ir.Store && in.Guard != ir.PNone &&
+					in.A.IsImm && in.B.IsImm && in.B.Imm >= int64(c.Prog.MemWords) {
+					foundGuardedStore = true
+				}
+			}
+		}
+	}
+	if !foundGuardedStore {
+		t.Error("expected guarded spill stores in predicated code")
+	}
+	GrowMemory(c.Prog, res)
+	got, err := emu.Run(c.Prog, emu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Word(bench.CheckAddr) != ref.Word(bench.CheckAddr) {
+		t.Error("tight allocation changed semantics")
+	}
+}
+
+// TestAllocateGuardInstrModel: allocation after guard-instruction lowering
+// (GuardApply has no register operands but its runs must stay intact).
+func TestAllocateGuardInstrModel(t *testing.T) {
+	k, _ := bench.ByName("grep")
+	ref, _ := emu.Run(k.Build(), emu.Options{})
+	c, err := core.Compile(k.Build(), core.GuardInstr, core.DefaultOptions(machine.Issue8Br1()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Allocate(c.Prog, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	GrowMemory(c.Prog, res)
+	got, err := emu.Run(c.Prog, emu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Word(bench.CheckAddr) != ref.Word(bench.CheckAddr) {
+		t.Error("allocation broke the guard-instruction model")
+	}
+}

@@ -1,0 +1,86 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+
+	"predication/internal/ir"
+	"predication/internal/machine"
+)
+
+// IssueCycles computes the static issue cycle of every instruction in a
+// block on the given machine, assuming the emitted order (in-order issue,
+// operand interlocks, branch slots, cache-hit latencies, decode-stage
+// predicate distance).  This is the per-instruction annotation the paper
+// shows beside the Figure 5 and Figure 6 listings.
+func IssueCycles(b *ir.Block, mc machine.Config) []int {
+	n := len(b.Instrs)
+	cycles := make([]int, n)
+	regReady := map[ir.Reg]int{}
+	predReady := map[ir.PReg]int{}
+	predDist := mc.PredDist()
+	cur, slots, brSlots := 0, 0, 0
+	prev := 0
+	var srcBuf [4]ir.Reg
+	var pBuf [2]ir.PReg
+	for i, in := range b.Instrs {
+		t := prev
+		for _, s := range in.SrcRegs(srcBuf[:0]) {
+			if r := regReady[s]; r > t {
+				t = r
+			}
+		}
+		if in.Guard != ir.PNone {
+			if r := predReady[in.Guard]; r > t {
+				t = r
+			}
+		}
+		isBranch := in.Op.IsBranch()
+		for {
+			if t > cur {
+				cur = t
+				slots, brSlots = 0, 0
+			}
+			if slots < mc.IssueWidth && (!isBranch || brSlots < mc.BranchSlots) {
+				break
+			}
+			t = cur + 1
+		}
+		slots++
+		if isBranch {
+			brSlots++
+		}
+		cycles[i] = t
+		prev = t
+		if d := in.DefReg(); d != ir.RNone {
+			regReady[d] = t + machine.Latency(in.Op)
+		}
+		if in.Op == ir.PredDef {
+			for _, p := range in.PredDefs(pBuf[:0]) {
+				predReady[p] = t + predDist
+			}
+		}
+		if in.Op == ir.PredClear || in.Op == ir.PredSet {
+			for p := range predReady {
+				predReady[p] = t + predDist
+			}
+			// Newly seen predicates default to ready; record the floor.
+			predReady[ir.PNone] = t + predDist
+		}
+	}
+	return cycles
+}
+
+// FormatSchedule renders a block the way the paper presents its worked
+// examples: each instruction with its issue cycle to the right.
+func FormatSchedule(b *ir.Block, mc machine.Config) string {
+	cycles := IssueCycles(b, mc)
+	var sb strings.Builder
+	for i, in := range b.Instrs {
+		fmt.Fprintf(&sb, "\t%-44s ; cycle %d\n", in.String(), cycles[i])
+	}
+	if n := len(cycles); n > 0 {
+		fmt.Fprintf(&sb, "\t; schedule length: %d cycles\n", cycles[n-1]+1)
+	}
+	return sb.String()
+}

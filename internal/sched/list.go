@@ -1,0 +1,137 @@
+package sched
+
+import (
+	"sort"
+
+	"predication/internal/cfg"
+	"predication/internal/ir"
+	"predication/internal/machine"
+)
+
+// Schedule list-schedules every block of every function for the given
+// machine configuration, reordering instructions in place.  It returns the
+// total schedule length (sum of per-block makespans), which tests use to
+// compare schedule quality.
+func Schedule(p *ir.Program, mc machine.Config) int {
+	total := 0
+	for _, f := range p.Funcs {
+		g := cfg.NewGraph(f)
+		lv := cfg.ComputeLiveness(g)
+		for _, b := range f.LiveBlocks(nil) {
+			total += scheduleBlock(f, b, lv, mc)
+		}
+	}
+	return total
+}
+
+// scheduleBlock reorders one block and returns its makespan in cycles.
+func scheduleBlock(f *ir.Func, b *ir.Block, lv *cfg.Liveness, mc machine.Config) int {
+	n := len(b.Instrs)
+	if n < 2 {
+		return n
+	}
+	g, specOver := buildDeps(f, b, lv, mc.PredDist())
+
+	// Priority: longest latency-weighted path to any sink.
+	height := make([]int, n)
+	for i := n - 1; i >= 0; i-- {
+		h := 0
+		for k, s := range g.succs[i] {
+			if hh := height[s] + g.lats[i][k]; hh > h {
+				h = hh
+			}
+		}
+		height[i] = h + 1
+	}
+
+	npred := append([]int(nil), g.npred...)
+	est := make([]int, n)   // earliest start by dependences
+	cycle := make([]int, n) // assigned issue cycle
+	for i := range cycle {
+		cycle[i] = -1
+	}
+
+	scheduled := 0
+	cur := 0
+	var ready []int
+	for i := 0; i < n; i++ {
+		if npred[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	for scheduled < n {
+		// Candidates ready at the current cycle, by priority then original
+		// order (deterministic).
+		sort.Slice(ready, func(x, y int) bool {
+			if height[ready[x]] != height[ready[y]] {
+				return height[ready[x]] > height[ready[y]]
+			}
+			return ready[x] < ready[y]
+		})
+		slots, brSlots := 0, 0
+		var nextReady []int
+		for _, i := range ready {
+			isBr := b.Instrs[i].Op.IsBranch()
+			if est[i] <= cur && slots < mc.IssueWidth && (!isBr || brSlots < mc.BranchSlots) {
+				cycle[i] = cur
+				scheduled++
+				slots++
+				if isBr {
+					brSlots++
+				}
+				for k, s := range g.succs[i] {
+					npred[s]--
+					if e := cur + g.lats[i][k]; e > est[s] {
+						est[s] = e
+					}
+					if npred[s] == 0 {
+						nextReady = append(nextReady, s)
+					}
+				}
+			} else {
+				nextReady = append(nextReady, i)
+			}
+		}
+		ready = nextReady
+		cur++
+	}
+	makespan := 0
+	for _, c := range cycle {
+		if c+1 > makespan {
+			makespan = c + 1
+		}
+	}
+
+	// Emit in (cycle, original index) order; original-index tiebreaking
+	// preserves sequential semantics within a cycle (reads before same-cycle
+	// overwrites, work before same-cycle branches).
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(x, y int) bool {
+		if cycle[order[x]] != cycle[order[y]] {
+			return cycle[order[x]] < cycle[order[y]]
+		}
+		return order[x] < order[y]
+	})
+	pos := make([]int, n)
+	for newIdx, old := range order {
+		pos[old] = newIdx
+	}
+	// Instructions that crossed a branch they were allowed to speculate
+	// over must use their silent versions.
+	for j, brs := range specOver {
+		for _, br := range brs {
+			if pos[j] < pos[br] && b.Instrs[j].Op.CanExcept() {
+				b.Instrs[j].Silent = true
+			}
+		}
+	}
+	out := make([]*ir.Instr, n)
+	for newIdx, old := range order {
+		out[newIdx] = b.Instrs[old]
+	}
+	b.Instrs = out
+	return makespan
+}

@@ -1,0 +1,291 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"predication/internal/builder"
+	"predication/internal/emu"
+	"predication/internal/ir"
+	"predication/internal/machine"
+	"predication/internal/progen"
+)
+
+// TestSchedulePreservesSemantics reorders random programs and checks
+// results — the core safety property of the list scheduler.
+func TestSchedulePreservesSemantics(t *testing.T) {
+	for seed := uint64(1); seed <= 50; seed++ {
+		src := progen.Generate(seed, progen.Default())
+		ref, err := emu.Run(src, emu.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mc := range []machine.Config{machine.Issue1(), machine.Issue4Br1(), machine.Issue8Br1()} {
+			p := progen.Generate(seed, progen.Default())
+			p.Normalize()
+			Schedule(p, mc)
+			if err := p.Verify(); err != nil {
+				t.Fatalf("seed %d @%s: %v", seed, mc.Name, err)
+			}
+			got, err := emu.Run(p, emu.Options{})
+			if err != nil {
+				t.Fatalf("seed %d @%s: %v", seed, mc.Name, err)
+			}
+			if got.Word(progen.CheckAddr) != ref.Word(progen.CheckAddr) {
+				t.Errorf("seed %d @%s: scheduling changed semantics", seed, mc.Name)
+			}
+		}
+	}
+}
+
+// TestScheduleCompacts: independent work interleaved with a dependence
+// chain should schedule the chain first (critical path priority), reducing
+// makespan versus program order on a wide machine.
+func TestScheduleCompacts(t *testing.T) {
+	build := func() *ir.Program {
+		p := builder.New(64)
+		f := p.Func("main")
+		b := f.Entry()
+		chain := f.Reg()
+		b.Mov(chain, 1)
+		// Independent work first in program order...
+		for i := 0; i < 16; i++ {
+			b.I(ir.Add, f.Reg(), int64(i), 1)
+		}
+		// ...then a long dependent chain.
+		for i := 0; i < 8; i++ {
+			b.I(ir.Mul, chain, chain, 3)
+		}
+		b.Store(0, 10, chain)
+		b.Halt()
+		return p.Program()
+	}
+	p := build()
+	total := Schedule(p, machine.Issue8Br1())
+	// Critical path: mov + 8 muls (2 cycles each) ~ 17; the independent
+	// adds fit alongside.  Without reordering the makespan would be ~18+2.
+	if total > 20 {
+		t.Errorf("schedule makespan %d; chain not prioritized", total)
+	}
+	// Semantics preserved.
+	res, err := emu.Run(p, emu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Word(10) != 6561 {
+		t.Errorf("result %d", res.Word(10))
+	}
+}
+
+// TestSpeculativeHoistSilences: an excepting load hoisted above a branch
+// must become its silent version.
+func TestSpeculativeHoistSilences(t *testing.T) {
+	p := builder.New(1 << 10)
+	data := p.Words(7, 8, 9)
+	f := p.Func("main")
+	b := f.Entry()
+	out := f.Block("out")
+	tail := f.Block("tail")
+	cond, v := f.Reg(), f.Reg()
+	b.Mov(cond, 1)
+	b.Br(ir.EQ, cond, 0, out)
+	b.Fall(tail)
+	// v is dead at "out", so the load may speculate above the branch.
+	tail.Load(v, 1, data)
+	tail.Store(0, 10, v)
+	tail.Halt()
+	out.Halt()
+	prog := p.Program()
+	prog.Normalize()
+	// Merge the blocks the way superblock formation would, so the load and
+	// the branch share a block.
+	fm := prog.Funcs[0]
+	entryB := fm.Blocks[fm.Entry]
+	tailB := fm.Blocks[entryB.Fall]
+	entryB.Instrs = append(entryB.Instrs, tailB.Instrs...)
+	tailB.Dead = true
+	entryB.Fall = -1
+	Schedule(prog, machine.Issue8Br1())
+	// Find the load; if it precedes the branch it must be silent.
+	var loadIdx, brIdx int = -1, -1
+	for i, in := range entryB.Instrs {
+		switch {
+		case in.Op == ir.Load:
+			loadIdx = i
+			if i < brIdx || brIdx == -1 {
+				// will check after loop
+			}
+		case in.Op.IsCondBranch():
+			brIdx = i
+		}
+	}
+	if loadIdx < 0 || brIdx < 0 {
+		t.Fatal("test setup lost instructions")
+	}
+	if loadIdx < brIdx {
+		if !entryB.Instrs[loadIdx].Silent {
+			t.Error("hoisted load must be silent")
+		}
+	}
+	res, err := emu.Run(prog, emu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Word(10) != 8 {
+		t.Errorf("result %d, want 8", res.Word(10))
+	}
+}
+
+// TestStoreNeverHoistsAboveBranch: stores must stay below exit branches.
+func TestStoreNeverHoistsAboveBranch(t *testing.T) {
+	p := builder.New(1 << 10)
+	f := p.Func("main")
+	b := f.Entry()
+	out := f.Block("out")
+	cond := f.Reg()
+	b.Mov(cond, 0)
+	b.Br(ir.EQ, cond, 0, out) // always taken: the store must not execute
+	b.Store(0, 10, 99)
+	b.Halt()
+	out.Halt()
+	prog := p.Program()
+	prog.Normalize()
+	fm := prog.Funcs[0]
+	entryB := fm.Blocks[fm.Entry]
+	// Re-merge so the store shares the block with the branch.
+	nxt := fm.Blocks[entryB.Fall]
+	entryB.Instrs = append(entryB.Instrs, nxt.Instrs...)
+	nxt.Dead = true
+	entryB.Fall = -1
+	Schedule(prog, machine.Issue8Br1())
+	res, err := emu.Run(prog, emu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Word(10) != 0 {
+		t.Error("store executed despite taken branch (illegal hoist)")
+	}
+}
+
+// TestDisjointGuardsOverlap: writes to the same register under disjoint
+// predicates (then/else arms) may be scheduled in the same cycle — the
+// Figure 1 add/sub pattern.
+func TestDisjointGuardsOverlap(t *testing.T) {
+	p := builder.New(64)
+	f := p.Func("main")
+	b := f.Entry()
+	k, c := f.Reg(), f.Reg()
+	pt, pf := f.F.NewPReg(), f.F.NewPReg()
+	b.Mov(k, 10).Mov(c, 1)
+	b.B.Append(ir.NewPredDef(ir.NE, ir.PredDest{P: pt, Type: ir.PredU},
+		ir.PredDest{P: pf, Type: ir.PredUBar}, ir.R(c), ir.Imm(0), ir.PNone))
+	add := ir.NewInstr(ir.Add, k, ir.R(k), ir.Imm(1))
+	add.Guard = pt
+	sub := ir.NewInstr(ir.Sub, k, ir.R(k), ir.Imm(1))
+	sub.Guard = pf
+	b.B.Append(add, sub)
+	b.Store(0, 10, k)
+	b.Halt()
+	prog := p.Program()
+	makespan := Schedule(prog, machine.Issue8Br1())
+	// mov(0) defines... pred(1) -> guarded ops at 2 (same cycle), store 3+.
+	if makespan > 5 {
+		t.Errorf("disjoint guarded writes serialized: makespan %d", makespan)
+	}
+	res, err := emu.Run(prog, emu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Word(10) != 11 {
+		t.Errorf("result %d, want 11", res.Word(10))
+	}
+}
+
+// TestORDefinesCommute: OR-type deposits into the same predicate have no
+// mutual ordering and can issue together.
+func TestORDefinesCommute(t *testing.T) {
+	p := builder.New(64)
+	f := p.Func("main")
+	b := f.Entry()
+	po := f.F.NewPReg()
+	r := f.Reg()
+	b.B.Append(&ir.Instr{Op: ir.PredClear})
+	for i := 0; i < 6; i++ {
+		b.B.Append(ir.NewPredDef(ir.EQ, ir.PredDest{P: po, Type: ir.PredOR},
+			ir.PredDest{}, ir.Imm(int64(i)), ir.Imm(3), ir.PNone))
+	}
+	g := ir.NewInstr(ir.Mov, r, ir.Imm(1))
+	g.Guard = po
+	b.Mov(r, 0)
+	b.B.Append(g)
+	b.Store(0, 10, r)
+	b.Halt()
+	prog := p.Program()
+	makespan := Schedule(prog, machine.Issue8Br1())
+	// clear(0), all six defines in one cycle (1), guarded mov (2), store...
+	if makespan > 6 {
+		t.Errorf("OR defines serialized: makespan %d", makespan)
+	}
+	res, err := emu.Run(prog, emu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Word(10) != 1 {
+		t.Errorf("result %d, want 1", res.Word(10))
+	}
+}
+
+// TestIssueCyclesFigure5: the wc full-predication loop must schedule in
+// the paper's 8 cycles on the 4-issue, 1-branch machine, and the
+// conditional-move version in 10 (§3.3: "an increase in execution time
+// from 8 to 10 cycles").
+func TestIssueCyclesFigure5(t *testing.T) {
+	// Avoid an import cycle with internal/core by reconstructing the loop
+	// block lengths from the annotation helper on synthetic input instead;
+	// the exact paper comparison lives in the root package's
+	// TestFigure5ScheduleLengths.
+	p := builder.New(64)
+	f := p.Func("main")
+	b := f.Entry()
+	r := f.Regs(4)
+	b.I(ir.Add, r[0], 1, 2)
+	b.I(ir.Mul, r[1], r[0], 3) // waits 1 cycle for the add
+	b.I(ir.Add, r[2], r[1], 1) // waits 2 for the mul
+	b.I(ir.Add, r[3], 5, 6)    // independent, but in-order issue: with the mul's consumer
+	b.Halt()
+	cycles := IssueCycles(f.F.EntryBlock(), machine.Issue8Br1())
+	want := []int{0, 1, 3, 3, 3}
+	for i, w := range want {
+		if cycles[i] != w {
+			t.Errorf("instr %d at cycle %d, want %d", i, cycles[i], w)
+		}
+	}
+	out := FormatSchedule(f.F.EntryBlock(), machine.Issue8Br1())
+	if !strings.Contains(out, "schedule length: 4 cycles") {
+		t.Errorf("format:\n%s", out)
+	}
+}
+
+// TestIssueCyclesBranchSlots: branch-slot pressure shows in the static
+// annotation.
+func TestIssueCyclesBranchSlots(t *testing.T) {
+	p := builder.New(64)
+	f := p.Func("main")
+	b := f.Entry()
+	sink := f.Block("sink")
+	for i := 0; i < 4; i++ {
+		b.Br(ir.EQ, 1, 0, sink)
+	}
+	b.Halt()
+	sink.Halt()
+	cycles := IssueCycles(f.F.EntryBlock(), machine.Issue8Br1())
+	for i := 0; i < 4; i++ {
+		if cycles[i] != i {
+			t.Errorf("branch %d at cycle %d, want %d (1 branch/cycle)", i, cycles[i], i)
+		}
+	}
+	cycles2 := IssueCycles(f.F.EntryBlock(), machine.Issue8Br2())
+	if cycles2[1] != 0 || cycles2[3] != 1 {
+		t.Errorf("2-branch machine: %v", cycles2)
+	}
+}

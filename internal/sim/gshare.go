@@ -1,0 +1,45 @@
+package sim
+
+import "predication/internal/ir"
+
+// gshare is a global-history predictor: the branch PC XORed with a global
+// outcome-history register indexes a table of 2-bit saturating counters.
+// It is not part of the paper's machine (which uses the 1K-entry BTB); it
+// powers the predictor-sensitivity extension experiment.
+type gshare struct {
+	ctr     []uint8
+	history uint32
+	mask    uint32
+	bits    uint
+}
+
+func newGshare(entries int) *gshare {
+	bits := uint(0)
+	for 1<<bits < entries {
+		bits++
+	}
+	return &gshare{ctr: make([]uint8, 1<<bits), mask: uint32(1<<bits - 1), bits: bits}
+}
+
+func (g *gshare) index(pc int32) uint32 {
+	return (uint32(pc/ir.InstrBytes) ^ g.history) & g.mask
+}
+
+func (g *gshare) predict(pc int32) bool {
+	return g.ctr[g.index(pc)] >= 2
+}
+
+func (g *gshare) update(pc int32, taken bool) {
+	i := g.index(pc)
+	if taken {
+		if g.ctr[i] < 3 {
+			g.ctr[i]++
+		}
+	} else if g.ctr[i] > 0 {
+		g.ctr[i]--
+	}
+	g.history = (g.history << 1) & g.mask
+	if taken {
+		g.history |= 1
+	}
+}

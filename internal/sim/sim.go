@@ -1,0 +1,333 @@
+// Package sim implements the trace-driven timing simulator.
+//
+// The simulator models the paper's processor (§4.1): an in-order k-issue
+// machine with register interlocking, no restriction on the per-cycle
+// instruction mix except a limit on branches, predicate suppression at the
+// decode/issue stage, a 1K-entry branch target buffer with 2-bit counters
+// (2-cycle misprediction penalty), and optionally 64K direct-mapped
+// instruction and data caches with 64-byte blocks and a 12-cycle miss
+// penalty.  It consumes the dynamic trace produced by the emulator
+// (emulation-driven simulation).
+package sim
+
+import (
+	"predication/internal/emu"
+	"predication/internal/ir"
+	"predication/internal/machine"
+)
+
+// Stats aggregates the outcome of one simulation.
+type Stats struct {
+	Cycles       int64
+	Instrs       int64 // dynamic instructions fetched (incl. nullified)
+	Nullified    int64 // predicated instructions suppressed by their guard
+	Branches     int64 // control-transfer instructions executed
+	CondBranches int64
+	Mispredicts  int64
+	ICacheMisses int64
+	DCacheMisses int64
+	Loads        int64
+	Stores       int64
+}
+
+// IPC returns dynamic instructions per cycle.
+func (s Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instrs) / float64(s.Cycles)
+}
+
+// MispredictRate returns the fraction of executed conditional branches that
+// mispredicted.
+func (s Stats) MispredictRate() float64 {
+	if s.CondBranches == 0 {
+		return 0
+	}
+	return float64(s.Mispredicts) / float64(s.CondBranches)
+}
+
+// predictor is the direction-prediction interface: the paper's BTB with
+// 2-bit counters, or the gshare counterfactual.
+type predictor interface {
+	predict(pc int32) bool
+	update(pc int32, taken bool)
+}
+
+// btb is a direct-mapped branch target buffer with 2-bit saturating
+// counters.
+type btb struct {
+	tags  []int32
+	ctr   []uint8
+	valid []bool
+	mask  int32
+}
+
+func newBTB(entries int) *btb {
+	return &btb{
+		tags:  make([]int32, entries),
+		ctr:   make([]uint8, entries),
+		valid: make([]bool, entries),
+		mask:  int32(entries - 1),
+	}
+}
+
+// predict returns the predicted direction for the conditional branch at pc.
+// An untracked branch is predicted not-taken.
+func (b *btb) predict(pc int32) bool {
+	i := (pc / ir.InstrBytes) & b.mask
+	return b.valid[i] && b.tags[i] == pc && b.ctr[i] >= 2
+}
+
+// update trains the predictor with the branch outcome.
+func (b *btb) update(pc int32, taken bool) {
+	i := (pc / ir.InstrBytes) & b.mask
+	if !b.valid[i] || b.tags[i] != pc {
+		if !taken {
+			return // no-allocate on not-taken misses
+		}
+		b.valid[i] = true
+		b.tags[i] = pc
+		b.ctr[i] = 2
+		return
+	}
+	if taken {
+		if b.ctr[i] < 3 {
+			b.ctr[i]++
+		}
+	} else if b.ctr[i] > 0 {
+		b.ctr[i]--
+	}
+}
+
+// cache is a direct-mapped cache tracking only hit/miss (timing, not data).
+type cache struct {
+	tags     []int64
+	valid    []bool
+	mask     int64
+	blkShift uint
+}
+
+func newCache(cfg machine.CacheConfig) *cache {
+	lines := cfg.Lines()
+	shift := uint(0)
+	for 1<<shift < cfg.BlockSize {
+		shift++
+	}
+	return &cache{
+		tags:     make([]int64, lines),
+		valid:    make([]bool, lines),
+		mask:     int64(lines - 1),
+		blkShift: shift,
+	}
+}
+
+// access checks the block containing byte address addr, allocating it when
+// allocate is true.  It reports whether the access hit.
+func (c *cache) access(addr int64, allocate bool) bool {
+	blk := addr >> c.blkShift
+	i := blk & c.mask
+	if c.valid[i] && c.tags[i] == blk {
+		return true
+	}
+	if allocate {
+		c.valid[i] = true
+		c.tags[i] = blk
+	}
+	return false
+}
+
+// Simulate runs the trace through the configured processor model and
+// returns timing statistics.  The program must have had code addresses
+// assigned (Program.AssignAddresses) before the trace was produced.
+func Simulate(p *ir.Program, trace []emu.Event, cfg machine.Config) Stats {
+	var st Stats
+	regBase, predBase, nRegs, nPreds := regIndex(p)
+	regReady := make([]int64, nRegs)
+	predReady := make([]int64, nPreds)
+	fnOf := instrFuncIndex(p)
+
+	var bp predictor
+	if cfg.Gshare {
+		bp = newGshare(cfg.BTBEntries * 8)
+	} else {
+		bp = newBTB(cfg.BTBEntries)
+	}
+	var ic, dc *cache
+	if !cfg.PerfectCache {
+		ic = newCache(cfg.ICache)
+		dc = newCache(cfg.DCache)
+	}
+
+	predDist := int64(cfg.PredDist())
+
+	var fetchAvail int64 // earliest issue cycle allowed by the front end
+	var prevIssue int64
+	var curCycle int64 = -1
+	slots, brSlots := 0, 0
+	var lastIssue int64
+
+	for _, ev := range trace {
+		in := ev.In
+		fi := fnOf[in]
+		st.Instrs++
+
+		// Front end: instruction cache.
+		t := fetchAvail
+		if t < prevIssue {
+			t = prevIssue
+		}
+		if ic != nil && !ic.access(int64(in.Addr), true) {
+			st.ICacheMisses++
+			t += int64(cfg.ICache.MissCycles)
+			fetchAvail = t
+		}
+
+		// Operand readiness.
+		if in.Guard != ir.PNone {
+			if r := predReady[predBase[fi]+int32(in.Guard)]; r > t {
+				t = r
+			}
+		}
+		nullified := ev.Nullified()
+		var loadLat int64
+		if nullified {
+			st.Nullified++
+		} else {
+			var srcBuf [4]ir.Reg
+			for _, s := range in.SrcRegs(srcBuf[:0]) {
+				if r := regReady[regBase[fi]+int32(s)]; r > t {
+					t = r
+				}
+			}
+			switch in.Op {
+			case ir.Load:
+				st.Loads++
+				loadLat = int64(machine.Latency(ir.Load))
+				if dc != nil && !dc.access(int64(ev.Addr)*8, true) {
+					st.DCacheMisses++
+					loadLat += int64(cfg.DCache.MissCycles)
+				}
+			case ir.Store:
+				st.Stores++
+				// Write-through, no-allocate: a store miss does not stall
+				// (write buffer assumed) and does not allocate the block.
+				if dc != nil && !dc.access(int64(ev.Addr)*8, false) {
+					st.DCacheMisses++
+				}
+			}
+		}
+
+		// Issue slot allocation (in-order: never before the previous
+		// instruction's issue cycle).  A guard-suppressed branch is
+		// squashed at decode and does not occupy the branch unit.
+		isBranch := in.Op.IsBranch() && !nullified
+		for {
+			if t > curCycle {
+				curCycle = t
+				slots, brSlots = 0, 0
+			}
+			if slots < cfg.IssueWidth && (!isBranch || brSlots < cfg.BranchSlots) {
+				break
+			}
+			t = curCycle + 1
+		}
+		slots++
+		if isBranch {
+			brSlots++
+		}
+		issue := t
+		prevIssue = issue
+		lastIssue = issue
+
+		// Destination updates.
+		if !nullified {
+			if d := in.DefReg(); d != ir.RNone {
+				lat := int64(machine.Latency(in.Op))
+				if in.Op == ir.Load {
+					lat = loadLat
+				}
+				regReady[regBase[fi]+int32(d)] = issue + lat
+			}
+			switch in.Op {
+			case ir.PredDef:
+				var pBuf [2]ir.PReg
+				for _, pr := range in.PredDefs(pBuf[:0]) {
+					predReady[predBase[fi]+int32(pr)] = issue + predDist
+				}
+			case ir.PredClear, ir.PredSet:
+				base := predBase[fi]
+				var end int32
+				if int(fi)+1 < len(predBase) {
+					end = predBase[fi+1]
+				} else {
+					end = int32(len(predReady))
+				}
+				for i := base; i < end; i++ {
+					predReady[i] = issue + predDist
+				}
+			}
+		}
+
+		// Branch resolution and prediction.  A branch is dynamically
+		// conditional if it is a compare-and-branch or a guarded jump (the
+		// combined exits produced by branch combining); such branches are
+		// predicted by the BTB even when their guard nullifies them — the
+		// front end predicts at fetch, before decode-stage suppression.
+		if in.Op.IsBranch() {
+			if !nullified {
+				st.Branches++
+			}
+			taken := ev.Taken()
+			conditional := in.Op.IsCondBranch() || (in.Op == ir.Jump && in.Guard != ir.PNone)
+			switch {
+			case conditional:
+				st.CondBranches++
+				predicted := bp.predict(in.Addr)
+				bp.update(in.Addr, taken)
+				if predicted != taken {
+					st.Mispredicts++
+					fetchAvail = issue + 1 + int64(cfg.MispredictPenalty)
+				} else if taken {
+					fetchAvail = issue + int64(cfg.TakenBranchBubble)
+				}
+			default:
+				// Unguarded Jump, JSR, Ret: static or stack-predicted
+				// targets are assumed correctly predicted; only the
+				// configured taken redirect bubble applies.
+				if taken && !nullified {
+					fetchAvail = issue + int64(cfg.TakenBranchBubble)
+				}
+			}
+		}
+	}
+	st.Cycles = lastIssue + 1
+	return st
+}
+
+// regIndex assigns each function a base offset into program-wide register
+// and predicate readiness arrays.
+func regIndex(p *ir.Program) (regBase, predBase []int32, nRegs, nPreds int32) {
+	regBase = make([]int32, len(p.Funcs))
+	predBase = make([]int32, len(p.Funcs))
+	for i, f := range p.Funcs {
+		regBase[i] = nRegs
+		predBase[i] = nPreds
+		nRegs += int32(f.NextReg)
+		nPreds += int32(f.NextPReg)
+	}
+	return
+}
+
+// instrFuncIndex maps each static instruction to its function index.
+func instrFuncIndex(p *ir.Program) map[*ir.Instr]int32 {
+	m := make(map[*ir.Instr]int32, p.NumInstrs())
+	for i, f := range p.Funcs {
+		for _, b := range f.LiveBlocks(nil) {
+			for _, in := range b.Instrs {
+				m[in] = int32(i)
+			}
+		}
+	}
+	return m
+}
