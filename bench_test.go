@@ -146,11 +146,11 @@ func measure(b *testing.B, name string, model core.Model, mc machine.Config, opt
 	if err != nil {
 		b.Fatal(err)
 	}
-	run, err := emu.Run(c.Prog, emu.Options{Trace: true})
-	if err != nil {
+	s := sim.New(c.Prog, mc)
+	if _, err := emu.Run(c.Prog, emu.Options{Sink: s}); err != nil {
 		b.Fatal(err)
 	}
-	return sim.Simulate(c.Prog, run.Trace, mc)
+	return s.Stats()
 }
 
 // BenchmarkFigure5WcLoop reproduces the wc example: per-model cycle counts
@@ -324,6 +324,28 @@ func BenchmarkSimulate(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sim.Simulate(c.Prog, run.Trace, machine.Issue8Br1())
+	}
+}
+
+// BenchmarkSimulateStreaming times the emulate+simulate path with the
+// trace streamed into the simulator, never materialized — the harness's
+// per-run configuration (contrast with BenchmarkSimulate, which replays a
+// prebuilt slice).
+func BenchmarkSimulateStreaming(b *testing.B) {
+	k, _ := bench.ByName("wc")
+	c, err := core.Compile(k.Build(), core.FullPred, core.DefaultOptions(machine.Issue8Br1()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := sim.New(c.Prog, machine.Issue8Br1())
+		if _, err := emu.Run(c.Prog, emu.Options{Sink: s}); err != nil {
+			b.Fatal(err)
+		}
+		if s.Stats().Cycles == 0 {
+			b.Fatal("empty simulation")
+		}
 	}
 }
 

@@ -3,7 +3,8 @@
 //
 // Usage:
 //
-//	figures [-bench name,name,...] [-markdown | -csv] [-ext]
+//	figures [-bench name,name,...] [-kernels name,name,...] [-parallel N]
+//	        [-markdown | -csv] [-ext]
 package main
 
 import (
@@ -29,18 +30,29 @@ func run(args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("figures", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	benchList := fs.String("bench", "", "comma-separated kernel names (default: all)")
+	kernelList := fs.String("kernels", "", "comma-separated kernel names (alias of -bench)")
+	parallel := fs.Int("parallel", 0, "worker pool size for the benchmark matrix (0 = GOMAXPROCS, 1 = sequential)")
 	markdown := fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
 	csv := fs.Bool("csv", false, "emit comma-separated values")
 	ext := fs.Bool("ext", false, "also run the extension experiments (penalty sweep, predicate distance, register pressure, finite register files)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if *parallel < 0 {
+		return fmt.Errorf("-parallel %d: worker count cannot be negative", *parallel)
+	}
+	if *benchList != "" && *kernelList != "" && *benchList != *kernelList {
+		return fmt.Errorf("-bench and -kernels both given with different kernel lists")
+	}
 
 	opts := experiments.Options{
+		Parallel: *parallel,
 		Progress: func(s string) { fmt.Fprintln(errw, s) },
 	}
 	if *benchList != "" {
 		opts.Kernels = strings.Split(*benchList, ",")
+	} else if *kernelList != "" {
+		opts.Kernels = strings.Split(*kernelList, ",")
 	}
 	suite, err := experiments.Run(opts)
 	if err != nil {

@@ -116,3 +116,50 @@ func TestUnknownKernel(t *testing.T) {
 		t.Error("expected error for unknown kernel")
 	}
 }
+
+// TestKernelsFlag: -kernels filters the suite like -bench, and the run
+// emits one progress line per completed benchmark.
+func TestKernelsFlag(t *testing.T) {
+	var out, progress strings.Builder
+	if err := run([]string{"-kernels", "wc,cmp"}, &out, &progress); err != nil {
+		t.Fatalf("figures -kernels: %v", err)
+	}
+	if !strings.Contains(out.String(), "wc") || !strings.Contains(out.String(), "cmp") {
+		t.Error("selected kernels missing from output")
+	}
+	if strings.Contains(out.String(), "grep") {
+		t.Error("unselected kernel present in filtered run")
+	}
+	var lines int
+	for _, l := range strings.Split(strings.TrimSpace(progress.String()), "\n") {
+		if strings.Contains(l, "done") {
+			lines++
+		}
+	}
+	if lines != 2 {
+		t.Errorf("%d progress lines, want one per benchmark (2):\n%s", lines, progress.String())
+	}
+}
+
+// TestParallelFlag: the worker-pool size flag is accepted and produces
+// the same tables as the sequential path; a negative value is rejected.
+func TestParallelFlag(t *testing.T) {
+	seq := capture(t, "-kernels", "wc", "-parallel", "1")
+	par := capture(t, "-kernels", "wc", "-parallel", "4")
+	if seq != par {
+		t.Errorf("parallel output differs from sequential:\n--- parallel=1\n%s\n--- parallel=4\n%s", seq, par)
+	}
+	var sb strings.Builder
+	if err := run([]string{"-parallel", "-2", "-kernels", "wc"}, &sb, io.Discard); err == nil {
+		t.Error("expected error for negative -parallel")
+	}
+}
+
+// TestBenchKernelsConflict: giving both filter flags with different lists
+// is an error rather than silently preferring one.
+func TestBenchKernelsConflict(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-bench", "wc", "-kernels", "grep"}, &sb, io.Discard); err == nil {
+		t.Error("expected error for conflicting -bench and -kernels")
+	}
+}

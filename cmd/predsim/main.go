@@ -33,6 +33,20 @@ func main() {
 	}
 }
 
+// countingSink tallies dynamic executions per static instruction.
+type countingSink map[*ir.Instr]int
+
+func (c countingSink) Event(ev emu.Event) { c[ev.In]++ }
+
+// multiSink fans the event stream out to several sinks.
+type multiSink []emu.TraceSink
+
+func (m multiSink) Event(ev emu.Event) {
+	for _, s := range m {
+		s.Event(ev)
+	}
+}
+
 // run parses args, compiles the selected program under the selected model,
 // simulates it, and writes the report to out.
 func run(args []string, out io.Writer) error {
@@ -122,17 +136,22 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprint(out, c.Prog.String())
 	}
 
-	runRes, err := emu.Run(c.Prog, emu.Options{Trace: true})
+	// Stream the emulation into the timing simulator — and, for -schedule,
+	// a per-instruction frequency counter — without materializing the trace.
+	simulator := sim.New(c.Prog, mc)
+	var sink emu.TraceSink = simulator
+	var counts countingSink
+	if *schedule {
+		counts = countingSink{}
+		sink = multiSink{simulator, counts}
+	}
+	runRes, err := emu.Run(c.Prog, emu.Options{Sink: sink})
 	if err != nil {
 		return err
 	}
-	st := sim.Simulate(c.Prog, runRes.Trace, mc)
+	st := simulator.Stats()
 	if *schedule {
 		// The hottest block: largest contribution to the trace.
-		counts := map[*ir.Instr]int{}
-		for _, ev := range runRes.Trace {
-			counts[ev.In]++
-		}
 		var best *ir.Block
 		bestN := -1
 		for _, fn := range c.Prog.Funcs {

@@ -1,0 +1,303 @@
+// Package builder is the fluent IR-construction DSL in which the benchmark
+// kernels, examples, and tests are written.  It substitutes for the IMPACT
+// compiler's C front end (see DESIGN.md §2): the paper's results depend on
+// the control-flow shape of the code reaching the back end, not on C
+// parsing, so programs are assembled directly as ir.Program values.
+//
+// A program is built from a *B created by New, which manages the data image
+// and the function table:
+//
+//	p := builder.New(1 << 16)           // 64K words of memory
+//	data := p.Words(7, 8, 9)            // initialized data, base address
+//	f := p.Func("main")                 // a function
+//	i := f.Reg()                        // a fresh virtual register
+//	entry, loop := f.Entry(), f.Block("loop")
+//	entry.Mov(i, 0)
+//	entry.Fall(loop)
+//	loop.Load(i, i, data).Halt()
+//	prog := p.Program()                 // verified *ir.Program
+//
+// Block methods return their receiver so straight-line code chains:
+// entry.Mov(a, 1).Mov(b, 2).Store(0, 8, a).  Operands are coerced from Go
+// values: ir.Reg becomes a register operand, int/int64 an integer
+// immediate, float64 a floating immediate (ir.FImm), and an ir.Operand
+// passes through untouched.
+//
+// Blocks may be written in multi-exit form (branches anywhere in the
+// instruction list); Program.Normalize — called by every compilation
+// pipeline — splits them into canonical basic blocks before formation.
+package builder
+
+import (
+	"fmt"
+
+	"predication/internal/ir"
+)
+
+// DataBase is the first memory word the builder hands out for program
+// data.  The words below it are reserved: word 0 is ir.SafeAddr (the
+// partial-predication store-suppression target) and word 8 is the
+// benchmark checksum slot (bench.CheckAddr); the rest is headroom for
+// test scratch stores.  The asm package's .data convention matches.
+const DataBase = 16
+
+// B builds one program: functions plus the initial data image.  The zero
+// value is not usable; create builders with New.
+type B struct {
+	// P is the program under construction.  Tests that need to bypass the
+	// verification performed by Program may read it directly.
+	P *ir.Program
+
+	next   int64 // next unallocated data word
+	fns    map[string]int
+	fixups []fixup
+}
+
+// fixup is a Call whose callee was not yet defined when the call site was
+// built; Program resolves it by name.
+type fixup struct {
+	in   *ir.Instr
+	name string
+}
+
+// New creates a builder for a program with the given memory size in words.
+func New(memWords int) *B {
+	return &B{P: ir.NewProgram(memWords), next: DataBase, fns: map[string]int{}}
+}
+
+// reserve allocates n contiguous data words and returns the base address.
+func (b *B) reserve(n int) int64 {
+	base := b.next
+	b.next += int64(n)
+	if b.next > int64(b.P.MemWords) {
+		panic(fmt.Sprintf("builder: data segment needs %d words, memory has %d", b.next, b.P.MemWords))
+	}
+	for int64(len(b.P.Data)) < b.next {
+		b.P.Data = append(b.P.Data, 0)
+	}
+	return base
+}
+
+// Words places the given words in the data image and returns their base
+// word address.
+func (b *B) Words(vs ...int64) int64 {
+	base := b.reserve(len(vs))
+	copy(b.P.Data[base:], vs)
+	return base
+}
+
+// Floats places float64 values (stored as their bit patterns, the
+// emulator's FP representation) and returns their base word address.
+func (b *B) Floats(vs ...float64) int64 {
+	base := b.reserve(len(vs))
+	for i, v := range vs {
+		b.P.Data[base+int64(i)] = ir.F2I(v)
+	}
+	return base
+}
+
+// Bytes places a string one character per word (the memory is word
+// addressed; character data trades density for uniform addressing) and
+// returns its base word address.
+func (b *B) Bytes(s string) int64 {
+	base := b.reserve(len(s))
+	for i := 0; i < len(s); i++ {
+		b.P.Data[base+int64(i)] = int64(s[i])
+	}
+	return base
+}
+
+// Alloc reserves n zero-initialized data words and returns their base
+// word address.
+func (b *B) Alloc(n int) int64 { return b.reserve(n) }
+
+// SetWord writes val at an absolute word address, growing the data image
+// as needed.  Later allocations are placed past addr so they cannot
+// clobber it.  Intended for test fixtures that load from fixed addresses.
+func (b *B) SetWord(addr, val int64) *B {
+	if addr >= int64(b.P.MemWords) {
+		panic(fmt.Sprintf("builder: SetWord address %d outside memory (%d words)", addr, b.P.MemWords))
+	}
+	for int64(len(b.P.Data)) <= addr {
+		b.P.Data = append(b.P.Data, 0)
+	}
+	b.P.Data[addr] = val
+	if addr >= b.next {
+		b.next = addr + 1
+	}
+	return b
+}
+
+// Func appends a new function and returns its builder.  The first function
+// created is the program entry (override via Program().Entry).
+func (b *B) Func(name string) *Fn {
+	f := ir.NewFunc(name)
+	b.fns[name] = b.P.AddFunc(f)
+	return &Fn{F: f, pb: b}
+}
+
+// Program resolves forward Call references, verifies the program, and
+// returns it.  It panics on structural errors: builder programs are
+// authored in source, so an invalid one is a programming bug, not input.
+func (b *B) Program() *ir.Program {
+	for _, fx := range b.fixups {
+		idx, ok := b.fns[fx.name]
+		if !ok {
+			panic(fmt.Sprintf("builder: call to undefined function %q", fx.name))
+		}
+		fx.in.Target = idx
+	}
+	b.fixups = b.fixups[:0]
+	if err := b.P.Verify(); err != nil {
+		panic(fmt.Sprintf("builder: invalid program: %v", err))
+	}
+	return b.P
+}
+
+// Fn builds one function.
+type Fn struct {
+	// F is the underlying function, exposed for direct access to register
+	// allocation (F.NewPReg) and block internals in tests.
+	F *ir.Func
+
+	pb *B
+}
+
+// Entry returns the function's entry block.
+func (f *Fn) Entry() *Blk {
+	e := f.F.EntryBlock()
+	if e.Name == "" {
+		e.Name = "entry"
+	}
+	return &Blk{B: e, fn: f}
+}
+
+// Block appends a fresh block labeled name for diagnostics.
+func (f *Fn) Block(name string) *Blk {
+	blk := f.F.NewBlock()
+	blk.Name = name
+	return &Blk{B: blk, fn: f}
+}
+
+// Reg allocates a fresh virtual integer/FP register.
+func (f *Fn) Reg() ir.Reg { return f.F.NewReg() }
+
+// Regs allocates n fresh virtual registers.
+func (f *Fn) Regs(n int) []ir.Reg {
+	rs := make([]ir.Reg, n)
+	for i := range rs {
+		rs[i] = f.F.NewReg()
+	}
+	return rs
+}
+
+// Blk builds one block.  Every method returns the receiver for chaining.
+type Blk struct {
+	// B is the underlying block, exposed so tests can append hand-built
+	// instructions (predicate defines, guarded instructions) directly.
+	B *ir.Block
+
+	fn *Fn
+}
+
+// ID returns the block's stable ID (the branch-target namespace).
+func (bl *Blk) ID() int { return bl.B.ID }
+
+// operand coerces a Go value to an instruction operand.
+func operand(v any) ir.Operand {
+	switch x := v.(type) {
+	case ir.Operand:
+		return x
+	case ir.Reg:
+		return ir.R(x)
+	case int:
+		return ir.Imm(int64(x))
+	case int32:
+		return ir.Imm(int64(x))
+	case int64:
+		return ir.Imm(x)
+	case float64:
+		return ir.FImm(x)
+	default:
+		panic(fmt.Sprintf("builder: cannot use %T (%v) as an operand", v, v))
+	}
+}
+
+// I appends a generic instruction: op dst, srcs...
+//
+// CMov/CMovCom take (value, condition); the condition is stored in the
+// instruction's C slot (the slot the emulator and dependence analysis
+// read it from), so two-source calls map src1 to C, not B.
+func (bl *Blk) I(op ir.Op, dst ir.Reg, srcs ...any) *Blk {
+	ops := make([]ir.Operand, len(srcs))
+	for i, s := range srcs {
+		ops[i] = operand(s)
+	}
+	if (op == ir.CMov || op == ir.CMovCom) && len(ops) == 2 {
+		bl.B.Append(&ir.Instr{Op: op, Dst: dst, A: ops[0], C: ops[1]})
+		return bl
+	}
+	bl.B.Append(ir.NewInstr(op, dst, ops...))
+	return bl
+}
+
+// Mov appends dst = src.
+func (bl *Blk) Mov(dst ir.Reg, src any) *Blk {
+	bl.B.Append(ir.NewInstr(ir.Mov, dst, operand(src)))
+	return bl
+}
+
+// Load appends dst = mem[a+b].
+func (bl *Blk) Load(dst ir.Reg, a, b any) *Blk {
+	bl.B.Append(ir.NewInstr(ir.Load, dst, operand(a), operand(b)))
+	return bl
+}
+
+// Store appends mem[a+b] = c.
+func (bl *Blk) Store(a, b, c any) *Blk {
+	bl.B.Append(ir.NewInstr(ir.Store, ir.RNone, operand(a), operand(b), operand(c)))
+	return bl
+}
+
+// Br appends a conditional compare-and-branch to target.
+func (bl *Blk) Br(cmp ir.Cmp, a, b any, target *Blk) *Blk {
+	bl.B.Append(ir.NewBranch(cmp, operand(a), operand(b), target.ID()))
+	return bl
+}
+
+// Jmp appends an unconditional jump to target.
+func (bl *Blk) Jmp(target *Blk) *Blk {
+	bl.B.Append(&ir.Instr{Op: ir.Jump, Target: target.ID()})
+	return bl
+}
+
+// Fall declares target as the fallthrough successor.
+func (bl *Blk) Fall(target *Blk) *Blk {
+	bl.B.Fall = target.ID()
+	return bl
+}
+
+// Halt appends a program halt.
+func (bl *Blk) Halt() *Blk {
+	bl.B.Append(&ir.Instr{Op: ir.Halt})
+	return bl
+}
+
+// Ret appends a function return.
+func (bl *Blk) Ret() *Blk {
+	bl.B.Append(&ir.Instr{Op: ir.Ret})
+	return bl
+}
+
+// Call appends a subroutine call to the named function.  The callee may be
+// defined later; Program resolves the reference.
+func (bl *Blk) Call(name string) *Blk {
+	in := &ir.Instr{Op: ir.JSR, Target: -1}
+	if idx, ok := bl.fn.pb.fns[name]; ok {
+		in.Target = idx
+	} else {
+		bl.fn.pb.fixups = append(bl.fn.pb.fixups, fixup{in, name})
+	}
+	bl.B.Append(in)
+	return bl
+}

@@ -1,0 +1,108 @@
+package builder
+
+import (
+	"testing"
+
+	"predication/internal/emu"
+	"predication/internal/ir"
+)
+
+func TestDataLayout(t *testing.T) {
+	p := New(256)
+	w := p.Words(7, 8, 9)
+	if w != DataBase {
+		t.Fatalf("first allocation at %d, want %d", w, DataBase)
+	}
+	f := p.Floats(1.5)
+	if f != w+3 {
+		t.Fatalf("floats at %d, want %d", f, w+3)
+	}
+	s := p.Bytes("ab")
+	if s != f+1 {
+		t.Fatalf("bytes at %d, want %d", s, f+1)
+	}
+	a := p.Alloc(4)
+	if a != s+2 {
+		t.Fatalf("alloc at %d, want %d", a, s+2)
+	}
+	p.SetWord(a+10, 42)
+	fn := p.Func("main")
+	fn.Entry().Halt()
+	prog := p.Program()
+	if got := prog.Data[w+1]; got != 8 {
+		t.Errorf("word %d = %d, want 8", w+1, got)
+	}
+	if got := prog.Data[f]; got != ir.F2I(1.5) {
+		t.Errorf("float word = %d, want bits of 1.5", got)
+	}
+	if got := prog.Data[s]; got != 'a' {
+		t.Errorf("byte word = %d, want 'a'", got)
+	}
+	if got := prog.Data[a+10]; got != 42 {
+		t.Errorf("SetWord word = %d, want 42", got)
+	}
+	if next := p.Alloc(1); next != a+11 {
+		t.Errorf("allocation after SetWord at %d, want %d (must not overlap)", next, a+11)
+	}
+}
+
+func TestOperandCoercion(t *testing.T) {
+	p := New(64)
+	f := p.Func("main")
+	r := f.Reg()
+	b := f.Entry()
+	b.I(ir.Add, r, r, int64(2))
+	b.I(ir.Add, r, r, 3) // untyped int
+	b.Mov(f.Reg(), 1.25)
+	in := b.B.Instrs[0]
+	if !in.A.IsReg() || in.A.R != r {
+		t.Errorf("src0 = %+v, want register %d", in.A, r)
+	}
+	if in.B.IsReg() || in.B.Imm != 2 {
+		t.Errorf("src1 = %+v, want immediate 2", in.B)
+	}
+	mov := b.B.Instrs[2]
+	if mov.A.Imm != ir.F2I(1.25) {
+		t.Errorf("float mov operand = %+v, want bits of 1.25", mov.A)
+	}
+}
+
+func TestControlFlowAndCalls(t *testing.T) {
+	p := New(64)
+	main := p.Func("main")
+	i := main.Reg()
+	entry, loop, done := main.Entry(), main.Block("loop"), main.Block("done")
+	entry.Mov(i, 0).Fall(loop)
+	loop.I(ir.Add, i, i, 1)
+	loop.Call("bump") // forward reference, resolved by Program
+	loop.Br(ir.LT, i, 3, loop)
+	loop.Fall(done)
+	done.Store(0, 10, i).Halt()
+
+	bump := p.Func("bump")
+	bump.Entry().Store(0, 11, 99).Ret()
+
+	prog := p.Program()
+	res, err := emu.Run(prog, emu.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Word(10); got != 3 {
+		t.Errorf("loop result %d, want 3", got)
+	}
+	if got := res.Word(11); got != 99 {
+		t.Errorf("callee store %d, want 99", got)
+	}
+}
+
+func TestUndefinedCallPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Program must panic on a call to an undefined function")
+		}
+	}()
+	p := New(64)
+	f := p.Func("main")
+	f.Entry().Call("nope").Halt()
+	p.Program()
+}

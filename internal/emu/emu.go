@@ -39,10 +39,35 @@ func (e Event) Nullified() bool { return e.Flags&FlagNullified != 0 }
 // Taken reports whether a control transfer redirected fetch.
 func (e Event) Taken() bool { return e.Flags&FlagTaken != 0 }
 
+// A TraceSink consumes the dynamic instruction stream as the emulator
+// produces it, one Event per fetched instruction in program order.  It is
+// how the timing simulator (sim.Simulator) overlaps with emulation without
+// the run ever materializing the trace: memory stays O(1) in the dynamic
+// instruction count instead of O(n).  Event values share the underlying
+// *ir.Instr with the emulator; sinks must not retain or modify it beyond
+// the fields of the Event itself.
+type TraceSink interface {
+	Event(ev Event)
+}
+
+// SliceSink is the materializing TraceSink: it collects every event into
+// Events, reproducing the legacy []Event trace for consumers that need
+// random access (stage dumps, ablation benches, differential tests).
+type SliceSink struct {
+	Events []Event
+}
+
+// Event appends ev to the slice.
+func (s *SliceSink) Event(ev Event) { s.Events = append(s.Events, ev) }
+
 // Options configures an emulation run.
 type Options struct {
-	// Trace enables dynamic trace collection.
+	// Trace enables dynamic trace collection into Result.Trace.
 	Trace bool
+	// Sink, when non-nil, receives every dynamic instruction as it
+	// executes.  Independent of Trace: setting only Sink streams the trace
+	// without materializing it.
+	Sink TraceSink
 	// Profile, when non-nil, accumulates block and branch frequencies.
 	Profile *cfg.Profile
 	// MaxSteps bounds execution (0 means the 500M default).
@@ -104,6 +129,15 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 	if prof != nil {
 		prof.BlockCount[blk]++
 	}
+	tracing := opts.Trace || opts.Sink != nil
+	emit := func(ev Event) {
+		if opts.Trace {
+			res.Trace = append(res.Trace, ev)
+		}
+		if opts.Sink != nil {
+			opts.Sink.Event(ev)
+		}
+	}
 
 	enterBlock := func(id int) error {
 		b := cur.f.Blocks[id]
@@ -147,8 +181,8 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 		// regardless of the input predicate value (Table 1: Pin=0 rows).
 		if !guardTrue && in.Op != ir.PredDef {
 			ev.Flags |= FlagNullified
-			if opts.Trace {
-				res.Trace = append(res.Trace, ev)
+			if tracing {
+				emit(ev)
 			}
 			if prof != nil && in.Op.IsBranch() {
 				prof.NotTaken[in]++
@@ -172,8 +206,8 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 			// model: the predicate semantics live in the Guard fields of
 			// the covered instructions.
 		case ir.Halt:
-			if opts.Trace {
-				res.Trace = append(res.Trace, ev)
+			if tracing {
+				emit(ev)
 			}
 			res.Steps = steps
 			return res, nil
@@ -323,8 +357,8 @@ func Run(p *ir.Program, opts Options) (*Result, error) {
 				prof.NotTaken[in]++
 			}
 		}
-		if opts.Trace {
-			res.Trace = append(res.Trace, ev)
+		if tracing {
+			emit(ev)
 		}
 
 		if taken {

@@ -11,6 +11,8 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"predication/internal/bench"
 	"predication/internal/core"
@@ -50,8 +52,13 @@ type Suite struct {
 type Options struct {
 	// Kernels restricts the run to the named kernels (nil = all).
 	Kernels []string
-	// Progress, when non-nil, receives one line per benchmark.
+	// Progress, when non-nil, receives one line per completed benchmark.
+	// It may be called from worker goroutines, but never concurrently.
 	Progress func(string)
+	// Parallel bounds the worker pool the kernel × model × target matrix
+	// fans out across: 0 means runtime.GOMAXPROCS(0), 1 forces the
+	// sequential path.
+	Parallel int
 }
 
 // schedTargets are the machine configurations code is scheduled for.  The
@@ -77,63 +84,194 @@ func simsFor(target machine.Config) []machine.Config {
 	}
 }
 
-// Run executes the full evaluation.
-func Run(opts Options) (*Suite, error) {
-	kernels := bench.All()
-	if opts.Kernels != nil {
-		kernels = kernels[:0]
-		for _, name := range opts.Kernels {
-			k, err := bench.ByName(name)
-			if err != nil {
-				return nil, err
-			}
-			kernels = append(kernels, k)
-		}
-	}
-	suite := &Suite{}
-	for _, k := range kernels {
-		r, err := RunBenchmark(k)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", k.Name, err)
-		}
-		suite.Results = append(suite.Results, r)
-		if opts.Progress != nil {
-			opts.Progress(fmt.Sprintf("%-14s done (%d configurations)", k.Name, len(r.Stats)))
-		}
-	}
-	return suite, nil
+// cellSpec is one (model, sched-target) point of the evaluation matrix.
+type cellSpec struct {
+	model  core.Model
+	target machine.Config
 }
 
-// RunBenchmark measures one kernel across all models and configurations.
-func RunBenchmark(k *bench.Kernel) (*BenchResult, error) {
-	res := &BenchResult{Name: k.Name, Stats: map[Key]sim.Stats{}}
-	ref, err := emu.Run(k.Build(), emu.Options{})
-	if err != nil {
-		return nil, fmt.Errorf("reference run: %w", err)
-	}
-	res.Checksum = ref.Word(bench.CheckAddr)
-
+// matrixCells enumerates the matrix points measured for every kernel, in
+// reporting order.
+func matrixCells() []cellSpec {
+	var cells []cellSpec
 	for _, model := range Models {
 		for _, target := range schedTargets {
 			if target.Name == "issue1" && model != core.Superblock {
 				continue // the 1-issue baseline is always superblock code
 			}
-			c, err := core.Compile(k.Build(), model, core.DefaultOptions(target))
+			cells = append(cells, cellSpec{model, target})
+		}
+	}
+	return cells
+}
+
+// cellResult is one matrix point's measurements: the stats of every
+// simulator configuration sharing the cell's scheduled code, plus the
+// cell's own checksum (validated against the reference run at merge).
+type cellResult struct {
+	stats    []sim.Stats // parallel to simsFor(target)
+	checksum int64
+}
+
+// runCell compiles the kernel once for the cell's model and target,
+// emulates the compiled program once, and streams the dynamic trace into
+// one sim.Simulator per simulator configuration simultaneously — the
+// compile-once / emulate-once / simulate-many core of the harness.  The
+// trace is never materialized.
+func runCell(k *bench.Kernel, cell cellSpec) (*cellResult, error) {
+	c, err := core.Compile(k.Build(), cell.model, core.DefaultOptions(cell.target))
+	if err != nil {
+		return nil, fmt.Errorf("%v @ %s: %w", cell.model, cell.target.Name, err)
+	}
+	cfgs := simsFor(cell.target)
+	sims := make([]*sim.Simulator, len(cfgs))
+	for i, sc := range cfgs {
+		sims[i] = sim.New(c.Prog, sc)
+	}
+	var sink emu.TraceSink = sims[0]
+	if len(sims) > 1 {
+		sink = multiSink(sims)
+	}
+	run, err := emu.Run(c.Prog, emu.Options{Sink: sink})
+	if err != nil {
+		return nil, fmt.Errorf("%v @ %s: emulate: %w", cell.model, cell.target.Name, err)
+	}
+	res := &cellResult{checksum: run.Word(bench.CheckAddr)}
+	for _, s := range sims {
+		res.stats = append(res.stats, s.Stats())
+	}
+	return res, nil
+}
+
+// multiSink fans one emulation's event stream out to several simulators
+// (the perfect-cache and real-cache variants of one scheduled binary).
+type multiSink []*sim.Simulator
+
+func (m multiSink) Event(ev emu.Event) {
+	for _, s := range m {
+		s.Event(ev)
+	}
+}
+
+// Run executes the full evaluation.  The kernel × model × target matrix —
+// plus each kernel's uncompiled reference run — fans out across a worker
+// pool of Options.Parallel goroutines; results merge in deterministic
+// reporting order regardless of completion order, and the first failing
+// job (lowest job index) cancels the jobs behind it.
+func Run(opts Options) (*Suite, error) {
+	kernels := bench.All()
+	if opts.Kernels != nil {
+		named := make([]*bench.Kernel, 0, len(opts.Kernels))
+		for _, name := range opts.Kernels {
+			k, err := bench.ByName(name)
 			if err != nil {
-				return nil, fmt.Errorf("%v @ %s: %w", model, target.Name, err)
+				return nil, err
 			}
-			run, err := emu.Run(c.Prog, emu.Options{Trace: true})
+			named = append(named, k)
+		}
+		kernels = named
+	}
+	cells := matrixCells()
+
+	// Flatten to one job list: per kernel, the reference run followed by
+	// every matrix cell.  Job index i maps to kernel i/stride.
+	stride := 1 + len(cells)
+	n := len(kernels) * stride
+	refSums := make([]int64, len(kernels))
+	cellRes := make([]*cellResult, n)
+
+	remaining := make([]int32, len(kernels)) // per-kernel jobs outstanding
+	for i := range remaining {
+		remaining[i] = int32(stride)
+	}
+	nConfigs := 0
+	for _, cell := range cells {
+		nConfigs += len(simsFor(cell.target))
+	}
+	var progressMu sync.Mutex
+
+	err := runJobs(n, opts.Parallel, func(i int) error {
+		ki := i / stride
+		k := kernels[ki]
+		if i%stride == 0 {
+			ref, err := emu.Run(k.Build(), emu.Options{})
 			if err != nil {
-				return nil, fmt.Errorf("%v @ %s: emulate: %w", model, target.Name, err)
+				return fmt.Errorf("%s: reference run: %w", k.Name, err)
 			}
-			if got := run.Word(bench.CheckAddr); got != res.Checksum {
-				return nil, fmt.Errorf("%v @ %s: checksum mismatch %#x != %#x",
-					model, target.Name, got, res.Checksum)
+			refSums[ki] = ref.Word(bench.CheckAddr)
+		} else {
+			cr, err := runCell(k, cells[i%stride-1])
+			if err != nil {
+				return fmt.Errorf("%s: %w", k.Name, err)
 			}
-			for _, sc := range simsFor(target) {
-				st := sim.Simulate(c.Prog, run.Trace, sc)
-				res.Stats[Key{model, sc.Name}] = st
+			cellRes[i] = cr
+		}
+		if opts.Progress != nil && atomic.AddInt32(&remaining[ki], -1) == 0 {
+			progressMu.Lock()
+			opts.Progress(fmt.Sprintf("%-14s done (%d configurations)", k.Name, nConfigs))
+			progressMu.Unlock()
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Deterministic merge: kernels in suite order, cells in reporting
+	// order; checksums validated against each kernel's reference run.
+	suite := &Suite{}
+	for ki, k := range kernels {
+		res := &BenchResult{Name: k.Name, Stats: map[Key]sim.Stats{}, Checksum: refSums[ki]}
+		for ci, cell := range cells {
+			cr := cellRes[ki*stride+1+ci]
+			if cr.checksum != res.Checksum {
+				return nil, fmt.Errorf("%s: %v @ %s: checksum mismatch %#x != %#x",
+					k.Name, cell.model, cell.target.Name, cr.checksum, res.Checksum)
 			}
+			for si, sc := range simsFor(cell.target) {
+				res.Stats[Key{cell.model, sc.Name}] = cr.stats[si]
+			}
+		}
+		suite.Results = append(suite.Results, res)
+	}
+	return suite, nil
+}
+
+// RunBenchmark measures one kernel across all models and configurations,
+// fanning its matrix cells out across the worker pool.
+func RunBenchmark(k *bench.Kernel) (*BenchResult, error) {
+	res := &BenchResult{Name: k.Name, Stats: map[Key]sim.Stats{}}
+	cells := matrixCells()
+	cellRes := make([]*cellResult, len(cells))
+
+	err := runJobs(1+len(cells), 0, func(i int) error {
+		if i == 0 {
+			ref, err := emu.Run(k.Build(), emu.Options{})
+			if err != nil {
+				return fmt.Errorf("reference run: %w", err)
+			}
+			res.Checksum = ref.Word(bench.CheckAddr)
+			return nil
+		}
+		cr, err := runCell(k, cells[i-1])
+		if err != nil {
+			return err
+		}
+		cellRes[i-1] = cr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for ci, cell := range cells {
+		cr := cellRes[ci]
+		if cr.checksum != res.Checksum {
+			return nil, fmt.Errorf("%v @ %s: checksum mismatch %#x != %#x",
+				cell.model, cell.target.Name, cr.checksum, res.Checksum)
+		}
+		for si, sc := range simsFor(cell.target) {
+			res.Stats[Key{cell.model, sc.Name}] = cr.stats[si]
 		}
 	}
 	return res, nil

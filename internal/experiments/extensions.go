@@ -38,11 +38,11 @@ func measureKernel(name string, model core.Model, mc machine.Config, mutate func
 	if err != nil {
 		return sim.Stats{}, nil, err
 	}
-	run, err := emu.Run(c.Prog, emu.Options{Trace: true})
-	if err != nil {
+	s := sim.New(c.Prog, mc)
+	if _, err := emu.Run(c.Prog, emu.Options{Sink: s}); err != nil {
 		return sim.Stats{}, nil, err
 	}
-	return sim.Simulate(c.Prog, run.Trace, mc), c, nil
+	return s.Stats(), c, nil
 }
 
 // defaultExtensionKernels is the control-intensive subset used by the

@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// runJobs executes fn(0) … fn(n-1) across a bounded worker pool and
+// returns the error of the lowest-indexed failing job, or nil.
+//
+// Jobs are claimed in index order.  On the first failure no job with a
+// higher index is started (already-running jobs finish), so every job
+// below the lowest failing index runs to completion and the returned
+// error is deterministic.  workers <= 0 means runtime.GOMAXPROCS(0);
+// workers == 1 degenerates to a plain sequential loop (the timing
+// baseline for the parallel harness).
+func runJobs(n, workers int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var next atomic.Int64
+	var failed atomic.Int64 // lowest failing index; jobs beyond it are cancelled
+	failed.Store(int64(n))
+	errs := make([]error, n)
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= n || int64(i) > failed.Load() {
+					return
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					for {
+						f := failed.Load()
+						if int64(i) >= f || failed.CompareAndSwap(f, int64(i)) {
+							break
+						}
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

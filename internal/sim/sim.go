@@ -137,172 +137,212 @@ func (c *cache) access(addr int64, allocate bool) bool {
 	return false
 }
 
-// Simulate runs the trace through the configured processor model and
-// returns timing statistics.  The program must have had code addresses
-// assigned (Program.AssignAddresses) before the trace was produced.
-func Simulate(p *ir.Program, trace []emu.Event, cfg machine.Config) Stats {
-	var st Stats
-	regBase, predBase, nRegs, nPreds := regIndex(p)
-	regReady := make([]int64, nRegs)
-	predReady := make([]int64, nPreds)
-	fnOf := instrFuncIndex(p)
+// Simulator is the streaming form of the timing model: it implements
+// emu.TraceSink, consuming the dynamic instruction stream one event at a
+// time while the emulator produces it.  State is O(static program size) —
+// readiness arrays, predictor, caches — independent of trace length, so a
+// run never materializes the trace.  Feed every event through Event, then
+// read the totals with Stats.
+type Simulator struct {
+	cfg machine.Config
+	st  Stats
 
-	var bp predictor
+	regBase, predBase   []int32
+	regReady, predReady []int64
+	fnOf                map[*ir.Instr]int32
+
+	bp     predictor
+	ic, dc *cache
+
+	predDist int64
+
+	fetchAvail int64 // earliest issue cycle allowed by the front end
+	prevIssue  int64
+	curCycle   int64
+	slots      int
+	brSlots    int
+	lastIssue  int64
+}
+
+// New creates a simulator for the given program and processor
+// configuration.  The program must have had code addresses assigned
+// (Program.AssignAddresses) before the trace is produced.
+func New(p *ir.Program, cfg machine.Config) *Simulator {
+	s := &Simulator{cfg: cfg, curCycle: -1, predDist: int64(cfg.PredDist())}
+	var nRegs, nPreds int32
+	s.regBase, s.predBase, nRegs, nPreds = regIndex(p)
+	s.regReady = make([]int64, nRegs)
+	s.predReady = make([]int64, nPreds)
+	s.fnOf = instrFuncIndex(p)
 	if cfg.Gshare {
-		bp = newGshare(cfg.BTBEntries * 8)
+		s.bp = newGshare(cfg.BTBEntries * 8)
 	} else {
-		bp = newBTB(cfg.BTBEntries)
+		s.bp = newBTB(cfg.BTBEntries)
 	}
-	var ic, dc *cache
 	if !cfg.PerfectCache {
-		ic = newCache(cfg.ICache)
-		dc = newCache(cfg.DCache)
+		s.ic = newCache(cfg.ICache)
+		s.dc = newCache(cfg.DCache)
+	}
+	return s
+}
+
+// Stats returns the statistics accumulated so far.  It may be called at
+// any point; the Cycles field reflects the issue cycle of the latest
+// event.
+func (s *Simulator) Stats() Stats {
+	st := s.st
+	st.Cycles = s.lastIssue + 1
+	return st
+}
+
+// Event advances the processor model by one dynamic instruction.  It
+// implements emu.TraceSink.
+func (s *Simulator) Event(ev emu.Event) {
+	cfg := &s.cfg
+	in := ev.In
+	fi := s.fnOf[in]
+	s.st.Instrs++
+
+	// Front end: instruction cache.
+	t := s.fetchAvail
+	if t < s.prevIssue {
+		t = s.prevIssue
+	}
+	if s.ic != nil && !s.ic.access(int64(in.Addr), true) {
+		s.st.ICacheMisses++
+		t += int64(cfg.ICache.MissCycles)
+		s.fetchAvail = t
 	}
 
-	predDist := int64(cfg.PredDist())
-
-	var fetchAvail int64 // earliest issue cycle allowed by the front end
-	var prevIssue int64
-	var curCycle int64 = -1
-	slots, brSlots := 0, 0
-	var lastIssue int64
-
-	for _, ev := range trace {
-		in := ev.In
-		fi := fnOf[in]
-		st.Instrs++
-
-		// Front end: instruction cache.
-		t := fetchAvail
-		if t < prevIssue {
-			t = prevIssue
+	// Operand readiness.
+	if in.Guard != ir.PNone {
+		if r := s.predReady[s.predBase[fi]+int32(in.Guard)]; r > t {
+			t = r
 		}
-		if ic != nil && !ic.access(int64(in.Addr), true) {
-			st.ICacheMisses++
-			t += int64(cfg.ICache.MissCycles)
-			fetchAvail = t
-		}
-
-		// Operand readiness.
-		if in.Guard != ir.PNone {
-			if r := predReady[predBase[fi]+int32(in.Guard)]; r > t {
+	}
+	nullified := ev.Nullified()
+	var loadLat int64
+	if nullified {
+		s.st.Nullified++
+	} else {
+		var srcBuf [4]ir.Reg
+		for _, src := range in.SrcRegs(srcBuf[:0]) {
+			if r := s.regReady[s.regBase[fi]+int32(src)]; r > t {
 				t = r
 			}
 		}
-		nullified := ev.Nullified()
-		var loadLat int64
-		if nullified {
-			st.Nullified++
-		} else {
-			var srcBuf [4]ir.Reg
-			for _, s := range in.SrcRegs(srcBuf[:0]) {
-				if r := regReady[regBase[fi]+int32(s)]; r > t {
-					t = r
-				}
+		switch in.Op {
+		case ir.Load:
+			s.st.Loads++
+			loadLat = int64(machine.Latency(ir.Load))
+			if s.dc != nil && !s.dc.access(int64(ev.Addr)*8, true) {
+				s.st.DCacheMisses++
+				loadLat += int64(cfg.DCache.MissCycles)
 			}
-			switch in.Op {
-			case ir.Load:
-				st.Loads++
-				loadLat = int64(machine.Latency(ir.Load))
-				if dc != nil && !dc.access(int64(ev.Addr)*8, true) {
-					st.DCacheMisses++
-					loadLat += int64(cfg.DCache.MissCycles)
-				}
-			case ir.Store:
-				st.Stores++
-				// Write-through, no-allocate: a store miss does not stall
-				// (write buffer assumed) and does not allocate the block.
-				if dc != nil && !dc.access(int64(ev.Addr)*8, false) {
-					st.DCacheMisses++
-				}
-			}
-		}
-
-		// Issue slot allocation (in-order: never before the previous
-		// instruction's issue cycle).  A guard-suppressed branch is
-		// squashed at decode and does not occupy the branch unit.
-		isBranch := in.Op.IsBranch() && !nullified
-		for {
-			if t > curCycle {
-				curCycle = t
-				slots, brSlots = 0, 0
-			}
-			if slots < cfg.IssueWidth && (!isBranch || brSlots < cfg.BranchSlots) {
-				break
-			}
-			t = curCycle + 1
-		}
-		slots++
-		if isBranch {
-			brSlots++
-		}
-		issue := t
-		prevIssue = issue
-		lastIssue = issue
-
-		// Destination updates.
-		if !nullified {
-			if d := in.DefReg(); d != ir.RNone {
-				lat := int64(machine.Latency(in.Op))
-				if in.Op == ir.Load {
-					lat = loadLat
-				}
-				regReady[regBase[fi]+int32(d)] = issue + lat
-			}
-			switch in.Op {
-			case ir.PredDef:
-				var pBuf [2]ir.PReg
-				for _, pr := range in.PredDefs(pBuf[:0]) {
-					predReady[predBase[fi]+int32(pr)] = issue + predDist
-				}
-			case ir.PredClear, ir.PredSet:
-				base := predBase[fi]
-				var end int32
-				if int(fi)+1 < len(predBase) {
-					end = predBase[fi+1]
-				} else {
-					end = int32(len(predReady))
-				}
-				for i := base; i < end; i++ {
-					predReady[i] = issue + predDist
-				}
-			}
-		}
-
-		// Branch resolution and prediction.  A branch is dynamically
-		// conditional if it is a compare-and-branch or a guarded jump (the
-		// combined exits produced by branch combining); such branches are
-		// predicted by the BTB even when their guard nullifies them — the
-		// front end predicts at fetch, before decode-stage suppression.
-		if in.Op.IsBranch() {
-			if !nullified {
-				st.Branches++
-			}
-			taken := ev.Taken()
-			conditional := in.Op.IsCondBranch() || (in.Op == ir.Jump && in.Guard != ir.PNone)
-			switch {
-			case conditional:
-				st.CondBranches++
-				predicted := bp.predict(in.Addr)
-				bp.update(in.Addr, taken)
-				if predicted != taken {
-					st.Mispredicts++
-					fetchAvail = issue + 1 + int64(cfg.MispredictPenalty)
-				} else if taken {
-					fetchAvail = issue + int64(cfg.TakenBranchBubble)
-				}
-			default:
-				// Unguarded Jump, JSR, Ret: static or stack-predicted
-				// targets are assumed correctly predicted; only the
-				// configured taken redirect bubble applies.
-				if taken && !nullified {
-					fetchAvail = issue + int64(cfg.TakenBranchBubble)
-				}
+		case ir.Store:
+			s.st.Stores++
+			// Write-through, no-allocate: a store miss does not stall
+			// (write buffer assumed) and does not allocate the block.
+			if s.dc != nil && !s.dc.access(int64(ev.Addr)*8, false) {
+				s.st.DCacheMisses++
 			}
 		}
 	}
-	st.Cycles = lastIssue + 1
-	return st
+
+	// Issue slot allocation (in-order: never before the previous
+	// instruction's issue cycle).  A guard-suppressed branch is
+	// squashed at decode and does not occupy the branch unit.
+	isBranch := in.Op.IsBranch() && !nullified
+	for {
+		if t > s.curCycle {
+			s.curCycle = t
+			s.slots, s.brSlots = 0, 0
+		}
+		if s.slots < cfg.IssueWidth && (!isBranch || s.brSlots < cfg.BranchSlots) {
+			break
+		}
+		t = s.curCycle + 1
+	}
+	s.slots++
+	if isBranch {
+		s.brSlots++
+	}
+	issue := t
+	s.prevIssue = issue
+	s.lastIssue = issue
+
+	// Destination updates.
+	if !nullified {
+		if d := in.DefReg(); d != ir.RNone {
+			lat := int64(machine.Latency(in.Op))
+			if in.Op == ir.Load {
+				lat = loadLat
+			}
+			s.regReady[s.regBase[fi]+int32(d)] = issue + lat
+		}
+		switch in.Op {
+		case ir.PredDef:
+			var pBuf [2]ir.PReg
+			for _, pr := range in.PredDefs(pBuf[:0]) {
+				s.predReady[s.predBase[fi]+int32(pr)] = issue + s.predDist
+			}
+		case ir.PredClear, ir.PredSet:
+			base := s.predBase[fi]
+			var end int32
+			if int(fi)+1 < len(s.predBase) {
+				end = s.predBase[fi+1]
+			} else {
+				end = int32(len(s.predReady))
+			}
+			for i := base; i < end; i++ {
+				s.predReady[i] = issue + s.predDist
+			}
+		}
+	}
+
+	// Branch resolution and prediction.  A branch is dynamically
+	// conditional if it is a compare-and-branch or a guarded jump (the
+	// combined exits produced by branch combining); such branches are
+	// predicted by the BTB even when their guard nullifies them — the
+	// front end predicts at fetch, before decode-stage suppression.
+	if in.Op.IsBranch() {
+		if !nullified {
+			s.st.Branches++
+		}
+		taken := ev.Taken()
+		conditional := in.Op.IsCondBranch() || (in.Op == ir.Jump && in.Guard != ir.PNone)
+		switch {
+		case conditional:
+			s.st.CondBranches++
+			predicted := s.bp.predict(in.Addr)
+			s.bp.update(in.Addr, taken)
+			if predicted != taken {
+				s.st.Mispredicts++
+				s.fetchAvail = issue + 1 + int64(cfg.MispredictPenalty)
+			} else if taken {
+				s.fetchAvail = issue + int64(cfg.TakenBranchBubble)
+			}
+		default:
+			// Unguarded Jump, JSR, Ret: static or stack-predicted
+			// targets are assumed correctly predicted; only the
+			// configured taken redirect bubble applies.
+			if taken && !nullified {
+				s.fetchAvail = issue + int64(cfg.TakenBranchBubble)
+			}
+		}
+	}
+}
+
+// Simulate runs a materialized trace through the configured processor
+// model and returns timing statistics.  It is the slice-backed wrapper
+// around Simulator for callers that already hold a []emu.Event; streaming
+// callers pass a Simulator directly to the emulator as its TraceSink.
+func Simulate(p *ir.Program, trace []emu.Event, cfg machine.Config) Stats {
+	s := New(p, cfg)
+	for _, ev := range trace {
+		s.Event(ev)
+	}
+	return s.Stats()
 }
 
 // regIndex assigns each function a base offset into program-wide register

@@ -84,9 +84,28 @@ func Run(p *ir.Program, trace bool) (*emu.Result, error) {
 	return emu.Run(p, emu.Options{Trace: trace})
 }
 
-// Simulate times a dynamic trace on the configured processor model.
+// TraceSink consumes the dynamic instruction stream as the emulator
+// produces it (see RunInto and NewSimulator).
+type TraceSink = emu.TraceSink
+
+// RunInto emulates a compiled program, streaming every dynamic
+// instruction into sink instead of materializing a trace.  With a
+// NewSimulator sink this times the program in O(1) memory per run.
+func RunInto(p *ir.Program, sink TraceSink) (*emu.Result, error) {
+	return emu.Run(p, emu.Options{Sink: sink})
+}
+
+// Simulate times a materialized dynamic trace on the configured processor
+// model.
 func Simulate(p *ir.Program, trace []emu.Event, cfg Config) sim.Stats {
 	return sim.Simulate(p, trace, cfg)
+}
+
+// NewSimulator creates a streaming timing simulator for the program and
+// configuration.  It implements TraceSink: pass it to RunInto, then read
+// its Stats.
+func NewSimulator(p *ir.Program, cfg Config) *sim.Simulator {
+	return sim.New(p, cfg)
 }
 
 // Benchmarks returns the fifteen benchmark kernels standing in for the
