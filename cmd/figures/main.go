@@ -18,10 +18,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+	if err := safeRun(os.Args[1:], os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "figures:", err)
 		os.Exit(1)
 	}
+}
+
+// safeRun converts a panic anywhere in the harness into an ordinary
+// one-line error, so the command never dies with a stack trace.
+func safeRun(args []string, out, errw io.Writer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("internal error: %v", r)
+		}
+	}()
+	return run(args, out, errw)
 }
 
 // run parses args, executes the experiment suite, and writes the selected
@@ -35,6 +46,8 @@ func run(args []string, out, errw io.Writer) error {
 	markdown := fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
 	csv := fs.Bool("csv", false, "emit comma-separated values")
 	ext := fs.Bool("ext", false, "also run the extension experiments (penalty sweep, predicate distance, register pressure, finite register files)")
+	failfast := fs.Bool("failfast", false, "abort the whole run on the first failing matrix cell (default: failed cells become tagged gaps)")
+	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell time budget, e.g. 30s (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -46,8 +59,10 @@ func run(args []string, out, errw io.Writer) error {
 	}
 
 	opts := experiments.Options{
-		Parallel: *parallel,
-		Progress: func(s string) { fmt.Fprintln(errw, s) },
+		Parallel:    *parallel,
+		Progress:    func(s string) { fmt.Fprintln(errw, s) },
+		FailFast:    *failfast,
+		CellTimeout: *cellTimeout,
 	}
 	if *benchList != "" {
 		opts.Kernels = strings.Split(*benchList, ",")
@@ -75,6 +90,12 @@ func run(args []string, out, errw io.Writer) error {
 		default:
 			fmt.Fprintln(out, t.String())
 		}
+	}
+	// Tables with gaps still render above; the failures decide the exit
+	// status so CI and scripts notice the incomplete matrix.
+	if len(suite.Errors) > 0 {
+		fmt.Fprint(errw, suite.ErrorReport())
+		return fmt.Errorf("%d matrix cell(s) failed; gaps are tagged %q in the tables", len(suite.Errors), "n/a")
 	}
 	return nil
 }

@@ -5,6 +5,9 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+
+	"predication/internal/core"
+	"predication/internal/experiments"
 )
 
 // capture runs the command with args and returns its stdout, discarding
@@ -161,5 +164,49 @@ func TestBenchKernelsConflict(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-bench", "wc", "-kernels", "grep"}, &sb, io.Discard); err == nil {
 		t.Error("expected error for conflicting -bench and -kernels")
+	}
+}
+
+// TestCellFaultBecomesGapAndNonzeroExit: a panicking matrix cell must not
+// kill the command — tables render with a tagged gap, the error report
+// names the cell, and the exit is a one-line error.
+func TestCellFaultBecomesGapAndNonzeroExit(t *testing.T) {
+	experiments.CellHook = func(kernel string, model core.Model, target string) {
+		if kernel == "wc" && model == core.FullPred && target == "issue8-br2" {
+			panic("injected cell fault")
+		}
+	}
+	defer func() { experiments.CellHook = nil }()
+	var out, errw strings.Builder
+	err := safeRun([]string{"-bench", "wc,grep"}, &out, &errw)
+	if err == nil {
+		t.Fatal("run with a failing cell exited clean")
+	}
+	if msg := err.Error(); strings.Contains(msg, "goroutine") || strings.Contains(msg, "\n") {
+		t.Errorf("diagnostic is not one line: %q", msg)
+	}
+	if !strings.Contains(out.String(), "n/a") {
+		t.Errorf("tables do not tag the failed cell:\n%s", out.String())
+	}
+	if !strings.Contains(errw.String(), "wc: Full Predication @ issue8-br2") {
+		t.Errorf("error report does not name the failing cell:\n%s", errw.String())
+	}
+}
+
+// TestFailFastFlag: -failfast restores first-error cancellation.
+func TestFailFastFlag(t *testing.T) {
+	experiments.CellHook = func(kernel string, model core.Model, target string) {
+		if model == core.CondMove {
+			panic("injected cell fault")
+		}
+	}
+	defer func() { experiments.CellHook = nil }()
+	var out, errw strings.Builder
+	err := safeRun([]string{"-bench", "wc", "-failfast"}, &out, &errw)
+	if err == nil {
+		t.Fatal("-failfast run with a failing cell exited clean")
+	}
+	if !strings.Contains(err.Error(), "panic") {
+		t.Errorf("-failfast error does not surface the cell failure: %v", err)
 	}
 }

@@ -1,0 +1,51 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCleanRun(t *testing.T) {
+	dir := t.TempDir()
+	var buf strings.Builder
+	if err := run([]string{"-seeds", "6", "-out", dir}, &buf); err != nil {
+		t.Fatalf("clean run failed: %v\noutput:\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "0 divergences, 0 panics, 0 oracle errors") {
+		t.Errorf("summary missing from output:\n%s", buf.String())
+	}
+	if files, _ := os.ReadDir(dir); len(files) != 0 {
+		t.Errorf("clean run wrote %d repro artifacts", len(files))
+	}
+}
+
+func TestInjectedMiscompileProducesRepros(t *testing.T) {
+	dir := t.TempDir()
+	var buf strings.Builder
+	err := run([]string{"-seeds", "4", "-inject", "-out", dir}, &buf)
+	if err == nil {
+		t.Fatalf("injected run exited clean:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "DIVERGENCE") {
+		t.Errorf("output missing DIVERGENCE lines:\n%s", buf.String())
+	}
+	matches, _ := filepath.Glob(filepath.Join(dir, "*.psasm"))
+	if len(matches) == 0 {
+		t.Errorf("no repro artifacts written to %s", dir)
+	}
+	if !strings.Contains(err.Error(), "divergences") {
+		t.Errorf("error does not summarize divergences: %v", err)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var buf strings.Builder
+	if err := run([]string{"-seeds", "0"}, &buf); err == nil {
+		t.Errorf("-seeds 0 accepted")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Errorf("unknown flag accepted")
+	}
+}

@@ -27,10 +27,21 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	if err := safeRun(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "predsim:", err)
 		os.Exit(1)
 	}
+}
+
+// safeRun converts a panic anywhere in the compile/simulate path into an
+// ordinary one-line error, so the command never dies with a stack trace.
+func safeRun(args []string, out io.Writer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("internal error: %v", r)
+		}
+	}()
+	return run(args, out)
 }
 
 // countingSink tallies dynamic executions per static instruction.
@@ -59,6 +70,7 @@ func run(args []string, out io.Writer) error {
 	dump := fs.Bool("dump", false, "dump the compiled program")
 	stages := fs.Bool("stages", false, "dump the program after every pipeline stage")
 	schedule := fs.Bool("schedule", false, "print the hottest block with issue cycles (the paper's Figure 5/6 presentation)")
+	verify := fs.Bool("verify", false, "run the structural IR verifier after every pipeline stage")
 	list := fs.Bool("list", false, "list benchmark kernels")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -123,6 +135,7 @@ func run(args []string, out io.Writer) error {
 	}
 
 	opts := core.DefaultOptions(mc)
+	opts.VerifyStages = *verify
 	if *stages {
 		opts.StageHook = func(stage string, p *ir.Program) {
 			fmt.Fprintf(out, "=== after %s (%d instructions) ===\n%s\n", stage, p.NumInstrs(), p)

@@ -2,6 +2,8 @@ package main
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"testing"
@@ -155,5 +157,41 @@ func TestErrors(t *testing.T) {
 		if err := run(args, &sb); err == nil {
 			t.Errorf("predsim %v: expected error", args)
 		}
+	}
+}
+
+// TestFailureDiagnosticsAreOneLine: compile and input failures must exit
+// through safeRun as a single-line diagnostic, never a stack trace.
+func TestFailureDiagnosticsAreOneLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.psasm")
+	if err := os.WriteFile(path,
+		[]byte(".mem 64\n.entry 0\nfunc F0 main:\nB0:\n\tbogus_op r1, r2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cases := [][]string{
+		{"-bench", "nosuchkernel"},
+		{"-file", "/nonexistent/path.psasm"},
+		{"-file", path, "-model", "full"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		err := safeRun(args, &sb)
+		if err == nil {
+			t.Errorf("predsim %v: expected error", args)
+			continue
+		}
+		msg := err.Error()
+		if strings.Contains(msg, "goroutine") || strings.Contains(msg, "\n") {
+			t.Errorf("predsim %v: diagnostic is not one line: %q", args, msg)
+		}
+	}
+}
+
+// TestVerifyFlag: -verify runs the per-stage IR verifier without changing
+// the report.
+func TestVerifyFlag(t *testing.T) {
+	out := capture(t, "-bench", "wc", "-model", "full", "-verify")
+	if !strings.Contains(out, "checksum:") {
+		t.Error("no report with -verify")
 	}
 }

@@ -28,7 +28,9 @@ func TestRandomProgramsAllModels(t *testing.T) {
 		want := ref.Word(progen.CheckAddr)
 		for _, mc := range []machine.Config{machine.Issue8Br1(), machine.Issue4Br1()} {
 			for _, model := range []Model{Superblock, CondMove, FullPred} {
-				c, err := Compile(progen.Generate(seed, params), model, DefaultOptions(mc))
+				opts := DefaultOptions(mc)
+				opts.VerifyStages = true
+				c, err := Compile(progen.Generate(seed, params), model, opts)
 				if err != nil {
 					t.Fatalf("seed %d %v @%s: %v", seed, model, mc.Name, err)
 				}
@@ -108,7 +110,9 @@ func TestNestedProgramsAllModels(t *testing.T) {
 		}
 		want := ref.Word(progen.CheckAddr)
 		for _, model := range []Model{Superblock, CondMove, FullPred, GuardInstr} {
-			c, err := Compile(progen.GenerateNested(seed, params), model, DefaultOptions(machine.Issue8Br1()))
+			opts := DefaultOptions(machine.Issue8Br1())
+			opts.VerifyStages = true
+			c, err := Compile(progen.GenerateNested(seed, params), model, opts)
 			if err != nil {
 				t.Fatalf("seed %d %v: %v", seed, model, err)
 			}

@@ -21,6 +21,7 @@ import (
 	"predication/internal/guardinstr"
 	"predication/internal/hyperblock"
 	"predication/internal/ir"
+	"predication/internal/irverify"
 	"predication/internal/machine"
 	"predication/internal/opt"
 	"predication/internal/partial"
@@ -88,6 +89,11 @@ type Options struct {
 	// pipeline stage (for -stages dumps and stage-level tests).  The
 	// program must not be modified by the hook.
 	StageHook func(stage string, p *ir.Program)
+	// VerifyStages runs the structural verifier (internal/irverify) after
+	// every pipeline stage, attributing diagnostics to the stage that
+	// produced them.  The final model-legality verification always runs;
+	// this flag adds the per-stage checks (debug builds and tests).
+	VerifyStages bool
 }
 
 // DefaultOptions returns the configuration used for the paper's
@@ -118,12 +124,20 @@ type Compiled struct {
 func Compile(src *ir.Program, model Model, opts Options) (*Compiled, error) {
 	p := src.Clone()
 	p.Normalize()
-	stage := func(name string) {
+	stage := func(name string) error {
 		if opts.StageHook != nil {
 			opts.StageHook(name, p)
 		}
+		if opts.VerifyStages {
+			if diags := irverify.Verify(p, irverify.Options{Pass: name}); len(diags) > 0 {
+				return fmt.Errorf("core: %v pipeline: %w", model, irverify.Error(diags))
+			}
+		}
+		return nil
 	}
-	stage("normalize")
+	if err := stage("normalize"); err != nil {
+		return nil, err
+	}
 	prof := cfg.NewProfile()
 	if _, err := emu.Run(p, emu.Options{Profile: prof, MaxSteps: opts.ProfileSteps}); err != nil {
 		return nil, fmt.Errorf("core: profiling run failed: %w", err)
@@ -131,7 +145,9 @@ func Compile(src *ir.Program, model Model, opts Options) (*Compiled, error) {
 	res := &Compiled{Prog: p, Model: model, Profile: prof}
 
 	if unroll.Apply(p, prof, opts.Unroll) > 0 {
-		stage("unroll")
+		if err := stage("unroll"); err != nil {
+			return nil, err
+		}
 		if err := p.Verify(); err != nil {
 			return nil, fmt.Errorf("core: unrolling produced invalid IR: %w", err)
 		}
@@ -140,13 +156,22 @@ func Compile(src *ir.Program, model Model, opts Options) (*Compiled, error) {
 	switch model {
 	case Superblock:
 		superblock.Form(p, prof, opts.Superblock)
-		stage("superblock-formation")
+		if err := stage("superblock-formation"); err != nil {
+			return nil, err
+		}
 		cleanup(p)
-		stage("cleanup")
+		if err := stage("cleanup"); err != nil {
+			return nil, err
+		}
 	case CondMove, FullPred, GuardInstr:
-		hb := hyperblock.Form(p, prof, opts.Hyperblock)
+		hb, err := hyperblock.Form(p, prof, opts.Hyperblock)
+		if err != nil {
+			return nil, fmt.Errorf("core: hyperblock formation failed: %w", err)
+		}
 		res.HyperblockHeads = hb.Heads
-		stage("hyperblock-formation")
+		if err := stage("hyperblock-formation"); err != nil {
+			return nil, err
+		}
 		cleanup(p)
 		if !opts.NoPromotion {
 			for _, f := range p.Funcs {
@@ -159,23 +184,33 @@ func Compile(src *ir.Program, model Model, opts Options) (*Compiled, error) {
 				}
 			}
 			cleanup(p)
-			stage("promotion")
+			if err := stage("promotion"); err != nil {
+				return nil, err
+			}
 		}
 		for fi, heads := range hb.Heads {
 			hyperblock.CombineBranches(p.Funcs[fi], heads, prof, opts.Hyperblock)
 		}
-		stage("branch-combining")
+		if err := stage("branch-combining"); err != nil {
+			return nil, err
+		}
 		if model == CondMove {
-			partial.Convert(p, opts.Partial)
+			if err := partial.Convert(p, opts.Partial); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
 			cleanup(p)
-			stage("partial-conversion")
+			if err := stage("partial-conversion"); err != nil {
+				return nil, err
+			}
 			if !opts.NoPeephole {
 				partial.Peephole(p)
 				if opts.Partial.UseSelect {
 					partial.FuseSelects(p)
 				}
 				cleanup(p)
-				stage("peephole")
+				if err := stage("peephole"); err != nil {
+					return nil, err
+				}
 			}
 		}
 	default:
@@ -187,7 +222,9 @@ func Compile(src *ir.Program, model Model, opts Options) (*Compiled, error) {
 	}
 	if !opts.NoSchedule {
 		sched.Schedule(p, opts.Machine)
-		stage("schedule")
+		if err := stage("schedule"); err != nil {
+			return nil, err
+		}
 		if err := p.Verify(); err != nil {
 			return nil, fmt.Errorf("core: scheduling produced invalid IR: %w", err)
 		}
@@ -195,13 +232,36 @@ func Compile(src *ir.Program, model Model, opts Options) (*Compiled, error) {
 	if model == GuardInstr {
 		// Lower after scheduling so run lengths reflect the final order.
 		guardinstr.Lower(p)
-		stage("guard-lowering")
+		if err := stage("guard-lowering"); err != nil {
+			return nil, err
+		}
 		if err := p.Verify(); err != nil {
 			return nil, fmt.Errorf("core: guard lowering produced invalid IR: %w", err)
 		}
 	}
+	// Unconditional final check: the emitted program must be legal for the
+	// target model (a guard surviving partial conversion or a predicate
+	// define in superblock output is a miscompile, not a debug concern).
+	if diags := irverify.Verify(p, irverify.Options{Pass: "final", Model: verifyModel(model)}); len(diags) > 0 {
+		return nil, fmt.Errorf("core: %v pipeline emitted illegal IR: %w", model, irverify.Error(diags))
+	}
 	p.AssignAddresses()
 	return res, nil
+}
+
+// verifyModel maps the pipeline model to the verifier's legality rules.
+func verifyModel(m Model) irverify.Model {
+	switch m {
+	case Superblock:
+		return irverify.Baseline
+	case CondMove:
+		return irverify.CondMove
+	case FullPred:
+		return irverify.FullPred
+	case GuardInstr:
+		return irverify.GuardInstr
+	}
+	return irverify.AnyModel
 }
 
 func cleanup(p *ir.Program) {

@@ -24,7 +24,9 @@ func TestModelsPreserveSemantics(t *testing.T) {
 			want := refRes.Word(bench.CheckAddr)
 			for _, mc := range configs {
 				for _, model := range []Model{Superblock, CondMove, FullPred} {
-					c, err := Compile(k.Build(), model, DefaultOptions(mc))
+					opts := DefaultOptions(mc)
+					opts.VerifyStages = true
+					c, err := Compile(k.Build(), model, opts)
 					if err != nil {
 						t.Fatalf("%v @ %s: compile: %v", model, mc.Name, err)
 					}

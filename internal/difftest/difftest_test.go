@@ -1,0 +1,152 @@
+package difftest
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"predication/internal/asm"
+	"predication/internal/core"
+	"predication/internal/emu"
+	"predication/internal/ir"
+	"predication/internal/progen"
+)
+
+// TestOracleCleanSeeds: the three pipelines agree with the reference on a
+// spread of generated programs, flat and nested.  This is the -race CI
+// target for the oracle itself.
+func TestOracleCleanSeeds(t *testing.T) {
+	n := uint64(20)
+	if testing.Short() {
+		n = 5
+	}
+	for _, nested := range []bool{false, true} {
+		opts := DefaultOptions()
+		opts.Nested = nested
+		for seed := uint64(1); seed <= n; seed++ {
+			d, err := Check(seed, opts)
+			if err != nil {
+				t.Fatalf("nested=%v seed %d: %v", nested, seed, err)
+			}
+			if d != nil {
+				t.Errorf("unexpected divergence: %v", d)
+			}
+		}
+	}
+}
+
+// injectAddOffByOne corrupts full-predication output only: every add with
+// an immediate second operand is bumped by one.  progen's loop counters
+// are exactly that shape, so the corruption always executes and the
+// checksum diverges deterministically.
+func injectAddOffByOne(p *ir.Program, model core.Model) {
+	if model != core.FullPred {
+		return
+	}
+	for _, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if b == nil || b.Dead {
+				continue
+			}
+			for _, in := range b.Instrs {
+				if in.Op == ir.Add && in.B.IsImm {
+					in.B.Imm++
+				}
+			}
+		}
+	}
+}
+
+// TestInjectedMiscompile is the oracle's own fault-injection test: a
+// deliberate miscompile must be caught, delta-minimized, and written as a
+// parseable self-contained repro artifact.
+func TestInjectedMiscompile(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Mutate = injectAddOffByOne
+	const seed = 7
+
+	d, err := Check(seed, opts)
+	if err != nil {
+		t.Fatalf("oracle error: %v", err)
+	}
+	if d == nil {
+		t.Fatalf("injected miscompile not detected")
+	}
+	if d.Model != core.FullPred || d.Kind != KindChecksum {
+		t.Fatalf("divergence attributed to %v/%s, want %v/%s", d.Model, d.Kind, core.FullPred, KindChecksum)
+	}
+
+	before := d.Source.NumInstrs()
+	min := Minimize(d, opts)
+	after := min.NumInstrs()
+	if after > before {
+		t.Fatalf("minimization grew the program: %d -> %d instructions", before, after)
+	}
+	if after == before {
+		t.Logf("minimization removed nothing (%d instructions)", before)
+	}
+	// The minimized program must still reproduce the same divergence.
+	nd, err := CheckProgram(min, seed, opts)
+	if err != nil {
+		t.Fatalf("minimized program: oracle error: %v", err)
+	}
+	if nd == nil || nd.Model != d.Model || nd.Kind != d.Kind {
+		t.Fatalf("minimized program no longer reproduces the divergence: %v", nd)
+	}
+
+	dir := t.TempDir()
+	path, err := WriteRepro(dir, d)
+	if err != nil {
+		t.Fatalf("WriteRepro: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading repro: %v", err)
+	}
+	text := string(data)
+	for _, frag := range []string{"seed: 7", "kind: checksum", "Full Predication"} {
+		if !strings.Contains(text, frag) {
+			t.Errorf("repro artifact missing %q", frag)
+		}
+	}
+	// Self-contained: the artifact parses and emulates to the reference
+	// checksum of the minimized source.
+	parsed, err := asm.Parse(text)
+	if err != nil {
+		t.Fatalf("repro artifact does not parse: %v", err)
+	}
+	want, err := emu.Run(min, emu.Options{MaxSteps: opts.MaxSteps})
+	if err != nil {
+		t.Fatalf("minimized source emulation: %v", err)
+	}
+	got, err := emu.Run(parsed, emu.Options{MaxSteps: opts.MaxSteps})
+	if err != nil {
+		t.Fatalf("repro artifact emulation: %v", err)
+	}
+	if got.Word(progen.CheckAddr) != want.Word(progen.CheckAddr) {
+		t.Errorf("repro artifact checksum %#x, want %#x",
+			got.Word(progen.CheckAddr), want.Word(progen.CheckAddr))
+	}
+}
+
+// TestMinimizeRejectsBreakingEdits: minimization must never return a
+// program whose reference emulation fails (every kept edit passed the
+// oracle, which emulates the reference first).
+func TestMinimizeRejectsBreakingEdits(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Mutate = injectAddOffByOne
+	d, err := Check(11, opts)
+	if err != nil {
+		t.Fatalf("oracle error: %v", err)
+	}
+	if d == nil {
+		t.Fatalf("injected miscompile not detected")
+	}
+	min := Minimize(d, opts)
+	if _, err := emu.Run(min, emu.Options{MaxSteps: opts.MaxSteps}); err != nil {
+		t.Fatalf("minimized program's reference emulation fails: %v", err)
+	}
+	if err := min.Verify(); err != nil {
+		t.Fatalf("minimized program is structurally invalid: %v", err)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"predication/internal/bench"
 	"predication/internal/core"
@@ -38,14 +39,27 @@ type BenchResult struct {
 	Checksum int64
 }
 
-// Stat returns the stats for one model/config pair.
+// Stat returns the stats for one model/config pair (the zero value for a
+// failed cell; see Has).
 func (r *BenchResult) Stat(m core.Model, cfg string) sim.Stats {
 	return r.Stats[Key{m, cfg}]
+}
+
+// Has reports whether the model/config cell was measured.  A cell missing
+// from an otherwise complete row failed (panic, trap, timeout, or
+// checksum mismatch) and renders as a tagged gap in the tables.
+func (r *BenchResult) Has(m core.Model, cfg string) bool {
+	_, ok := r.Stats[Key{m, cfg}]
+	return ok
 }
 
 // Suite is the complete set of measurements.
 type Suite struct {
 	Results []*BenchResult
+	// Errors collects every failed matrix cell in deterministic reporting
+	// order (empty for a clean run).  The failing cells are tagged gaps
+	// in the tables; see ErrorReport.
+	Errors []*CellError
 }
 
 // Options configures a suite run.
@@ -59,6 +73,16 @@ type Options struct {
 	// fans out across: 0 means runtime.GOMAXPROCS(0), 1 forces the
 	// sequential path.
 	Parallel int
+	// FailFast restores first-error cancellation: the lowest-indexed
+	// failing cell aborts the run and Run returns its error.  The default
+	// is fault isolation — a panicking, trapping, or timed-out cell
+	// becomes a CellError in Suite.Errors and a tagged gap in the tables
+	// while every sibling cell completes.
+	FailFast bool
+	// CellTimeout bounds each matrix cell's compile+emulate+simulate work
+	// (0 = unbounded).  An exceeded budget is a TimeoutError for that
+	// cell only.
+	CellTimeout time.Duration
 }
 
 // schedTargets are the machine configurations code is scheduled for.  The
@@ -119,6 +143,9 @@ type cellResult struct {
 // compile-once / emulate-once / simulate-many core of the harness.  The
 // trace is never materialized.
 func runCell(k *bench.Kernel, cell cellSpec) (*cellResult, error) {
+	if CellHook != nil {
+		CellHook(k.Name, cell.model, cell.target.Name)
+	}
 	c, err := core.Compile(k.Build(), cell.model, core.DefaultOptions(cell.target))
 	if err != nil {
 		return nil, fmt.Errorf("%v @ %s: %w", cell.model, cell.target.Name, err)
@@ -156,8 +183,14 @@ func (m multiSink) Event(ev emu.Event) {
 // Run executes the full evaluation.  The kernel × model × target matrix —
 // plus each kernel's uncompiled reference run — fans out across a worker
 // pool of Options.Parallel goroutines; results merge in deterministic
-// reporting order regardless of completion order, and the first failing
-// job (lowest job index) cancels the jobs behind it.
+// reporting order regardless of completion order.
+//
+// Fault isolation is the default: every cell runs behind a panic guard
+// and the optional Options.CellTimeout, and a failing cell — compile
+// error, trap, panic, timeout, or checksum mismatch — becomes a CellError
+// in Suite.Errors plus a tagged gap in the tables while its siblings
+// complete.  Options.FailFast restores the old first-error cancellation,
+// where the lowest-indexed failing job aborts the run.
 func Run(opts Options) (*Suite, error) {
 	kernels := bench.All()
 	if opts.Kernels != nil {
@@ -178,7 +211,9 @@ func Run(opts Options) (*Suite, error) {
 	stride := 1 + len(cells)
 	n := len(kernels) * stride
 	refSums := make([]int64, len(kernels))
+	refOK := make([]bool, len(kernels))
 	cellRes := make([]*cellResult, n)
+	cellErr := make([]*CellError, n)
 
 	remaining := make([]int32, len(kernels)) // per-kernel jobs outstanding
 	for i := range remaining {
@@ -193,18 +228,37 @@ func Run(opts Options) (*Suite, error) {
 	err := runJobs(n, opts.Parallel, func(i int) error {
 		ki := i / stride
 		k := kernels[ki]
+		var ce *CellError
 		if i%stride == 0 {
-			ref, err := emu.Run(k.Build(), emu.Options{})
+			ref, err := guardCell(opts.CellTimeout, func() (*cellResult, error) {
+				r, err := emu.Run(k.Build(), emu.Options{})
+				if err != nil {
+					return nil, err
+				}
+				return &cellResult{checksum: r.Word(bench.CheckAddr)}, nil
+			})
 			if err != nil {
-				return fmt.Errorf("%s: reference run: %w", k.Name, err)
+				ce = &CellError{Kernel: k.Name, Ref: true, Err: err}
+			} else {
+				refSums[ki] = ref.checksum
+				refOK[ki] = true
 			}
-			refSums[ki] = ref.Word(bench.CheckAddr)
 		} else {
-			cr, err := runCell(k, cells[i%stride-1])
+			cell := cells[i%stride-1]
+			cr, err := guardCell(opts.CellTimeout, func() (*cellResult, error) {
+				return runCell(k, cell)
+			})
 			if err != nil {
-				return fmt.Errorf("%s: %w", k.Name, err)
+				ce = &CellError{Kernel: k.Name, Model: cell.model, Target: cell.target.Name, Err: err}
+			} else {
+				cellRes[i] = cr
 			}
-			cellRes[i] = cr
+		}
+		if ce != nil {
+			if opts.FailFast {
+				return ce
+			}
+			cellErr[i] = ce
 		}
 		if opts.Progress != nil && atomic.AddInt32(&remaining[ki], -1) == 0 {
 			progressMu.Lock()
@@ -218,18 +272,36 @@ func Run(opts Options) (*Suite, error) {
 	}
 
 	// Deterministic merge: kernels in suite order, cells in reporting
-	// order; checksums validated against each kernel's reference run.
+	// order; checksums validated against each kernel's reference run.  A
+	// failed reference drops the whole kernel row (nothing to validate
+	// against); a failed or mismatching cell drops only that cell.
 	suite := &Suite{}
 	for ki, k := range kernels {
-		res := &BenchResult{Name: k.Name, Stats: map[Key]sim.Stats{}, Checksum: refSums[ki]}
-		for ci, cell := range cells {
-			cr := cellRes[ki*stride+1+ci]
-			if cr.checksum != res.Checksum {
-				return nil, fmt.Errorf("%s: %v @ %s: checksum mismatch %#x != %#x",
-					k.Name, cell.model, cell.target.Name, cr.checksum, res.Checksum)
+		res := &BenchResult{Name: k.Name, Stats: map[Key]sim.Stats{}}
+		for j := 0; j < stride; j++ {
+			if ce := cellErr[ki*stride+j]; ce != nil {
+				suite.Errors = append(suite.Errors, ce)
 			}
-			for si, sc := range simsFor(cell.target) {
-				res.Stats[Key{cell.model, sc.Name}] = cr.stats[si]
+		}
+		if refOK[ki] {
+			res.Checksum = refSums[ki]
+			for ci, cell := range cells {
+				cr := cellRes[ki*stride+1+ci]
+				if cr == nil {
+					continue // failed cell: the error is already collected
+				}
+				if cr.checksum != res.Checksum {
+					ce := &CellError{Kernel: k.Name, Model: cell.model, Target: cell.target.Name,
+						Err: fmt.Errorf("checksum mismatch %#x != %#x", cr.checksum, res.Checksum)}
+					if opts.FailFast {
+						return nil, ce
+					}
+					suite.Errors = append(suite.Errors, ce)
+					continue
+				}
+				for si, sc := range simsFor(cell.target) {
+					res.Stats[Key{cell.model, sc.Name}] = cr.stats[si]
+				}
 			}
 		}
 		suite.Results = append(suite.Results, res)
@@ -277,16 +349,21 @@ func RunBenchmark(k *bench.Kernel) (*BenchResult, error) {
 	return res, nil
 }
 
+// speedupBase names the 1-issue baseline configuration whose cycle count
+// the paper divides by: the cache variant matching the configuration.
+func speedupBase(cfg string) string {
+	if cfg == "issue8-br1-64k" {
+		return "issue1-64k"
+	}
+	return "issue1"
+}
+
 // Speedup computes the paper's speedup metric for one benchmark: cycles of
 // the superblock 1-issue baseline divided by cycles of the model on the
-// named configuration.  The baseline uses the cache variant matching the
-// configuration.
+// named configuration.  It returns 0 when either cell is a gap (see
+// HasSpeedup).
 func (r *BenchResult) Speedup(m core.Model, cfg string) float64 {
-	base := "issue1"
-	if cfg == "issue8-br1-64k" {
-		base = "issue1-64k"
-	}
-	b := r.Stat(core.Superblock, base).Cycles
+	b := r.Stat(core.Superblock, speedupBase(cfg)).Cycles
 	c := r.Stat(m, cfg).Cycles
 	if c == 0 {
 		return 0
@@ -294,29 +371,44 @@ func (r *BenchResult) Speedup(m core.Model, cfg string) float64 {
 	return float64(b) / float64(c)
 }
 
-// MeanSpeedup averages the speedup metric across the suite's benchmarks.
+// HasSpeedup reports whether both cells of the speedup ratio were
+// measured.
+func (r *BenchResult) HasSpeedup(m core.Model, cfg string) bool {
+	return r.Has(core.Superblock, speedupBase(cfg)) && r.Has(m, cfg)
+}
+
+// MeanSpeedup averages the speedup metric across the suite's benchmarks,
+// excluding gaps.
 func (s *Suite) MeanSpeedup(m core.Model, cfg string) float64 {
-	if len(s.Results) == 0 {
+	sum, n := 0.0, 0
+	for _, r := range s.Results {
+		if !r.HasSpeedup(m, cfg) {
+			continue
+		}
+		sum += r.Speedup(m, cfg)
+		n++
+	}
+	if n == 0 {
 		return 0
 	}
-	sum := 0.0
-	for _, r := range s.Results {
-		sum += r.Speedup(m, cfg)
-	}
-	return sum / float64(len(s.Results))
+	return sum / float64(n)
 }
 
 // MeanInstrRatio averages each model's dynamic instruction count relative
 // to the superblock model on the 8-issue 1-branch configuration (Table 2's
-// summary statistic).
+// summary statistic), excluding gaps.
 func (s *Suite) MeanInstrRatio(m core.Model) float64 {
-	if len(s.Results) == 0 {
-		return 0
-	}
-	sum := 0.0
+	sum, n := 0.0, 0
 	for _, r := range s.Results {
+		if !r.Has(core.Superblock, "issue8-br1") || !r.Has(m, "issue8-br1") {
+			continue
+		}
 		base := r.Stat(core.Superblock, "issue8-br1").Instrs
 		sum += float64(r.Stat(m, "issue8-br1").Instrs) / float64(base)
+		n++
 	}
-	return sum / float64(len(s.Results))
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports whether the race detector is active; tests with
+// wall-clock budgets scale them up to absorb the instrumentation slowdown.
+const raceEnabled = true

@@ -50,26 +50,40 @@ func (t *Table) String() string {
 	return sb.String()
 }
 
-// speedupFigure renders one of the paper's speedup figures.
+// gapCell tags a matrix cell whose measurement failed (see Suite.Errors).
+const gapCell = "n/a"
+
+// speedupFigure renders one of the paper's speedup figures.  Failed cells
+// render as tagged gaps and are excluded from the means.
 func (s *Suite) speedupFigure(title, cfg string) *Table {
 	t := &Table{
 		Title:   title,
 		Headers: []string{"Benchmark", "Superblock", "Cond. Move", "Full Pred."},
 	}
 	sums := [3]float64{}
+	counts := [3]int{}
 	for _, r := range s.Results {
 		row := []string{r.Name}
 		for i, m := range Models {
+			if !r.HasSpeedup(m, cfg) {
+				row = append(row, gapCell)
+				continue
+			}
 			sp := r.Speedup(m, cfg)
 			sums[i] += sp
+			counts[i]++
 			row = append(row, fmt.Sprintf("%.2f", sp))
 		}
 		t.Rows = append(t.Rows, row)
 	}
-	if n := len(s.Results); n > 0 {
+	if len(s.Results) > 0 {
 		row := []string{"mean"}
 		for i := range Models {
-			row = append(row, fmt.Sprintf("%.2f", sums[i]/float64(n)))
+			if counts[i] == 0 {
+				row = append(row, gapCell)
+				continue
+			}
+			row = append(row, fmt.Sprintf("%.2f", sums[i]/float64(counts[i])))
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -104,23 +118,37 @@ func (s *Suite) Table2() *Table {
 		Title:   "Table 2: dynamic instruction count comparison",
 		Headers: []string{"Benchmark", "Superblk", "Cond. Move", "Full Pred."},
 	}
+	const cfg = "issue8-br1"
 	var ratioCM, ratioFP float64
+	var nCM, nFP int
 	for _, r := range s.Results {
-		base := r.Stat(core.Superblock, "issue8-br1").Instrs
-		cm := r.Stat(core.CondMove, "issue8-br1").Instrs
-		fp := r.Stat(core.FullPred, "issue8-br1").Instrs
-		ratioCM += float64(cm) / float64(base)
-		ratioFP += float64(fp) / float64(base)
-		t.Rows = append(t.Rows, []string{
-			r.Name,
-			fmtCount(base),
-			fmt.Sprintf("%s (%.2f)", fmtCount(cm), float64(cm)/float64(base)),
-			fmt.Sprintf("%s (%.2f)", fmtCount(fp), float64(fp)/float64(base)),
-		})
+		row := []string{r.Name, gapCell, gapCell, gapCell}
+		if r.Has(core.Superblock, cfg) {
+			base := r.Stat(core.Superblock, cfg).Instrs
+			row[1] = fmtCount(base)
+			if r.Has(core.CondMove, cfg) {
+				cm := r.Stat(core.CondMove, cfg).Instrs
+				ratioCM += float64(cm) / float64(base)
+				nCM++
+				row[2] = fmt.Sprintf("%s (%.2f)", fmtCount(cm), float64(cm)/float64(base))
+			}
+			if r.Has(core.FullPred, cfg) {
+				fp := r.Stat(core.FullPred, cfg).Instrs
+				ratioFP += float64(fp) / float64(base)
+				nFP++
+				row[3] = fmt.Sprintf("%s (%.2f)", fmtCount(fp), float64(fp)/float64(base))
+			}
+		}
+		t.Rows = append(t.Rows, row)
 	}
-	if n := float64(len(s.Results)); n > 0 {
-		t.Rows = append(t.Rows, []string{"mean ratio", "1.00",
-			fmt.Sprintf("(%.2f)", ratioCM/n), fmt.Sprintf("(%.2f)", ratioFP/n)})
+	if len(s.Results) > 0 {
+		mean := func(sum float64, n int) string {
+			if n == 0 {
+				return gapCell
+			}
+			return fmt.Sprintf("(%.2f)", sum/float64(n))
+		}
+		t.Rows = append(t.Rows, []string{"mean ratio", "1.00", mean(ratioCM, nCM), mean(ratioFP, nFP)})
 	}
 	return t
 }
@@ -139,6 +167,10 @@ func (s *Suite) Table3() *Table {
 	for _, r := range s.Results {
 		row := []string{r.Name}
 		for _, m := range Models {
+			if !r.Has(m, "issue8-br1") {
+				row = append(row, gapCell, gapCell, gapCell)
+				continue
+			}
 			st := r.Stat(m, "issue8-br1")
 			row = append(row, fmtCount(st.Branches), fmtCount(st.Mispredicts),
 				fmt.Sprintf("%.2f%%", 100*st.MispredictRate()))

@@ -1,6 +1,8 @@
 package hyperblock
 
 import (
+	"fmt"
+
 	"predication/internal/cfg"
 	"predication/internal/ir"
 	"predication/internal/machine"
@@ -15,15 +17,20 @@ type Result struct {
 
 // Form performs hyperblock formation on every function of the program.
 // The profile must have been collected on this exact program object.
-func Form(p *ir.Program, prof *cfg.Profile, params Params) *Result {
+// A non-nil error means if-conversion hit an inconsistent region and the
+// program may be partially rewritten; callers must discard it.
+func Form(p *ir.Program, prof *cfg.Profile, params Params) (*Result, error) {
 	res := &Result{Heads: map[int][]int{}}
 	for fi, f := range p.Funcs {
-		heads := formFunc(f, prof, params)
+		heads, err := formFunc(f, prof, params)
+		if err != nil {
+			return nil, fmt.Errorf("F%d: %w", fi, err)
+		}
 		if len(heads) > 0 {
 			res.Heads[fi] = heads
 		}
 	}
-	return res
+	return res, nil
 }
 
 // region is a candidate single-entry acyclic region for if-conversion.
@@ -34,7 +41,7 @@ type region struct {
 	weight int64
 }
 
-func formFunc(f *ir.Func, prof *cfg.Profile, params Params) []int {
+func formFunc(f *ir.Func, prof *cfg.Profile, params Params) ([]int, error) {
 	var heads []int
 	tried := map[int]bool{}
 	for round := 0; round < 8; round++ {
@@ -56,7 +63,11 @@ func formFunc(f *ir.Func, prof *cfg.Profile, params Params) []int {
 				continue
 			}
 			tried[r.seed] = true
-			if tryForm(f, prof, params, r) {
+			ok, err := tryForm(f, prof, params, r)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
 				heads = append(heads, r.seed)
 				formed++
 				for id := range r.blocks {
@@ -68,7 +79,7 @@ func formFunc(f *ir.Func, prof *cfg.Profile, params Params) []int {
 			break
 		}
 	}
-	return heads
+	return heads, nil
 }
 
 // findRegions enumerates candidate regions in decreasing weight order:
@@ -223,16 +234,17 @@ func hasHazard(b *ir.Block) bool {
 
 // tryForm selects blocks from the region, removes side entrances by tail
 // duplication, and if-converts the selection into the seed block.  It
-// reports whether a hyperblock was formed.
-func tryForm(f *ir.Func, prof *cfg.Profile, params Params, r *region) bool {
+// reports whether a hyperblock was formed; a non-nil error is an
+// if-conversion precondition failure that invalidates the function.
+func tryForm(f *ir.Func, prof *cfg.Profile, params Params, r *region) (bool, error) {
 	g := cfg.NewGraph(f)
 	order, ok := topoOrder(f, g, r.blocks, r.seed)
 	if !ok || len(order) < 2 {
-		return false
+		return false, nil
 	}
 	entryW := prof.Weight(f.Blocks[r.seed])
 	if entryW < params.MinCount || hasHazard(f.Blocks[r.seed]) {
-		return false
+		return false, nil
 	}
 
 	// Block selection (§3.1): walk the region in topological order and
@@ -317,7 +329,7 @@ func tryForm(f *ir.Func, prof *cfg.Profile, params Params, r *region) bool {
 	}
 	closeSelection(g, sel, r.seed)
 	if len(sel) < 2 {
-		return false
+		return false, nil
 	}
 
 	// Side-entrance removal by tail duplication (bounded), dropping blocks
@@ -333,20 +345,22 @@ func tryForm(f *ir.Func, prof *cfg.Profile, params Params, r *region) bool {
 			closeSelection(g, sel, r.seed)
 		}
 		if len(sel) < 2 {
-			return false
+			return false, nil
 		}
 	}
 
 	g = cfg.NewGraph(f)
 	if sideEntered(g, sel, r.seed) >= 0 {
-		return false
+		return false, nil
 	}
 	order, ok = topoOrder(f, g, sel, r.seed)
 	if !ok {
-		return false
+		return false, nil
 	}
-	ifConvert(f, g, sel, r.seed, order)
-	return true
+	if err := ifConvert(f, g, sel, r.seed, order); err != nil {
+		return false, err
+	}
+	return true, nil
 }
 
 // blockHeight estimates the block's internal dependence height in cycles:

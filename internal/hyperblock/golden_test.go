@@ -71,7 +71,10 @@ func TestFigure1Golden(t *testing.T) {
 	}
 	params := DefaultParams()
 	params.MinCount = 1
-	res := Form(prog, prof, params)
+	res, err := Form(prog, prof, params)
+	if err != nil {
+		t.Fatalf("formation failed: %v", err)
+	}
 	if len(res.Heads[0]) != 1 {
 		t.Fatalf("expected one hyperblock, got %v", res.Heads)
 	}

@@ -76,7 +76,10 @@ func formAll(t *testing.T, p *ir.Program, params Params) *Result {
 	if _, err := emu.Run(p, emu.Options{Profile: prof}); err != nil {
 		t.Fatal(err)
 	}
-	res := Form(p, prof, params)
+	res, err := Form(p, prof, params)
+	if err != nil {
+		t.Fatalf("formation failed: %v", err)
+	}
 	if err := p.Verify(); err != nil {
 		t.Fatalf("formation broke program: %v", err)
 	}
@@ -376,7 +379,10 @@ func TestBranchCombining(t *testing.T) {
 	if _, err := emu.Run(p2, emu.Options{Profile: prof}); err != nil {
 		t.Fatal(err)
 	}
-	res2 := Form(p2, prof, params)
+	res2, err := Form(p2, prof, params)
+	if err != nil {
+		t.Fatalf("formation failed: %v", err)
+	}
 	n := CombineBranches(p2.Funcs[0], res2.Heads[0], prof, params)
 	if n == 0 {
 		t.Fatal("no hyperblock had its branches combined")
@@ -422,7 +428,9 @@ func TestFormationIdempotent(t *testing.T) {
 	count1 := p.NumInstrs()
 	prof := cfg.NewProfile()
 	emu.Run(p, emu.Options{Profile: prof})
-	Form(p, prof, DefaultParams())
+	if _, err := Form(p, prof, DefaultParams()); err != nil {
+		t.Fatalf("second formation failed: %v", err)
+	}
 	if p.NumInstrs() != count1 {
 		t.Error("second formation pass changed the program")
 	}

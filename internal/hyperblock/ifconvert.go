@@ -35,7 +35,14 @@ type inEdge struct {
 // expressing its execution condition; single-condition blocks use
 // unconditional (U) defines, join blocks use OR-type defines into a cleared
 // predicate (§2.1, Figure 1).
-func ifConvert(f *ir.Func, g *cfg.Graph, sel map[int]bool, seed int, order []int) {
+//
+// A non-nil error means the selection violated the conversion's
+// preconditions (a region shape the selector should never produce).  The
+// function may be partially rewritten at that point, so callers must treat
+// the error as fatal for this compilation and discard the program — but the
+// process survives, which is what lets the fuzzer and the experiment
+// harness report the diagnostic instead of crashing.
+func ifConvert(f *ir.Func, g *cfg.Graph, sel map[int]bool, seed int, order []int) error {
 	inS := func(id int) bool { return sel[id] && id != seed }
 
 	// Gather in-edges for every selected non-seed block.
@@ -116,7 +123,7 @@ func ifConvert(f *ir.Func, g *cfg.Graph, sel map[int]bool, seed int, order []int
 		}
 		es := edges[bid]
 		if len(es) == 0 {
-			panic(fmt.Sprintf("hyperblock: selected block B%d has no in-edges", bid))
+			return fmt.Errorf("hyperblock: if-converting seed B%d of %s: selected block B%d has no in-edges", seed, f.Name, bid)
 		}
 		if a, ok := inheritFrom(bid); ok {
 			predOf[bid] = predOf[a]
@@ -200,7 +207,7 @@ func ifConvert(f *ir.Func, g *cfg.Graph, sel map[int]bool, seed int, order []int
 				// complement predicate on the same define.
 				q := f.NewPReg()
 				if p2.Type != ir.PredNone {
-					panic("hyperblock: unexpected fall define for external fall edge")
+					return fmt.Errorf("hyperblock: if-converting seed B%d of %s: fall define %s for external fall edge of B%d", seed, f.Name, p2.P, aid)
 				}
 				p2 = ir.PredDest{P: q, Type: ir.PredUBar}
 				out = append(out, &ir.Instr{Op: ir.PredDef, Cmp: cmp,
@@ -239,7 +246,7 @@ func ifConvert(f *ir.Func, g *cfg.Graph, sel map[int]bool, seed int, order []int
 				out = append(out, &ir.Instr{Op: ir.Jump, Target: ab.Fall, Guard: guard})
 			}
 		default:
-			panic("hyperblock: unexpected terminator " + term.String())
+			return fmt.Errorf("hyperblock: if-converting seed B%d of %s: unexpected terminator %s in B%d (selection must exclude calls and returns)", seed, f.Name, term, aid)
 		}
 	}
 
@@ -247,7 +254,7 @@ func ifConvert(f *ir.Func, g *cfg.Graph, sel map[int]bool, seed int, order []int
 	// partition execution), so its guard can be dropped, sealing the block.
 	last := out[len(out)-1]
 	if last.Op != ir.Jump {
-		panic("hyperblock: expected trailing exit jump, got " + last.String())
+		return fmt.Errorf("hyperblock: if-converting seed B%d of %s: expected trailing exit jump, got %s", seed, f.Name, last)
 	}
 	last.Guard = ir.PNone
 
@@ -260,6 +267,7 @@ func ifConvert(f *ir.Func, g *cfg.Graph, sel map[int]bool, seed int, order []int
 			f.Blocks[id].Instrs = nil
 		}
 	}
+	return nil
 }
 
 // alwaysDef builds an OR-type predicate define that sets p whenever the

@@ -83,7 +83,7 @@ func NewInstr(op Op, dst Reg, srcs ...Operand) *Instr {
 		in.A = srcs[0]
 	case 0:
 	default:
-		panic("ir: too many sources")
+		panic(fmt.Sprintf("ir: NewInstr(%s): %d sources, the IR has at most 3 operand slots", op, len(srcs)))
 	}
 	return in
 }
@@ -98,7 +98,7 @@ func NewPredDef(cmp Cmp, d1, d2 PredDest, a, b Operand, guard PReg) *Instr {
 func NewBranch(cmp Cmp, a, b Operand, target int) *Instr {
 	op, ok := cmp.BranchOp()
 	if !ok {
-		panic("ir: no branch opcode for comparison " + cmp.String())
+		panic("ir: NewBranch: no branch opcode for comparison " + cmp.String() + " (materialize float comparisons into a register first)")
 	}
 	return &Instr{Op: op, A: a, B: b, Target: target}
 }

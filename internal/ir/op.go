@@ -224,6 +224,9 @@ func (c Cmp) String() string {
 	return fmt.Sprintf("cmp(%d)", uint8(c))
 }
 
+// Valid reports whether c is one of the defined comparison kinds.
+func (c Cmp) Valid() bool { return c < numCmps }
+
 // Invert returns the complementary comparison (EQ<->NE, LT<->GE, ...).
 func (c Cmp) Invert() Cmp {
 	switch c {
@@ -252,7 +255,7 @@ func (c Cmp) Invert() Cmp {
 	case LEF:
 		return GTF
 	}
-	panic("ir: invalid comparison")
+	panic(fmt.Sprintf("ir: Invert: invalid comparison kind %d", uint8(c)))
 }
 
 // IsFloat reports whether the comparison operates on floating-point values.
@@ -287,7 +290,7 @@ func (c Cmp) CompareOp() Op {
 	case GEF:
 		return CmpGEF
 	}
-	panic("ir: invalid comparison")
+	panic(fmt.Sprintf("ir: CompareOp: invalid comparison kind %d", uint8(c)))
 }
 
 // BranchOp returns the conditional-branch opcode testing this comparison.

@@ -179,5 +179,5 @@ func EvalCmp(c Cmp, a, b int64) bool {
 	case GEF:
 		return fa >= fb
 	}
-	panic("ir: invalid comparison kind")
+	panic(fmt.Sprintf("ir: EvalCmp: invalid comparison kind %d", uint8(c)))
 }

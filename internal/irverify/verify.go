@@ -1,0 +1,570 @@
+// Package irverify is the structural IR verifier behind the compilation
+// pipelines' correctness story.  Where ir.Verify stops at the first
+// malformation with a plain error (the builder's contract), this package
+// reports every violation it finds as a structured Diagnostic carrying pass
+// provenance and an exact location, and it layers three deeper analyses on
+// top of the basic shape checks:
+//
+//   - CFG invariants: live entry, no dangling branch or fallthrough edges,
+//     every block either ends unconditionally or names a live fallthrough.
+//   - Def-before-use: a forward may-reach dataflow over both register
+//     files; an operand read with no reaching definition on any path is a
+//     dropped-definition bug in whatever pass ran last.
+//   - Per-model legality: the superblock and conditional-move pipelines
+//     must emit no predicate constructs, full predication must not emit
+//     guard instructions, and silent (non-excepting) variants are only
+//     legal on opcodes that can except.
+//
+// Every pipeline runs the verifier after each stage behind
+// core.Options.VerifyStages; the final model-legality pass runs on every
+// compilation unconditionally.
+package irverify
+
+import (
+	"fmt"
+	"strings"
+
+	"predication/internal/ir"
+)
+
+// Code classifies a diagnostic so tests and tools can match on the failure
+// kind instead of the message text.
+type Code string
+
+// Diagnostic codes.
+const (
+	// EntryInvalid: the program or a function has a missing or dead entry.
+	EntryInvalid Code = "entry-invalid"
+	// NilInstr: a block contains a nil instruction pointer.
+	NilInstr Code = "nil-instr"
+	// DanglingEdge: a branch targets a missing or dead block.
+	DanglingEdge Code = "dangling-edge"
+	// MissingTerminator: a block that can fall through has no live
+	// fallthrough successor.
+	MissingTerminator Code = "missing-terminator"
+	// BadCall: a JSR targets a function index outside the program.
+	BadCall Code = "bad-call"
+	// BadDst: an opcode's destination-register rule is violated, or the
+	// destination is outside the allocated register space.
+	BadDst Code = "bad-dst"
+	// RegRange: a source register is outside the allocated register space.
+	RegRange Code = "reg-range"
+	// PredRange: a guard or predicate destination is outside the allocated
+	// predicate register space.
+	PredRange Code = "pred-range"
+	// BadPredDest: a predicate define writes no destination or p_none.
+	BadPredDest Code = "bad-pred-dest"
+	// BadCmp: an invalid comparison kind.
+	BadCmp Code = "bad-cmp"
+	// BadGuardApply: a guard instruction without a predicate or with a
+	// non-positive covered-instruction count.
+	BadGuardApply Code = "bad-guard-apply"
+	// SilentIllegal: the silent (non-excepting) flag on an opcode that
+	// cannot except.
+	SilentIllegal Code = "silent-illegal"
+	// UseBeforeDef: an operand is read with no reaching definition on any
+	// path from the function entry.
+	UseBeforeDef Code = "use-before-def"
+	// GuardIllegal: a predicate guard in the output of a model without
+	// full predicate support.
+	GuardIllegal Code = "guard-illegal"
+	// OpcodeIllegal: an opcode the target model does not provide.
+	OpcodeIllegal Code = "opcode-illegal"
+	// DefineType: inconsistent U/OR/AND predicate define typing (an
+	// OR-type accumulation without a pred_clear, an AND-type accumulation
+	// without a pred_set, or one define writing a register twice).
+	DefineType Code = "define-type"
+)
+
+// Model selects the predication-support legality rules.  It mirrors
+// core.Model without importing it (core depends on this package).
+type Model int
+
+const (
+	// AnyModel disables per-model legality checks (mid-pipeline programs
+	// are fully predicated regardless of the eventual target).
+	AnyModel Model = iota
+	// Baseline is the superblock target: no predicate support at all.
+	Baseline
+	// CondMove allows conditional moves and selects but no predicate
+	// registers, guards, or defines.
+	CondMove
+	// FullPred allows everything except prefix guard instructions.
+	FullPred
+	// GuardInstr allows the complete instruction set.
+	GuardInstr
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case AnyModel:
+		return "any"
+	case Baseline:
+		return "baseline"
+	case CondMove:
+		return "cmov"
+	case FullPred:
+		return "fullpred"
+	case GuardInstr:
+		return "guardinstr"
+	}
+	return fmt.Sprintf("model(%d)", int(m))
+}
+
+// Diagnostic is one verification failure with pass provenance and an exact
+// program location.
+type Diagnostic struct {
+	// Pass names the compilation stage that produced the program (empty
+	// when unknown).
+	Pass string
+	// Code classifies the failure.
+	Code Code
+	// Func/FuncName locate the function (Func is -1 for program-level
+	// diagnostics).
+	Func     int
+	FuncName string
+	// Block is the block ID (-1 for function-level diagnostics); Index is
+	// the instruction index within the block (-1 for block-level).
+	Block int
+	Index int
+	// Instr is the formatted instruction, when the diagnostic names one.
+	Instr string
+	// Msg is the human-readable explanation.
+	Msg string
+}
+
+// String formats the diagnostic as one line:
+//
+//	[schedule] use-before-def F0(main) B3[2] "add r9, r9, 1": source r9 has no reaching definition
+func (d Diagnostic) String() string {
+	var sb strings.Builder
+	if d.Pass != "" {
+		fmt.Fprintf(&sb, "[%s] ", d.Pass)
+	}
+	sb.WriteString(string(d.Code))
+	if d.Func >= 0 {
+		fmt.Fprintf(&sb, " F%d(%s)", d.Func, d.FuncName)
+		if d.Block >= 0 {
+			fmt.Fprintf(&sb, " B%d", d.Block)
+			if d.Index >= 0 {
+				fmt.Fprintf(&sb, "[%d]", d.Index)
+			}
+		}
+	}
+	if d.Instr != "" {
+		fmt.Fprintf(&sb, " %q", d.Instr)
+	}
+	sb.WriteString(": ")
+	sb.WriteString(d.Msg)
+	return sb.String()
+}
+
+// Options configures a verification run.
+type Options struct {
+	// Pass is recorded as every diagnostic's provenance.
+	Pass string
+	// Model selects the legality rules; AnyModel checks structure only.
+	Model Model
+	// MaxDiags caps the report (0 means the default of 50).
+	MaxDiags int
+}
+
+// Error converts a diagnostic list to a single error, or nil when the list
+// is empty.  The first few diagnostics are included verbatim.
+func Error(diags []Diagnostic) error {
+	if len(diags) == 0 {
+		return nil
+	}
+	const show = 4
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d IR verification diagnostic(s):", len(diags))
+	for i, d := range diags {
+		if i == show {
+			fmt.Fprintf(&sb, "\n\t... and %d more", len(diags)-show)
+			break
+		}
+		sb.WriteString("\n\t")
+		sb.WriteString(d.String())
+	}
+	return fmt.Errorf("%s", sb.String())
+}
+
+// Verify checks the whole program and returns every diagnostic found (up
+// to Options.MaxDiags).
+func Verify(p *ir.Program, opts Options) []Diagnostic {
+	max := opts.MaxDiags
+	if max <= 0 {
+		max = 50
+	}
+	v := &verifier{p: p, opts: opts, max: max}
+	if p.Entry < 0 || p.Entry >= len(p.Funcs) {
+		v.add(Diagnostic{Code: EntryInvalid, Func: -1, Block: -1, Index: -1,
+			Msg: fmt.Sprintf("program entry F%d out of range (%d functions)", p.Entry, len(p.Funcs))})
+		return v.diags
+	}
+	for fi, f := range p.Funcs {
+		v.fn(fi, f)
+		if len(v.diags) >= v.max {
+			break
+		}
+	}
+	return v.diags
+}
+
+type verifier struct {
+	p     *ir.Program
+	opts  Options
+	max   int
+	diags []Diagnostic
+}
+
+func (v *verifier) add(d Diagnostic) {
+	if len(v.diags) >= v.max {
+		return
+	}
+	d.Pass = v.opts.Pass
+	v.diags = append(v.diags, d)
+}
+
+func (v *verifier) fn(fi int, f *ir.Func) {
+	at := func(b *ir.Block, i int, code Code, format string, args ...any) {
+		d := Diagnostic{Code: code, Func: fi, FuncName: f.Name, Block: -1, Index: -1,
+			Msg: fmt.Sprintf(format, args...)}
+		if b != nil {
+			d.Block = b.ID
+			d.Index = i
+			if i >= 0 && i < len(b.Instrs) && b.Instrs[i] != nil {
+				d.Instr = b.Instrs[i].String()
+			}
+		}
+		v.add(d)
+	}
+	if f.Entry < 0 || f.Entry >= len(f.Blocks) || f.Blocks[f.Entry] == nil || f.Blocks[f.Entry].Dead {
+		at(nil, -1, EntryInvalid, "entry block B%d missing or dead", f.Entry)
+		return
+	}
+	live := func(id int) bool {
+		return id >= 0 && id < len(f.Blocks) && f.Blocks[id] != nil && !f.Blocks[id].Dead
+	}
+
+	// Nil instructions make every downstream walk unsafe; report them and
+	// stop analysing this function.
+	hasNil := false
+	for _, b := range f.Blocks {
+		if b == nil || b.Dead {
+			continue
+		}
+		for i, in := range b.Instrs {
+			if in == nil {
+				at(b, -1, NilInstr, "nil instruction at index %d", i)
+				hasNil = true
+			}
+		}
+	}
+	if hasNil {
+		return
+	}
+
+	for _, b := range f.Blocks {
+		if b == nil || b.Dead {
+			continue
+		}
+		for i, in := range b.Instrs {
+			v.instr(f, b, i, in, at)
+		}
+		if !b.EndsUnconditionally() && !live(b.Fall) {
+			at(b, -1, MissingTerminator,
+				"block can fall through but fallthrough B%d is missing or dead", b.Fall)
+		}
+	}
+	v.defineTypes(f, at)
+	v.defBeforeUse(f, at)
+}
+
+// instr checks one instruction's structural and model-legality rules.
+func (v *verifier) instr(f *ir.Func, b *ir.Block, i int, in *ir.Instr,
+	at func(b *ir.Block, i int, code Code, format string, args ...any)) {
+	live := func(id int) bool {
+		return id >= 0 && id < len(f.Blocks) && f.Blocks[id] != nil && !f.Blocks[id].Dead
+	}
+	switch {
+	case in.Op == ir.Jump || in.Op.IsCondBranch():
+		if !live(in.Target) {
+			at(b, i, DanglingEdge, "branch to missing/dead block B%d", in.Target)
+		}
+	case in.Op == ir.JSR:
+		if in.Target < 0 || in.Target >= len(v.p.Funcs) {
+			at(b, i, BadCall, "call to missing function F%d", in.Target)
+		}
+	case in.Op == ir.GuardApply:
+		if in.Guard == ir.PNone {
+			at(b, i, BadGuardApply, "guard instruction without a predicate")
+		}
+		if !in.A.IsImm || in.A.Imm < 1 {
+			at(b, i, BadGuardApply, "guard instruction needs a positive covered-instruction count")
+		}
+	case in.Op == ir.PredDef:
+		if in.P1.Type == ir.PredNone && in.P2.Type == ir.PredNone {
+			at(b, i, BadPredDest, "predicate define with no destinations")
+		}
+		for _, pd := range []ir.PredDest{in.P1, in.P2} {
+			if pd.Type != ir.PredNone && pd.P == ir.PNone {
+				at(b, i, BadPredDest, "predicate define writes p_none")
+			}
+		}
+		if !in.Cmp.Valid() {
+			at(b, i, BadCmp, "invalid comparison kind %d", uint8(in.Cmp))
+		}
+	}
+	if in.Op.HasDst() && in.Dst == ir.RNone {
+		at(b, i, BadDst, "%s requires a destination register", in.Op)
+	}
+	if !in.Op.HasDst() && in.Dst != ir.RNone {
+		at(b, i, BadDst, "%s must not write a register", in.Op)
+	}
+	if in.Dst != ir.RNone && in.Dst >= f.NextReg {
+		at(b, i, BadDst, "destination %s beyond allocated registers", in.Dst)
+	}
+	for _, o := range []ir.Operand{in.A, in.B, in.C} {
+		if o.IsReg() && o.R >= f.NextReg {
+			at(b, i, RegRange, "source %s beyond allocated registers", o.R)
+		}
+	}
+	if in.Guard != ir.PNone && in.Guard >= f.NextPReg {
+		at(b, i, PredRange, "guard %s beyond allocated predicate registers", in.Guard)
+	}
+	for _, pd := range []ir.PredDest{in.P1, in.P2} {
+		if pd.Type != ir.PredNone && pd.P >= f.NextPReg {
+			at(b, i, PredRange, "predicate destination %s beyond allocated predicate registers", pd.P)
+		}
+	}
+	if in.Silent && !in.Op.CanExcept() {
+		at(b, i, SilentIllegal, "silent flag on non-excepting opcode %s", in.Op)
+	}
+
+	// Per-model legality: what each pipeline's lowering must have removed.
+	switch v.opts.Model {
+	case Baseline, CondMove:
+		if in.Guard != ir.PNone {
+			at(b, i, GuardIllegal, "predicate guard %s in %s output", in.Guard, v.opts.Model)
+		}
+		switch in.Op {
+		case ir.PredDef, ir.PredClear, ir.PredSet, ir.GuardApply:
+			at(b, i, OpcodeIllegal, "%s is not available on the %s model", in.Op, v.opts.Model)
+		}
+	case FullPred:
+		if in.Op == ir.GuardApply {
+			at(b, i, OpcodeIllegal, "guard instructions are not part of the full-predication model")
+		}
+	}
+}
+
+// defineTypes checks U/OR/AND predicate define-type consistency: OR-type
+// accumulation targets must be cleared by a pred_clear in the same
+// function, AND-type targets set by a pred_set, and a single define must
+// not write one register through both destination slots.
+func (v *verifier) defineTypes(f *ir.Func,
+	at func(b *ir.Block, i int, code Code, format string, args ...any)) {
+	hasClear, hasSet := false, false
+	type site struct {
+		b *ir.Block
+		i int
+	}
+	var firstOr, firstAnd *site
+	for _, b := range f.Blocks {
+		if b == nil || b.Dead {
+			continue
+		}
+		for i, in := range b.Instrs {
+			if in == nil {
+				continue
+			}
+			switch in.Op {
+			case ir.PredClear:
+				hasClear = true
+			case ir.PredSet:
+				hasSet = true
+			case ir.PredDef:
+				if in.P1.Type != ir.PredNone && in.P2.Type != ir.PredNone && in.P1.P == in.P2.P {
+					at(b, i, DefineType, "both destinations write %s", in.P1.P)
+				}
+				for _, pd := range []ir.PredDest{in.P1, in.P2} {
+					if pd.Type.NeedsClear() && firstOr == nil {
+						firstOr = &site{b, i}
+					}
+					if pd.Type.NeedsSet() && firstAnd == nil {
+						firstAnd = &site{b, i}
+					}
+				}
+			}
+		}
+	}
+	if firstOr != nil && !hasClear {
+		at(firstOr.b, firstOr.i, DefineType,
+			"OR-type define target is never initialized by a pred_clear in this function")
+	}
+	if firstAnd != nil && !hasSet {
+		at(firstAnd.b, firstAnd.i, DefineType,
+			"AND-type define target is never initialized by a pred_set in this function")
+	}
+}
+
+// regSet is a bitset over one function's virtual registers.
+type regSet []uint64
+
+func newRegSet(n int) regSet { return make(regSet, (n+63)/64) }
+
+func (s regSet) has(r int) bool { return s[r/64]&(1<<uint(r%64)) != 0 }
+func (s regSet) set(r int)      { s[r/64] |= 1 << uint(r%64) }
+func (s regSet) setAll() {
+	for i := range s {
+		s[i] = ^uint64(0)
+	}
+}
+
+// union folds o into s, reporting whether s changed.
+func (s regSet) union(o regSet) bool {
+	changed := false
+	for i := range s {
+		if n := s[i] | o[i]; n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+func (s regSet) clone() regSet { return append(regSet(nil), s...) }
+
+// defBeforeUse runs a forward may-reach definition analysis over both
+// register files and flags reads with no reaching definition on any path —
+// the signature of a pass that dropped or reordered a definition.
+//
+// The analysis is deliberately a MAY analysis: predicated and speculative
+// code legitimately reads registers whose definitions are conditional, so
+// one defining path suffices.  Two deliberate exclusions keep it sound:
+// the conditional self-read of cmov/cmov_com (the commit idiom reads a
+// destination that may have no earlier definition), and anything in a
+// function whose registers are out of range (already diagnosed).
+func (v *verifier) defBeforeUse(f *ir.Func,
+	at func(b *ir.Block, i int, code Code, format string, args ...any)) {
+	nReg, nPreg := int(f.NextReg), int(f.NextPReg)
+	if nReg <= 0 || nPreg <= 0 {
+		return
+	}
+	blocks := f.LiveBlocks(nil)
+	if len(blocks) == 0 {
+		return
+	}
+
+	// Predecessor lists over live blocks.
+	preds := map[int][]int{}
+	for _, b := range blocks {
+		for _, s := range b.Succs(nil) {
+			if s >= 0 && s < len(f.Blocks) && f.Blocks[s] != nil && !f.Blocks[s].Dead {
+				preds[s] = append(preds[s], b.ID)
+			}
+		}
+	}
+
+	// transfer applies one block's definitions to the running sets.
+	transfer := func(b *ir.Block, regs, pregs regSet) {
+		for _, in := range b.Instrs {
+			if in == nil {
+				continue
+			}
+			switch in.Op {
+			case ir.PredClear, ir.PredSet:
+				pregs.setAll()
+			case ir.PredDef:
+				for _, pd := range []ir.PredDest{in.P1, in.P2} {
+					if pd.Type != ir.PredNone && pd.P != ir.PNone && int(pd.P) < nPreg {
+						pregs.set(int(pd.P))
+					}
+				}
+			}
+			if d := in.DefReg(); d != ir.RNone && int(d) < nReg {
+				regs.set(int(d))
+			}
+		}
+	}
+
+	// Iterate to fixpoint: in[b] = union of out[pred]; entry starts empty.
+	type state struct{ regs, pregs regSet }
+	in := map[int]*state{}
+	out := map[int]*state{}
+	for _, b := range blocks {
+		in[b.ID] = &state{newRegSet(nReg), newRegSet(nPreg)}
+		out[b.ID] = &state{newRegSet(nReg), newRegSet(nPreg)}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range blocks {
+			s := in[b.ID]
+			for _, p := range preds[b.ID] {
+				if s.regs.union(out[p].regs) {
+					changed = true
+				}
+				if s.pregs.union(out[p].pregs) {
+					changed = true
+				}
+			}
+			regs, pregs := s.regs.clone(), s.pregs.clone()
+			transfer(b, regs, pregs)
+			if out[b.ID].regs.union(regs) {
+				changed = true
+			}
+			if out[b.ID].pregs.union(pregs) {
+				changed = true
+			}
+		}
+	}
+
+	// Report pass: walk each block with the running sets, checking reads
+	// before applying the instruction's definitions.
+	var srcBuf [4]ir.Reg
+	for _, b := range blocks {
+		regs := in[b.ID].regs.clone()
+		pregs := in[b.ID].pregs.clone()
+		for i, in := range b.Instrs {
+			if in == nil {
+				continue
+			}
+			if in.Guard != ir.PNone && int(in.Guard) < nPreg && !pregs.has(int(in.Guard)) {
+				at(b, i, UseBeforeDef, "guard %s has no reaching definition", in.Guard)
+			}
+			var uses []ir.Reg
+			if in.ConditionalDef() {
+				// cmov/cmov_com: check A and C but not the conditional
+				// self-read of the destination.
+				if in.A.IsReg() {
+					uses = append(uses, in.A.R)
+				}
+				if in.C.IsReg() {
+					uses = append(uses, in.C.R)
+				}
+			} else {
+				uses = in.SrcRegs(srcBuf[:0])
+			}
+			for _, r := range uses {
+				if int(r) < nReg && !regs.has(int(r)) {
+					at(b, i, UseBeforeDef, "source %s has no reaching definition", r)
+				}
+			}
+			switch in.Op {
+			case ir.PredClear, ir.PredSet:
+				pregs.setAll()
+			case ir.PredDef:
+				for _, pd := range []ir.PredDest{in.P1, in.P2} {
+					if pd.Type != ir.PredNone && pd.P != ir.PNone && int(pd.P) < nPreg {
+						pregs.set(int(pd.P))
+					}
+				}
+			}
+			if d := in.DefReg(); d != ir.RNone && int(d) < nReg {
+				regs.set(int(d))
+			}
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package irverify
+
+import (
+	"strings"
+	"testing"
+
+	"predication/internal/ir"
+)
+
+// baseProgram builds a small valid unpredicated program: a three-block
+// diamond-ish CFG with a conditional branch, a store, and a halt.  It is
+// legal for every model.
+func baseProgram() *ir.Program {
+	p := ir.NewProgram(64)
+	f := ir.NewFunc("main")
+	r1, r2 := f.NewReg(), f.NewReg()
+	b0 := f.EntryBlock()
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	b0.Append(
+		ir.NewInstr(ir.Mov, r1, ir.Imm(1)),
+		ir.NewInstr(ir.Add, r2, ir.R(r1), ir.Imm(2)),
+		ir.NewBranch(ir.EQ, ir.R(r1), ir.Imm(0), b2.ID),
+	)
+	b0.Fall = b1.ID
+	b1.Append(
+		ir.NewInstr(ir.Store, ir.RNone, ir.R(r2), ir.Imm(0), ir.R(r1)),
+		&ir.Instr{Op: ir.Jump, Target: b2.ID},
+	)
+	b2.Append(ir.NewInstr(ir.Halt, ir.RNone))
+	p.AddFunc(f)
+	return p
+}
+
+// predProgram builds a small valid fully predicated program: a cleared
+// predicate file, an OR-type/U-type define pair, and a guarded add.
+func predProgram() *ir.Program {
+	p := ir.NewProgram(64)
+	f := ir.NewFunc("main")
+	r1, r2 := f.NewReg(), f.NewReg()
+	p1, p2 := f.NewPReg(), f.NewPReg()
+	b := f.EntryBlock()
+	b.Append(
+		ir.NewInstr(ir.Mov, r1, ir.Imm(1)),
+		&ir.Instr{Op: ir.PredClear},
+		ir.NewPredDef(ir.LT,
+			ir.PredDest{P: p1, Type: ir.PredOR},
+			ir.PredDest{P: p2, Type: ir.PredU},
+			ir.R(r1), ir.Imm(0), ir.PNone),
+		&ir.Instr{Op: ir.Add, Dst: r2, A: ir.R(r1), B: ir.Imm(1), Guard: p1},
+		ir.NewInstr(ir.Halt, ir.RNone),
+	)
+	p.AddFunc(f)
+	return p
+}
+
+func entry(p *ir.Program) *ir.Block { return p.EntryFunc().EntryBlock() }
+
+// TestCorruptions hand-corrupts valid programs and asserts the specific
+// diagnostic fires.
+func TestCorruptions(t *testing.T) {
+	cases := []struct {
+		name    string
+		build   func() *ir.Program
+		corrupt func(p *ir.Program)
+		model   Model
+		want    Code
+	}{
+		{
+			name:    "dangling branch edge",
+			build:   baseProgram,
+			corrupt: func(p *ir.Program) { entry(p).Instrs[2].Target = 99 },
+			want:    DanglingEdge,
+		},
+		{
+			name:  "dangling edge to dead block",
+			build: baseProgram,
+			corrupt: func(p *ir.Program) {
+				f := p.EntryFunc()
+				f.Blocks[2].Dead = true
+				// Keep B1's jump as the only reference to the dead block.
+				entry(p).Instrs[2].Target = 1
+			},
+			want: DanglingEdge,
+		},
+		{
+			name:    "missing terminator",
+			build:   baseProgram,
+			corrupt: func(p *ir.Program) { b := p.EntryFunc().Blocks[1]; b.Instrs = b.Instrs[:1] },
+			want:    MissingTerminator,
+		},
+		{
+			name:    "use before def",
+			build:   baseProgram,
+			corrupt: func(p *ir.Program) { entry(p).RemoveAt(0) },
+			want:    UseBeforeDef,
+		},
+		{
+			name:    "guard use before def",
+			build:   predProgram,
+			corrupt: func(p *ir.Program) { entry(p).RemoveAt(1); entry(p).RemoveAt(1) },
+			want:    UseBeforeDef,
+		},
+		{
+			name:    "guard on baseline instruction",
+			build:   baseProgram,
+			corrupt: func(p *ir.Program) { p.EntryFunc().NextPReg = 2; entry(p).Instrs[1].Guard = 1 },
+			model:   Baseline,
+			want:    GuardIllegal,
+		},
+		{
+			name:    "guard in cmov output",
+			build:   baseProgram,
+			corrupt: func(p *ir.Program) { p.EntryFunc().NextPReg = 2; entry(p).Instrs[1].Guard = 1 },
+			model:   CondMove,
+			want:    GuardIllegal,
+		},
+		{
+			name:    "predicate define in baseline output",
+			build:   predProgram,
+			corrupt: func(p *ir.Program) {},
+			model:   Baseline,
+			want:    OpcodeIllegal,
+		},
+		{
+			name:  "guard instruction in fullpred output",
+			build: predProgram,
+			corrupt: func(p *ir.Program) {
+				b := entry(p)
+				b.InsertAt(3, &ir.Instr{Op: ir.GuardApply, Guard: 1, A: ir.Imm(1)})
+				b.Instrs[4].Guard = ir.PNone
+			},
+			model: FullPred,
+			want:  OpcodeIllegal,
+		},
+		{
+			name:    "nil instruction",
+			build:   baseProgram,
+			corrupt: func(p *ir.Program) { entry(p).Instrs[0] = nil },
+			want:    NilInstr,
+		},
+		{
+			name:    "dead entry block",
+			build:   baseProgram,
+			corrupt: func(p *ir.Program) { entry(p).Dead = true },
+			want:    EntryInvalid,
+		},
+		{
+			name:    "program entry out of range",
+			build:   baseProgram,
+			corrupt: func(p *ir.Program) { p.Entry = 5 },
+			want:    EntryInvalid,
+		},
+		{
+			name:    "call to missing function",
+			build:   baseProgram,
+			corrupt: func(p *ir.Program) { entry(p).InsertAt(2, &ir.Instr{Op: ir.JSR, Target: 7}) },
+			want:    BadCall,
+		},
+		{
+			name:    "missing destination",
+			build:   baseProgram,
+			corrupt: func(p *ir.Program) { entry(p).Instrs[1].Dst = ir.RNone },
+			want:    BadDst,
+		},
+		{
+			name:    "destination on store",
+			build:   baseProgram,
+			corrupt: func(p *ir.Program) { p.EntryFunc().Blocks[1].Instrs[0].Dst = 1 },
+			want:    BadDst,
+		},
+		{
+			name:    "source register out of range",
+			build:   baseProgram,
+			corrupt: func(p *ir.Program) { entry(p).Instrs[1].A = ir.R(40) },
+			want:    RegRange,
+		},
+		{
+			name:    "guard predicate out of range",
+			build:   predProgram,
+			corrupt: func(p *ir.Program) { entry(p).Instrs[3].Guard = 9 },
+			want:    PredRange,
+		},
+		{
+			name:    "predicate define writes p_none",
+			build:   predProgram,
+			corrupt: func(p *ir.Program) { entry(p).Instrs[2].P2.P = ir.PNone },
+			want:    BadPredDest,
+		},
+		{
+			name:    "predicate define with no destinations",
+			build:   predProgram,
+			corrupt: func(p *ir.Program) { in := entry(p).Instrs[2]; in.P1 = ir.PredDest{}; in.P2 = ir.PredDest{} },
+			want:    BadPredDest,
+		},
+		{
+			name:    "invalid comparison kind",
+			build:   predProgram,
+			corrupt: func(p *ir.Program) { entry(p).Instrs[2].Cmp = 200 },
+			want:    BadCmp,
+		},
+		{
+			name:    "guard instruction without predicate",
+			build:   predProgram,
+			corrupt: func(p *ir.Program) { entry(p).InsertAt(1, &ir.Instr{Op: ir.GuardApply, A: ir.Imm(2)}) },
+			model:   GuardInstr,
+			want:    BadGuardApply,
+		},
+		{
+			name:    "silent flag on non-excepting opcode",
+			build:   baseProgram,
+			corrupt: func(p *ir.Program) { entry(p).Instrs[1].Silent = true },
+			want:    SilentIllegal,
+		},
+		{
+			name:    "OR-type define without pred_clear",
+			build:   predProgram,
+			corrupt: func(p *ir.Program) { entry(p).RemoveAt(1) },
+			model:   FullPred,
+			want:    DefineType,
+		},
+		{
+			name:  "AND-type define without pred_set",
+			build: predProgram,
+			corrupt: func(p *ir.Program) {
+				entry(p).Instrs[2].P2.Type = ir.PredANDBar
+			},
+			model: FullPred,
+			want:  DefineType,
+		},
+		{
+			name:    "define writes one register twice",
+			build:   predProgram,
+			corrupt: func(p *ir.Program) { in := entry(p).Instrs[2]; in.P2.P = in.P1.P },
+			want:    DefineType,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.build()
+			// The pristine check uses AnyModel: some cases (a predicate
+			// define under the baseline model) are corrupt purely by
+			// pairing a valid program with the wrong legality rules.
+			if diags := Verify(p, Options{}); len(diags) != 0 {
+				t.Fatalf("uncorrupted program fails verification: %v", Error(diags))
+			}
+			tc.corrupt(p)
+			diags := Verify(p, Options{Pass: "test", Model: tc.model})
+			if len(diags) == 0 {
+				t.Fatalf("corruption not detected")
+			}
+			found := false
+			for _, d := range diags {
+				if d.Code == tc.want {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("want a %s diagnostic, got: %v", tc.want, Error(diags))
+			}
+		})
+	}
+}
+
+// TestUseBeforeDefMayAnalysis checks the two deliberate soundness holes:
+// one defining path suffices, and the cmov self-read is exempt.
+func TestUseBeforeDefMayAnalysis(t *testing.T) {
+	// r2 is defined only on the fallthrough path; reading it at the join is
+	// legal predicated/speculative shape, not a verifier error.
+	p := ir.NewProgram(64)
+	f := ir.NewFunc("main")
+	r1, r2 := f.NewReg(), f.NewReg()
+	b0 := f.EntryBlock()
+	b1 := f.NewBlock()
+	b2 := f.NewBlock()
+	b0.Append(
+		ir.NewInstr(ir.Mov, r1, ir.Imm(1)),
+		ir.NewBranch(ir.EQ, ir.R(r1), ir.Imm(0), b2.ID),
+	)
+	b0.Fall = b1.ID
+	b1.Append(ir.NewInstr(ir.Mov, r2, ir.Imm(7)))
+	b1.Fall = b2.ID
+	b2.Append(
+		// cmov r2, r1 (r1): conditional self-read of r2 is exempt even
+		// though B0->B2 reaches here with r2 undefined on that path.
+		ir.NewInstr(ir.CMov, r2, ir.R(r1), ir.Imm(0), ir.R(r1)),
+		ir.NewInstr(ir.Store, ir.RNone, ir.R(r2), ir.Imm(0), ir.R(r1)),
+		ir.NewInstr(ir.Halt, ir.RNone),
+	)
+	p.AddFunc(f)
+	if diags := Verify(p, Options{}); len(diags) != 0 {
+		t.Fatalf("may-analysis false positive: %v", Error(diags))
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	p := baseProgram()
+	entry(p).Instrs[2].Target = 99
+	diags := Verify(p, Options{Pass: "schedule"})
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic, got %d: %v", len(diags), Error(diags))
+	}
+	s := diags[0].String()
+	for _, frag := range []string{"[schedule]", string(DanglingEdge), "F0(main)", "B0", "B99"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("diagnostic %q missing %q", s, frag)
+		}
+	}
+	if Error(nil) != nil {
+		t.Errorf("Error(nil) must be nil")
+	}
+	if err := Error(diags); err == nil || !strings.Contains(err.Error(), "1 IR verification") {
+		t.Errorf("Error() = %v", err)
+	}
+}
+
+// TestMaxDiags checks the report cap.
+func TestMaxDiags(t *testing.T) {
+	p := baseProgram()
+	b := entry(p)
+	for i := 0; i < 10; i++ {
+		b.InsertAt(0, ir.NewInstr(ir.Add, 1, ir.R(30+ir.Reg(i)), ir.Imm(1)))
+	}
+	diags := Verify(p, Options{MaxDiags: 3})
+	if len(diags) != 3 {
+		t.Fatalf("MaxDiags=3, got %d diagnostics", len(diags))
+	}
+}

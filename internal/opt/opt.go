@@ -257,7 +257,11 @@ func LocalCSE(f *ir.Func) bool {
 					continue
 				}
 				invalidate(d)
-				if in.Guard == ir.PNone {
+				// An instruction that redefines one of its own sources
+				// (add r6, r6, r3) must not be recorded: the key names the
+				// pre-definition value, which no longer exists.
+				selfRef := (in.A.IsReg() && in.A.R == d) || (in.B.IsReg() && in.B.R == d)
+				if in.Guard == ir.PNone && !selfRef {
 					avail[k] = d
 				}
 				continue

@@ -89,6 +89,23 @@ func TestLocalCSE(t *testing.T) {
 	}
 }
 
+// TestLocalCSESelfRedefinition: an instruction that redefines one of its
+// own sources (add r6, r6, r3) must not make its expression available —
+// the key names the pre-definition value.  Found by cmd/predfuzz (seed
+// 2650): the follow-on add was rewritten to a mov of the wrong value.
+func TestLocalCSESelfRedefinition(t *testing.T) {
+	f := ir.NewFunc("t")
+	b := f.EntryBlock()
+	r6, r3, r7 := f.NewReg(), f.NewReg(), f.NewReg()
+	b.Append(ir.NewInstr(ir.Add, r6, ir.R(r6), ir.R(r3))) // r6 = old r6 + r3
+	b.Append(ir.NewInstr(ir.Add, r7, ir.R(r6), ir.R(r3))) // r7 = new r6 + r3: NOT the same
+	b.Append(&ir.Instr{Op: ir.Halt})
+	LocalCSE(f)
+	if b.Instrs[1].Op != ir.Add {
+		t.Errorf("self-redefining add wrongly treated as available: %v", b.Instrs[1])
+	}
+}
+
 func TestDCERemovesDeadKeepsLive(t *testing.T) {
 	f := ir.NewFunc("t")
 	b := f.EntryBlock()

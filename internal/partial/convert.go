@@ -42,10 +42,17 @@ func DefaultOptions() Options { return Options{NonExcepting: true} }
 // full-predication constructs (guards, predicate defines, pred_clear,
 // pred_set).  The result uses only conditional moves/selects plus ordinary
 // instructions.
-func Convert(p *ir.Program, opts Options) {
-	for _, f := range p.Funcs {
-		convertFunc(f, opts)
+//
+// A non-nil error means an instruction had no conversion rule (a guarded
+// call, return, or halt — shapes hyperblock formation must exclude).  The
+// program may be partially rewritten at that point and must be discarded.
+func Convert(p *ir.Program, opts Options) error {
+	for fi, f := range p.Funcs {
+		if err := convertFunc(f, opts); err != nil {
+			return fmt.Errorf("partial: F%d(%s): %w", fi, f.Name, err)
+		}
 	}
+	return nil
 }
 
 // conv carries per-function conversion state.
@@ -63,7 +70,7 @@ type conv struct {
 	out               []*ir.Instr
 }
 
-func convertFunc(f *ir.Func, opts Options) {
+func convertFunc(f *ir.Func, opts Options) error {
 	c := &conv{f: f, opts: opts,
 		pregMap: map[ir.PReg]ir.Reg{}, orSeen: map[ir.PReg]bool{}, andSeen: map[ir.PReg]bool{}}
 	// Pre-scan: find OR/AND accumulation targets so pred_clear/pred_set
@@ -87,11 +94,14 @@ func convertFunc(f *ir.Func, opts Options) {
 	}
 	for _, b := range f.LiveBlocks(nil) {
 		c.out = c.out[:0]
-		for _, in := range b.Instrs {
-			c.convertInstr(in)
+		for i, in := range b.Instrs {
+			if err := c.convertInstr(in); err != nil {
+				return fmt.Errorf("B%d instr %d: %w", b.ID, i, err)
+			}
 		}
 		b.Instrs = append([]*ir.Instr(nil), c.out...)
 	}
+	return nil
 }
 
 // preg returns the general register holding predicate p.
@@ -112,25 +122,25 @@ func (c *conv) emitOp(op ir.Op, dst ir.Reg, a, b ir.Operand) ir.Reg {
 }
 
 // convertInstr lowers one instruction, appending the replacement sequence.
-func (c *conv) convertInstr(in *ir.Instr) {
+func (c *conv) convertInstr(in *ir.Instr) error {
 	switch in.Op {
 	case ir.PredDef:
 		c.convertPredDef(in)
-		return
+		return nil
 	case ir.PredClear:
 		for _, p := range c.orPreds {
 			c.emit(&ir.Instr{Op: ir.Mov, Dst: c.preg(p), A: ir.Imm(0)})
 		}
-		return
+		return nil
 	case ir.PredSet:
 		for _, p := range c.andPreds {
 			c.emit(&ir.Instr{Op: ir.Mov, Dst: c.preg(p), A: ir.Imm(1)})
 		}
-		return
+		return nil
 	}
 	if in.Guard == ir.PNone {
 		c.emit(in)
-		return
+		return nil
 	}
 	rp := c.preg(in.Guard)
 	in.Guard = ir.PNone
@@ -172,10 +182,11 @@ func (c *conv) convertInstr(in *ir.Instr) {
 	case in.DefReg() != ir.RNone:
 		c.convertCompute(in, rp)
 	case in.Op == ir.JSR, in.Op == ir.Ret, in.Op == ir.Halt:
-		panic(fmt.Sprintf("partial: guarded %s not supported (hyperblock formation excludes calls)", in.Op))
+		return fmt.Errorf("guarded %s not supported (hyperblock formation excludes calls, returns, and halts)", in.Op)
 	default:
-		panic("partial: cannot convert " + in.String())
+		return fmt.Errorf("no conversion rule for %s", in)
 	}
+	return nil
 }
 
 // convertCompute lowers a guarded arithmetic/logic/memory computation:

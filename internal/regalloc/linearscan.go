@@ -189,7 +189,7 @@ func allocateFunc(p *ir.Program, f *ir.Func, numRegs int, res *Result) error {
 				r := nextScratch
 				nextScratch++
 				if nextScratch > ir.Reg(numRegs)+1 {
-					panic("regalloc: scratch overflow")
+					panic(fmt.Sprintf("regalloc: instruction needs more than %d scratch registers (numRegs %d)", numScratch, numRegs))
 				}
 				return r
 			}
