@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"predication/internal/experiments"
@@ -48,6 +50,9 @@ func run(args []string, out, errw io.Writer) error {
 	ext := fs.Bool("ext", false, "also run the extension experiments (penalty sweep, predicate distance, register pressure, finite register files)")
 	failfast := fs.Bool("failfast", false, "abort the whole run on the first failing matrix cell (default: failed cells become tagged gaps)")
 	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell time budget, e.g. 30s (0 = unbounded)")
+	legacy := fs.Bool("legacy", false, "run the suite on the legacy (pre-decoded-free) emulator and simulator data path")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -57,12 +62,35 @@ func run(args []string, out, errw io.Writer) error {
 	if *benchList != "" && *kernelList != "" && *benchList != *kernelList {
 		return fmt.Errorf("-bench and -kernels both given with different kernel lists")
 	}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC()
+			pprof.Lookup("allocs").WriteTo(f, 0)
+			f.Close()
+		}()
+	}
 
 	opts := experiments.Options{
 		Parallel:    *parallel,
 		Progress:    func(s string) { fmt.Fprintln(errw, s) },
 		FailFast:    *failfast,
 		CellTimeout: *cellTimeout,
+		LegacyEmu:   *legacy,
 	}
 	if *benchList != "" {
 		opts.Kernels = strings.Split(*benchList, ",")

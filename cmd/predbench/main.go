@@ -1,0 +1,303 @@
+// Command predbench is the reproducible performance harness.  It
+// compiles the full experiment matrix (every kernel × model × machine
+// cell) exactly once, then times the suite's complete emulation +
+// simulation workload on the pre-decoded data path and, with -compare,
+// again on the legacy tree-walking interpreter + map-based simulator
+// baseline.  Because both arms execute the same precompiled programs
+// (the interpreters are pinned event-for-event identical by the
+// differential tests, so shared compilation changes nothing), the
+// reported speedup isolates exactly the dynamic-execution path this
+// optimization work rebuilt; the one-time compilation cost is reported
+// separately as compile_seconds.  The JSON report (BENCH_PR3.json)
+// records wall clock and steps/second per arm, the fast/legacy speedup,
+// and the fast path's steady-state allocations per emulated step.
+//
+// Usage:
+//
+//	predbench                               # full suite, fast vs legacy
+//	predbench -kernels wc,sort -compare=false
+//	predbench -out BENCH_PR3.json -parallel 1
+//
+// The exit status is non-zero when any suite cell fails or the measured
+// allocations per step exceed -max-allocs-per-step (the zero-allocation
+// regression gate used by CI).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
+	"time"
+
+	"predication/internal/bench"
+	"predication/internal/core"
+	"predication/internal/emu"
+	"predication/internal/experiments"
+	"predication/internal/machine"
+	"predication/internal/sim"
+)
+
+func main() {
+	if err := safeRun(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "predbench:", err)
+		os.Exit(1)
+	}
+}
+
+// safeRun converts a panic anywhere in the harness into an ordinary
+// one-line error, so the command never dies with a stack trace.
+func safeRun(args []string, out, errw io.Writer) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("internal error: %v", r)
+		}
+	}()
+	return run(args, out, errw)
+}
+
+// armResult is the timing of the suite's emulation + simulation workload
+// on one data path (compilation is shared and timed separately).
+type armResult struct {
+	WallSeconds float64 `json:"wall_seconds"`
+	Steps       int64   `json:"steps"`
+	StepsPerSec float64 `json:"steps_per_sec"`
+}
+
+// report is the schema of the JSON benchmark artifact.
+type report struct {
+	Date           string     `json:"date"`
+	GoVersion      string     `json:"go_version"`
+	GOOS           string     `json:"goos"`
+	GOARCH         string     `json:"goarch"`
+	CPU            string     `json:"cpu,omitempty"`
+	NumCPU         int        `json:"num_cpu"`
+	Parallel       int        `json:"parallel"`
+	Trials         int        `json:"trials"`
+	Kernels        []string   `json:"kernels"`
+	CompileSeconds float64    `json:"compile_seconds"`
+	Fast           armResult  `json:"fast"`
+	Legacy         *armResult `json:"legacy,omitempty"`
+	Speedup        float64    `json:"speedup,omitempty"`
+	AllocsPerStep  float64    `json:"allocs_per_step"`
+	AllocKernel    string     `json:"alloc_kernel"`
+	AllocSteps     int64      `json:"alloc_steps"`
+}
+
+// run parses args, times the suite on each requested data path, measures
+// steady-state allocations per step, and writes the JSON report.
+func run(args []string, out, errw io.Writer) error {
+	fs := flag.NewFlagSet("predbench", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	kernelList := fs.String("kernels", "", "comma-separated kernel names (default: all)")
+	outPath := fs.String("out", "BENCH_PR3.json", "path of the JSON report (empty = stdout only)")
+	parallel := fs.Int("parallel", 0, "worker pool size for the suite matrix (0 = GOMAXPROCS, 1 = sequential)")
+	compare := fs.Bool("compare", true, "also time the legacy interpreter + map-based simulator baseline")
+	trials := fs.Int("trials", 3, "timed repetitions per arm; the fastest is reported (noise only ever adds time)")
+	maxAllocs := fs.Float64("max-allocs-per-step", 0.001,
+		"fail when the fast path's steady-state allocations per emulated step exceed this")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the fast-path suite run to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *parallel < 0 {
+		return fmt.Errorf("-parallel %d: worker count cannot be negative", *parallel)
+	}
+	if *trials < 1 {
+		return fmt.Errorf("-trials %d: need at least one timed repetition", *trials)
+	}
+
+	var kernels []string
+	if *kernelList != "" {
+		kernels = strings.Split(*kernelList, ",")
+	} else {
+		for _, k := range bench.All() {
+			kernels = append(kernels, k.Name)
+		}
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC()
+			pprof.Lookup("allocs").WriteTo(f, 0)
+			f.Close()
+		}()
+	}
+
+	rep := report{
+		Date:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPU:       cpuModel(),
+		NumCPU:    runtime.NumCPU(),
+		Parallel:  *parallel,
+		Trials:    *trials,
+		Kernels:   kernels,
+	}
+
+	fmt.Fprintf(errw, "compiling %d kernels × matrix...\n", len(kernels))
+	start := time.Now()
+	pre, err := experiments.Precompile(kernels, *parallel)
+	if err != nil {
+		return fmt.Errorf("compile: %w", err)
+	}
+	rep.CompileSeconds = time.Since(start).Seconds()
+	fmt.Fprintf(errw, "compiled in %.2fs (shared by both arms)\n", rep.CompileSeconds)
+
+	// One timed repetition of one arm.  Ambient noise (scheduler, page
+	// cache, sibling load) only ever adds wall time, so the minimum over
+	// -trials repetitions is the robust estimate of each arm's cost; the
+	// arms interleave so a noisy stretch cannot bias one side only.
+	armTrial := func(label string, legacy bool) (armResult, error) {
+		fmt.Fprintf(errw, "timing %s interpreter path (%d kernels)...\n", label, len(kernels))
+		runtime.GC()
+		start := time.Now()
+		steps, err := pre.RunArm(legacy, *parallel)
+		wall := time.Since(start).Seconds()
+		if err != nil {
+			return armResult{}, fmt.Errorf("%s arm: %w", label, err)
+		}
+		res := armResult{WallSeconds: wall, Steps: steps}
+		if wall > 0 {
+			res.StepsPerSec = float64(steps) / wall
+		}
+		fmt.Fprintf(errw, "%s: %.2fs wall, %d steps, %.1f Msteps/s\n",
+			label, wall, steps, res.StepsPerSec/1e6)
+		return res, nil
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	var fast armResult
+	var legacy *armResult
+	for t := 0; t < *trials; t++ {
+		profiling := *cpuProfile != ""
+		f, err := armTrial("fast", false)
+		if err != nil {
+			if profiling {
+				pprof.StopCPUProfile()
+			}
+			return err
+		}
+		if t == 0 || f.WallSeconds < fast.WallSeconds {
+			fast = f
+		}
+		if *compare {
+			if profiling {
+				pprof.StopCPUProfile() // the profile covers only the fast arm
+			}
+			l, err := armTrial("legacy", true)
+			if profiling {
+				*cpuProfile = "" // subsequent fast trials run unprofiled
+			}
+			if err != nil {
+				return err
+			}
+			if legacy == nil || l.WallSeconds < legacy.WallSeconds {
+				legacy = &l
+			}
+		}
+	}
+	if *cpuProfile != "" {
+		pprof.StopCPUProfile()
+	}
+	rep.Fast = fast
+	if legacy != nil {
+		rep.Legacy = legacy
+		if fast.WallSeconds > 0 {
+			rep.Speedup = legacy.WallSeconds / fast.WallSeconds
+		}
+	}
+
+	allocs, steps, kname, err := allocsPerStep(kernels)
+	if err != nil {
+		return err
+	}
+	rep.AllocsPerStep = allocs
+	rep.AllocSteps = steps
+	rep.AllocKernel = kname
+
+	js, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	js = append(js, '\n')
+	if *outPath != "" {
+		if err := os.WriteFile(*outPath, js, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(errw, "wrote %s\n", *outPath)
+	}
+	out.Write(js)
+
+	if rep.AllocsPerStep > *maxAllocs {
+		return fmt.Errorf("allocation regression: %.6f allocs/step on %s exceeds the %.6f gate",
+			rep.AllocsPerStep, kname, *maxAllocs)
+	}
+	return nil
+}
+
+// allocsPerStep measures the fast interpreter's steady-state allocation
+// rate: one full emulation of the first requested kernel's full-predication
+// build, with the malloc counter read around Code.Run.  Setup allocations
+// (result, memory image, pooled frames, profile-free run state) amortize
+// over the kernel's millions of steps, so a non-trivially-small result
+// means a per-step allocation crept into the hot loop.
+func allocsPerStep(kernels []string) (allocs float64, steps int64, kernel string, err error) {
+	kernel = kernels[0]
+	k, err := bench.ByName(kernel)
+	if err != nil {
+		return 0, 0, kernel, err
+	}
+	c, err := core.Compile(k.Build(), core.FullPred, core.DefaultOptions(machine.Issue8Br1()))
+	if err != nil {
+		return 0, 0, kernel, fmt.Errorf("alloc gate: compile %s: %w", kernel, err)
+	}
+	code, err := emu.Decode(c.Prog)
+	if err != nil {
+		return 0, 0, kernel, fmt.Errorf("alloc gate: decode %s: %w", kernel, err)
+	}
+	s := sim.New(c.Prog, machine.Issue8Br1())
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res, err := code.Run(emu.Options{Sink: s})
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return 0, 0, kernel, fmt.Errorf("alloc gate: emulate %s: %w", kernel, err)
+	}
+	return float64(after.Mallocs-before.Mallocs) / float64(res.Steps), res.Steps, kernel, nil
+}
+
+// cpuModel reports the host CPU model when /proc/cpuinfo exposes it
+// (best-effort; empty elsewhere).
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}

@@ -1,0 +1,91 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestReportSchema runs the harness on one kernel (fast arm only) and
+// checks the JSON artifact.
+func TestReportSchema(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var sb, eb strings.Builder
+	if err := run([]string{"-kernels", "wc", "-compare=false", "-out", out}, &sb, &eb); err != nil {
+		t.Fatalf("predbench: %v\nstderr:\n%s", err, eb.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if len(rep.Kernels) != 1 || rep.Kernels[0] != "wc" {
+		t.Errorf("kernels = %v, want [wc]", rep.Kernels)
+	}
+	if rep.Fast.Steps <= 0 || rep.Fast.WallSeconds <= 0 || rep.Fast.StepsPerSec <= 0 {
+		t.Errorf("fast arm not measured: %+v", rep.Fast)
+	}
+	if rep.Legacy != nil {
+		t.Errorf("legacy arm present despite -compare=false: %+v", rep.Legacy)
+	}
+	if rep.AllocSteps <= 0 {
+		t.Errorf("alloc gate did not run: %+v", rep)
+	}
+	if rep.AllocsPerStep > 0.001 {
+		t.Errorf("allocs/step = %f, hot loop is allocating", rep.AllocsPerStep)
+	}
+	if rep.GoVersion == "" || rep.GOARCH == "" {
+		t.Errorf("missing host fields: %+v", rep)
+	}
+	// Stdout carries the same JSON for piping.
+	if !strings.Contains(sb.String(), "\"steps_per_sec\"") {
+		t.Error("report JSON not echoed to stdout")
+	}
+}
+
+// TestCompareMeasuresBothArms runs fast and legacy on one kernel and
+// checks the speedup field is populated.
+func TestCompareMeasuresBothArms(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var sb, eb strings.Builder
+	if err := run([]string{"-kernels", "wc", "-out", out}, &sb, &eb); err != nil {
+		t.Fatalf("predbench: %v\nstderr:\n%s", err, eb.String())
+	}
+	data, _ := os.ReadFile(out)
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Legacy == nil || rep.Legacy.Steps <= 0 {
+		t.Fatalf("legacy arm missing: %+v", rep.Legacy)
+	}
+	if rep.Legacy.Steps != rep.Fast.Steps {
+		t.Errorf("arms emulated different work: fast %d steps, legacy %d", rep.Fast.Steps, rep.Legacy.Steps)
+	}
+	if rep.Speedup <= 0 {
+		t.Errorf("speedup not computed: %f", rep.Speedup)
+	}
+}
+
+// TestAllocGateFails: an impossible allocation budget turns into a
+// non-zero exit (the CI regression gate).
+func TestAllocGateFails(t *testing.T) {
+	var sb, eb strings.Builder
+	err := run([]string{"-kernels", "wc", "-compare=false", "-out", "", "-max-allocs-per-step", "0"}, &sb, &eb)
+	if err == nil || !strings.Contains(err.Error(), "allocation regression") {
+		t.Errorf("error = %v, want allocation regression", err)
+	}
+}
+
+// TestBadKernelErrors: unknown kernels fail cleanly.
+func TestBadKernelErrors(t *testing.T) {
+	var sb, eb strings.Builder
+	if err := run([]string{"-kernels", "no-such-kernel", "-compare=false", "-out", ""}, &sb, &eb); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+}

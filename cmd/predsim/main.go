@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"predication/internal/asm"
 	"predication/internal/bench"
@@ -49,15 +51,6 @@ type countingSink map[*ir.Instr]int
 
 func (c countingSink) Event(ev emu.Event) { c[ev.In]++ }
 
-// multiSink fans the event stream out to several sinks.
-type multiSink []emu.TraceSink
-
-func (m multiSink) Event(ev emu.Event) {
-	for _, s := range m {
-		s.Event(ev)
-	}
-}
-
 // run parses args, compiles the selected program under the selected model,
 // simulates it, and writes the report to out.
 func run(args []string, out io.Writer) error {
@@ -71,6 +64,9 @@ func run(args []string, out io.Writer) error {
 	stages := fs.Bool("stages", false, "dump the program after every pipeline stage")
 	schedule := fs.Bool("schedule", false, "print the hottest block with issue cycles (the paper's Figure 5/6 presentation)")
 	verify := fs.Bool("verify", false, "run the structural IR verifier after every pipeline stage")
+	predictorName := fs.String("predictor", "btb", "branch direction predictor: btb | gshare")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the compile+emulate+simulate run to this file")
+	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	list := fs.Bool("list", false, "list benchmark kernels")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -133,6 +129,36 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown machine %q", *machName)
 	}
+	switch *predictorName {
+	case "btb":
+	case "gshare":
+		mc.Gshare = true
+	default:
+		return fmt.Errorf("unknown predictor %q (want btb or gshare)", *predictorName)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			runtime.GC()
+			pprof.Lookup("allocs").WriteTo(f, 0)
+			f.Close()
+		}()
+	}
 
 	opts := core.DefaultOptions(mc)
 	opts.VerifyStages = *verify
@@ -156,7 +182,7 @@ func run(args []string, out io.Writer) error {
 	var counts countingSink
 	if *schedule {
 		counts = countingSink{}
-		sink = multiSink{simulator, counts}
+		sink = emu.FanoutSink{simulator, counts}
 	}
 	runRes, err := emu.Run(c.Prog, emu.Options{Sink: sink})
 	if err != nil {
@@ -187,6 +213,9 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "program:        %s\n", label)
 	fmt.Fprintf(out, "model:          %v\n", model)
 	fmt.Fprintf(out, "machine:        %s\n", mc.Name)
+	if mc.Gshare {
+		fmt.Fprintf(out, "predictor:      gshare\n")
+	}
 	fmt.Fprintf(out, "checksum:       %#x\n", runRes.Word(bench.CheckAddr))
 	fmt.Fprintf(out, "cycles:         %d\n", st.Cycles)
 	fmt.Fprintf(out, "dyn. instrs:    %d (nullified %d)\n", st.Instrs, st.Nullified)

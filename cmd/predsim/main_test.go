@@ -195,3 +195,50 @@ func TestVerifyFlag(t *testing.T) {
 		t.Error("no report with -verify")
 	}
 }
+
+// TestPredictorFlag: -predictor gshare swaps the direction predictor in
+// the simulated machine.  Timing-only: the checksum must not move, but the
+// misprediction count must (the two predictors behave differently on the
+// branch-heavy superblock build of wc).
+func TestPredictorFlag(t *testing.T) {
+	btb := capture(t, "-bench", "wc", "-model", "superblock")
+	gs := capture(t, "-bench", "wc", "-model", "superblock", "-predictor", "gshare")
+	if strings.Contains(btb, "predictor:") {
+		t.Error("default report names a predictor line; expected only for gshare")
+	}
+	if !strings.Contains(gs, "predictor:      gshare") {
+		t.Error("gshare report missing the predictor line")
+	}
+	sum := regexp.MustCompile(`checksum:\s+(\S+)`)
+	if a, b := sum.FindStringSubmatch(btb)[1], sum.FindStringSubmatch(gs)[1]; a != b {
+		t.Errorf("checksum moved with the predictor: btb %s, gshare %s", a, b)
+	}
+	mp := regexp.MustCompile(`mispredicts:\s+(\d+)`)
+	if a, b := mp.FindStringSubmatch(btb)[1], mp.FindStringSubmatch(gs)[1]; a == b {
+		t.Errorf("btb and gshare report identical mispredicts (%s); the flag is not wired through", a)
+	}
+
+	var sb strings.Builder
+	if err := run([]string{"-bench", "wc", "-predictor", "alpha21264"}, &sb); err == nil ||
+		!strings.Contains(err.Error(), "unknown predictor") {
+		t.Errorf("bad predictor error = %v, want unknown predictor", err)
+	}
+}
+
+// TestProfileFlags: -cpuprofile and -memprofile write non-empty pprof
+// files next to the run.
+func TestProfileFlags(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	capture(t, "-bench", "wc", "-cpuprofile", cpu, "-memprofile", mem)
+	for _, path := range []string{cpu, mem} {
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", path)
+		}
+	}
+}

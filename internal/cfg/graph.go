@@ -6,59 +6,146 @@ package cfg
 import "predication/internal/ir"
 
 // Graph is the control-flow graph of one function, computed on demand from
-// the block structure.  Recompute it after any pass that adds or removes
-// edges.
+// the block structure.  Recompute it (Rebuild, or a fresh NewGraph) after
+// any pass that adds or removes edges.
 type Graph struct {
 	F     *ir.Func
 	Succs [][]int // block ID -> successor block IDs
 	Preds [][]int // block ID -> predecessor block IDs
 	RPO   []int   // reverse postorder over reachable live blocks
 	rpoIx []int   // block ID -> position in RPO (-1 if unreachable)
+
+	// Scratch storage retained across Rebuild: formation passes rebuild the
+	// graph after every structural change, so steady-state rebuilds must not
+	// allocate.
+	sbuf    []int
+	pbuf    []int
+	counts  []int
+	visited []bool
+	post    []int
+	stack   []dfsFrame
 }
+
+type dfsFrame struct{ id, next int }
 
 // NewGraph builds the CFG for f.
 func NewGraph(f *ir.Func) *Graph {
 	g := &Graph{F: f}
+	g.build()
+	return g
+}
+
+// Rebuild recomputes the graph for the function after a structural change,
+// reusing the graph's storage.  All previously returned successor and
+// predecessor slices are invalidated.
+func (g *Graph) Rebuild() { g.build() }
+
+// grow returns s resized to n elements, all zero, reusing its backing array
+// when possible.  Fresh allocations carry headroom: formation passes add
+// blocks between rebuilds, and reallocating every O(n) array on each rebuild
+// is what this arena exists to avoid.
+func grow[T any](s []T, n int) []T {
+	if cap(s) < n {
+		return make([]T, n, n+n/2+16)
+	}
+	s = s[:n]
+	clear(s)
+	return s
+}
+
+// build computes the graph.  The successor and predecessor lists are carved
+// out of two shared backing arrays (compressed-row layout) instead of one
+// slice per block, and the postorder walk uses an explicit stack.
+func (g *Graph) build() {
+	f := g.F
 	n := len(f.Blocks)
-	g.Succs = make([][]int, n)
-	g.Preds = make([][]int, n)
+	g.Succs = grow(g.Succs, n)
+	g.Preds = grow(g.Preds, n)
+
+	// Successor lists: append into one shared backing array and carve
+	// per-block windows out of it.  When the backing grows, windows carved
+	// earlier keep the retired array alive, which is harmless.
+	sbuf := g.sbuf[:0]
+	if cap(sbuf) < 2*n+8 {
+		sbuf = make([]int, 0, 3*n+16)
+	}
 	for _, b := range f.Blocks {
 		if b == nil || b.Dead {
 			continue
 		}
-		g.Succs[b.ID] = b.Succs(nil)
+		start := len(sbuf)
+		sbuf = b.Succs(sbuf)
+		g.Succs[b.ID] = sbuf[start:len(sbuf):len(sbuf)]
 	}
+	g.sbuf = sbuf
+
+	// Predecessor lists, same layout: count, carve, fill.
+	g.counts = grow(g.counts, n)
+	total := 0
+	for _, succs := range g.Succs {
+		total += len(succs)
+		for _, s := range succs {
+			g.counts[s]++
+		}
+	}
+	pbuf := g.pbuf[:0]
+	if cap(pbuf) < total {
+		pbuf = make([]int, 0, total+total/2+16)
+	}
+	for id, c := range g.counts {
+		if c == 0 {
+			continue
+		}
+		g.Preds[id] = pbuf[len(pbuf) : len(pbuf) : len(pbuf)+c]
+		pbuf = pbuf[:len(pbuf)+c]
+	}
+	g.pbuf = pbuf
 	for id, succs := range g.Succs {
 		for _, s := range succs {
 			g.Preds[s] = append(g.Preds[s], id)
 		}
 	}
-	// Depth-first postorder from the entry, reversed.
-	visited := make([]bool, n)
-	var post []int
-	var dfs func(int)
-	dfs = func(id int) {
-		visited[id] = true
-		for _, s := range g.Succs[id] {
-			if !visited[s] {
-				dfs(s)
-			}
-		}
-		post = append(post, id)
+
+	// Depth-first postorder from the entry, reversed.  The explicit stack
+	// visits successors in list order, exactly like the recursive walk.
+	g.visited = grow(g.visited, n)
+	post := g.post[:0]
+	if cap(post) < n {
+		post = make([]int, 0, n+n/2+16)
 	}
-	dfs(f.Entry)
-	g.RPO = make([]int, 0, len(post))
+	stack := g.stack[:0]
+	stack = append(stack, dfsFrame{f.Entry, 0})
+	g.visited[f.Entry] = true
+	for len(stack) > 0 {
+		fr := &stack[len(stack)-1]
+		if fr.next < len(g.Succs[fr.id]) {
+			s := g.Succs[fr.id][fr.next]
+			fr.next++
+			if !g.visited[s] {
+				g.visited[s] = true
+				stack = append(stack, dfsFrame{s, 0})
+			}
+			continue
+		}
+		post = append(post, fr.id)
+		stack = stack[:len(stack)-1]
+	}
+	g.post = post
+	g.stack = stack[:0]
+	g.RPO = g.RPO[:0]
+	if cap(g.RPO) < len(post) {
+		g.RPO = make([]int, 0, len(post)+len(post)/2+16)
+	}
 	for i := len(post) - 1; i >= 0; i-- {
 		g.RPO = append(g.RPO, post[i])
 	}
-	g.rpoIx = make([]int, n)
+	g.rpoIx = grow(g.rpoIx, n)
 	for i := range g.rpoIx {
 		g.rpoIx[i] = -1
 	}
 	for i, id := range g.RPO {
 		g.rpoIx[id] = i
 	}
-	return g
 }
 
 // Reachable reports whether the block is reachable from the entry.

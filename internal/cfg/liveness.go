@@ -50,26 +50,56 @@ type Liveness struct {
 }
 
 // ComputeLiveness runs iterative backward liveness over the function.
+//
+// All 4n per-block sets plus the iteration scratch sets are carved out of a
+// single backing array: the pass runs after every mutating transformation,
+// so per-set allocations would dominate its cost.
 func ComputeLiveness(g *Graph) *Liveness {
 	f := g.F
 	n := len(f.Blocks)
+	rw := (int(f.NextReg) + 63) / 64
+	pw := (int(f.NextPReg) + 63) / 64
+	live := 0
+	for _, b := range f.Blocks {
+		if b != nil && !b.Dead {
+			live++
+		}
+	}
+	backing := make([]uint64, (2*live+2)*(rw+pw))
+	carve := func(w int) BitSet {
+		s := BitSet(backing[:w:w])
+		backing = backing[w:]
+		return s
+	}
+	// Dead blocks keep nil sets; formation can leave many of them behind,
+	// and sizing the arrays to the live count keeps this pass cheap on
+	// functions late in the pipeline.  Consumers (backwardStep, DCE) already
+	// treat a nil set as empty.
 	lv := &Liveness{G: g,
 		RegIn: make([]BitSet, n), RegOut: make([]BitSet, n),
 		PredIn: make([]BitSet, n), PredOut: make([]BitSet, n)}
-	for i := 0; i < n; i++ {
-		lv.RegIn[i] = NewBitSet(int(f.NextReg))
-		lv.RegOut[i] = NewBitSet(int(f.NextReg))
-		lv.PredIn[i] = NewBitSet(int(f.NextPReg))
-		lv.PredOut[i] = NewBitSet(int(f.NextPReg))
+	for _, b := range f.Blocks {
+		if b == nil || b.Dead {
+			continue
+		}
+		lv.RegIn[b.ID] = carve(rw)
+		lv.RegOut[b.ID] = carve(rw)
+		lv.PredIn[b.ID] = carve(pw)
+		lv.PredOut[b.ID] = carve(pw)
 	}
+	out, in := carve(rw), carve(rw)
+	pout, pin := carve(pw), carve(pw)
 	for changed := true; changed; {
 		changed = false
 		// Iterate blocks in reverse RPO for fast convergence.
 		for i := len(g.RPO) - 1; i >= 0; i-- {
 			id := g.RPO[i]
 			b := f.Blocks[id]
-			out := NewBitSet(int(f.NextReg))
-			pout := NewBitSet(int(f.NextPReg))
+			if b == nil || b.Dead {
+				continue // reachable only via a stray edge; no sets
+			}
+			clear(out)
+			clear(pout)
 			for _, s := range g.Succs[id] {
 				out.OrWith(lv.RegIn[s])
 				pout.OrWith(lv.PredIn[s])
@@ -80,8 +110,8 @@ func ComputeLiveness(g *Graph) *Liveness {
 			if lv.PredOut[id].OrWith(pout) {
 				changed = true
 			}
-			in := lv.RegOut[id].Copy()
-			pin := lv.PredOut[id].Copy()
+			copy(in, lv.RegOut[id])
+			copy(pin, lv.PredOut[id])
 			lv.backwardStep(b.Instrs, in, pin)
 			if lv.RegIn[id].OrWith(in) {
 				changed = true

@@ -7,6 +7,14 @@
 // The original study emulated on an HP PA-RISC host using bit-manipulation
 // sequences (Figure 7); here the IR is interpreted directly, with exact
 // Table-1 semantics for predicate defines.
+//
+// Two interpreters share those semantics.  The default path pre-decodes the
+// program once into a flat micro-op array (see decode.go) and executes it
+// with an index-driven dispatch loop that allocates nothing per step
+// (fast.go).  The original tree-walking interpreter survives in legacy.go
+// behind Options.Legacy as the semantic reference; the two are pinned
+// event-for-event identical by differential tests.  docs/PERFORMANCE.md
+// describes the layout and the measurement harness.
 package emu
 
 import (
@@ -28,7 +36,12 @@ const (
 
 // Event is one dynamic instruction in the trace.
 type Event struct {
-	In    *ir.Instr
+	In *ir.Instr
+	// ID is the instruction's index in the program's static layout order
+	// (ir.Program.ForEachInstr), so ID*ir.InstrBytes == In.Addr once
+	// addresses are assigned.  Sinks use it to index pre-decoded
+	// per-instruction tables instead of hashing In.
+	ID    int32
 	Addr  int32 // memory word address touched by Load/Store, else 0
 	Flags uint8
 }
@@ -50,6 +63,16 @@ type TraceSink interface {
 	Event(ev Event)
 }
 
+// BatchSink is an optional TraceSink extension.  The fast interpreter
+// detects it and delivers events in buffered batches (in stream order,
+// with a final flush before Run returns) instead of one interface call
+// per step; a sink that processes events cheaply should implement it.
+// The batch slice is reused between calls: sinks must not retain it.
+type BatchSink interface {
+	TraceSink
+	EventBatch(evs []Event)
+}
+
 // SliceSink is the materializing TraceSink: it collects every event into
 // Events, reproducing the legacy []Event trace for consumers that need
 // random access (stage dumps, ablation benches, differential tests).
@@ -59,6 +82,32 @@ type SliceSink struct {
 
 // Event appends ev to the slice.
 func (s *SliceSink) Event(ev Event) { s.Events = append(s.Events, ev) }
+
+// FanoutSink replicates the event stream to several sinks, so one
+// emulation pass can feed every simulator configuration of an experiment
+// cell at once.
+type FanoutSink []TraceSink
+
+// Event forwards ev to every sink in order.
+func (f FanoutSink) Event(ev Event) {
+	for _, s := range f {
+		s.Event(ev)
+	}
+}
+
+// EventBatch implements BatchSink: batch-capable members receive the
+// whole run at once, the rest get it one event at a time.
+func (f FanoutSink) EventBatch(evs []Event) {
+	for _, s := range f {
+		if b, ok := s.(BatchSink); ok {
+			b.EventBatch(evs)
+		} else {
+			for i := range evs {
+				s.Event(evs[i])
+			}
+		}
+	}
+}
 
 // Options configures an emulation run.
 type Options struct {
@@ -72,7 +121,31 @@ type Options struct {
 	Profile *cfg.Profile
 	// MaxSteps bounds execution (0 means the 500M default).
 	MaxSteps int64
+	// Legacy selects the original tree-walking interpreter instead of the
+	// pre-decoded fast path.  Semantics are identical; the legacy path is
+	// the reference the differential tests compare against.
+	Legacy bool
+	// MemBuf, when its capacity covers Program.MemWords, is cleared and
+	// reused as the memory image instead of allocating a fresh one;
+	// Result.Mem then aliases it.  Harnesses that emulate many programs
+	// back to back (experiments, cmd/predbench) recycle images through
+	// this to keep the measured runs free of multi-megabyte allocation
+	// churn.  Both interpreter paths honor it identically.
+	MemBuf []int64
 }
+
+// memImage returns a zeroed memory image of n words, reusing buf when its
+// capacity allows.
+func memImage(buf []int64, n int) []int64 {
+	if cap(buf) < n {
+		return make([]int64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+const defaultMaxSteps = 500_000_000
 
 // Result reports the outcome of an emulation run.
 type Result struct {
@@ -99,297 +172,19 @@ func (e *ExecError) Error() string {
 	return fmt.Sprintf("emu: %s in %s B%d[%d]: %s", e.Msg, e.Fn, e.Block, e.Index, e.In)
 }
 
-type frame struct {
-	f     *ir.Func
-	regs  []int64
-	preds []bool
-	// Return point in the caller.
-	retBlock, retIdx int
-}
-
 // Run emulates the program to completion (Halt) and returns the result.
+// The default path decodes p into a flat micro-op array and executes that;
+// Options.Legacy selects the original interpreter.  Callers that emulate
+// the same program repeatedly should Decode once and call Code.Run.
 func Run(p *ir.Program, opts Options) (*Result, error) {
-	maxSteps := opts.MaxSteps
-	if maxSteps == 0 {
-		maxSteps = 500_000_000
+	if opts.Legacy {
+		return runLegacy(p, opts)
 	}
-	mem := make([]int64, p.MemWords)
-	copy(mem, p.Data)
-
-	newFrame := func(f *ir.Func) frame {
-		return frame{f: f, regs: make([]int64, f.NextReg), preds: make([]bool, f.NextPReg)}
+	code, err := Decode(p)
+	if err != nil {
+		return nil, err
 	}
-	var stack []frame
-	cur := newFrame(p.EntryFunc())
-	blk := cur.f.EntryBlock()
-	idx := 0
-
-	res := &Result{Mem: mem}
-	prof := opts.Profile
-	if prof != nil {
-		prof.BlockCount[blk]++
-	}
-	tracing := opts.Trace || opts.Sink != nil
-	emit := func(ev Event) {
-		if opts.Trace {
-			res.Trace = append(res.Trace, ev)
-		}
-		if opts.Sink != nil {
-			opts.Sink.Event(ev)
-		}
-	}
-
-	enterBlock := func(id int) error {
-		b := cur.f.Blocks[id]
-		if b == nil || b.Dead {
-			return fmt.Errorf("emu: transfer to dead block B%d in %s", id, cur.f.Name)
-		}
-		blk, idx = b, 0
-		if prof != nil {
-			prof.BlockCount[b]++
-		}
-		return nil
-	}
-
-	var steps int64
-	for {
-		if idx >= len(blk.Instrs) {
-			// Fall through to the next block.
-			if prof != nil {
-				prof.FallExit[blk]++
-			}
-			if blk.Fall < 0 {
-				return nil, fmt.Errorf("emu: fell off end of block B%d in %s", blk.ID, cur.f.Name)
-			}
-			if err := enterBlock(blk.Fall); err != nil {
-				return nil, err
-			}
-			continue
-		}
-		in := blk.Instrs[idx]
-		steps++
-		if steps > maxSteps {
-			return nil, fmt.Errorf("emu: exceeded step limit %d", maxSteps)
-		}
-		excErr := func(msg string) error {
-			return &ExecError{Fn: cur.f.Name, Block: blk.ID, Index: idx, In: in, Msg: msg}
-		}
-		ev := Event{In: in}
-
-		guardTrue := in.Guard == ir.PNone || cur.preds[in.Guard]
-		// Predicate defines are special: their destination-update logic runs
-		// regardless of the input predicate value (Table 1: Pin=0 rows).
-		if !guardTrue && in.Op != ir.PredDef {
-			ev.Flags |= FlagNullified
-			if tracing {
-				emit(ev)
-			}
-			if prof != nil && in.Op.IsBranch() {
-				prof.NotTaken[in]++
-			}
-			idx++
-			continue
-		}
-
-		val := func(o ir.Operand) int64 {
-			if o.IsImm {
-				return o.Imm
-			}
-			return cur.regs[o.R]
-		}
-		setReg := func(r ir.Reg, v int64) { cur.regs[r] = v }
-
-		taken := false
-		switch in.Op {
-		case ir.Nop, ir.GuardApply:
-			// GuardApply is a timing artifact of the guard-instruction
-			// model: the predicate semantics live in the Guard fields of
-			// the covered instructions.
-		case ir.Halt:
-			if tracing {
-				emit(ev)
-			}
-			res.Steps = steps
-			return res, nil
-		case ir.Mov:
-			setReg(in.Dst, val(in.A))
-		case ir.Add:
-			setReg(in.Dst, val(in.A)+val(in.B))
-		case ir.Sub:
-			setReg(in.Dst, val(in.A)-val(in.B))
-		case ir.Mul:
-			setReg(in.Dst, val(in.A)*val(in.B))
-		case ir.Div:
-			d := val(in.B)
-			if d == 0 {
-				if !in.Silent {
-					return nil, excErr("divide by zero")
-				}
-				setReg(in.Dst, 0)
-			} else {
-				setReg(in.Dst, val(in.A)/d)
-			}
-		case ir.Rem:
-			d := val(in.B)
-			if d == 0 {
-				if !in.Silent {
-					return nil, excErr("divide by zero")
-				}
-				setReg(in.Dst, 0)
-			} else {
-				setReg(in.Dst, val(in.A)%d)
-			}
-		case ir.And:
-			setReg(in.Dst, val(in.A)&val(in.B))
-		case ir.Or:
-			setReg(in.Dst, val(in.A)|val(in.B))
-		case ir.Xor:
-			setReg(in.Dst, val(in.A)^val(in.B))
-		case ir.AndNot:
-			setReg(in.Dst, val(in.A)&^val(in.B))
-		case ir.OrNot:
-			setReg(in.Dst, val(in.A)|^val(in.B))
-		case ir.Shl:
-			setReg(in.Dst, val(in.A)<<uint64(val(in.B)&63))
-		case ir.Shr:
-			setReg(in.Dst, val(in.A)>>uint64(val(in.B)&63))
-		case ir.CmpEQ, ir.CmpNE, ir.CmpLT, ir.CmpLE, ir.CmpGT, ir.CmpGE,
-			ir.CmpEQF, ir.CmpNEF, ir.CmpLTF, ir.CmpLEF, ir.CmpGTF, ir.CmpGEF:
-			c, _ := ir.CompareCmp(in.Op)
-			setReg(in.Dst, b2i(ir.EvalCmp(c, val(in.A), val(in.B))))
-		case ir.AddF:
-			setReg(in.Dst, ir.F2I(ir.I2F(val(in.A))+ir.I2F(val(in.B))))
-		case ir.SubF:
-			setReg(in.Dst, ir.F2I(ir.I2F(val(in.A))-ir.I2F(val(in.B))))
-		case ir.MulF:
-			setReg(in.Dst, ir.F2I(ir.I2F(val(in.A))*ir.I2F(val(in.B))))
-		case ir.DivF:
-			d := ir.I2F(val(in.B))
-			if d == 0 {
-				if !in.Silent {
-					return nil, excErr("floating divide by zero")
-				}
-				setReg(in.Dst, 0)
-			} else {
-				setReg(in.Dst, ir.F2I(ir.I2F(val(in.A))/d))
-			}
-		case ir.AbsF:
-			f := ir.I2F(val(in.A))
-			if f < 0 {
-				f = -f
-			}
-			setReg(in.Dst, ir.F2I(f))
-		case ir.CvtIF:
-			setReg(in.Dst, ir.F2I(float64(val(in.A))))
-		case ir.CvtFI:
-			setReg(in.Dst, int64(ir.I2F(val(in.A))))
-		case ir.Load:
-			a := val(in.A) + val(in.B)
-			if a < 0 || a >= int64(len(mem)) {
-				if !in.Silent {
-					return nil, excErr(fmt.Sprintf("illegal load address %d", a))
-				}
-				setReg(in.Dst, 0)
-			} else {
-				setReg(in.Dst, mem[a])
-				ev.Addr = int32(a)
-			}
-		case ir.Store:
-			a := val(in.A) + val(in.B)
-			if a < 0 || a >= int64(len(mem)) {
-				return nil, excErr(fmt.Sprintf("illegal store address %d", a))
-			}
-			mem[a] = val(in.C)
-			ev.Addr = int32(a)
-		case ir.Jump:
-			taken = true
-		case ir.BrEQ, ir.BrNE, ir.BrLT, ir.BrLE, ir.BrGT, ir.BrGE:
-			c, _ := ir.BranchCmp(in.Op)
-			taken = ir.EvalCmp(c, val(in.A), val(in.B))
-		case ir.JSR:
-			taken = true
-		case ir.Ret:
-			taken = true
-		case ir.PredDef:
-			pin := guardTrue
-			cmp := ir.EvalCmp(in.Cmp, val(in.A), val(in.B))
-			for _, pd := range []ir.PredDest{in.P1, in.P2} {
-				if pd.Type == ir.PredNone {
-					continue
-				}
-				if v, written := pd.Type.Eval(pin, cmp); written {
-					cur.preds[pd.P] = v
-				}
-			}
-		case ir.PredClear:
-			for i := range cur.preds {
-				cur.preds[i] = false
-			}
-		case ir.PredSet:
-			for i := range cur.preds {
-				cur.preds[i] = true
-			}
-		case ir.CMov:
-			if val(in.C) != 0 {
-				setReg(in.Dst, val(in.A))
-			}
-		case ir.CMovCom:
-			if val(in.C) == 0 {
-				setReg(in.Dst, val(in.A))
-			}
-		case ir.Select:
-			if val(in.C) != 0 {
-				setReg(in.Dst, val(in.A))
-			} else {
-				setReg(in.Dst, val(in.B))
-			}
-		default:
-			return nil, excErr("unimplemented opcode")
-		}
-
-		if taken {
-			ev.Flags |= FlagTaken
-		}
-		if prof != nil && in.Op.IsBranch() {
-			if taken {
-				prof.Taken[in]++
-			} else {
-				prof.NotTaken[in]++
-			}
-		}
-		if tracing {
-			emit(ev)
-		}
-
-		if taken {
-			switch in.Op {
-			case ir.JSR:
-				if len(stack) >= 1024 {
-					return nil, excErr("call stack overflow")
-				}
-				cur.retBlock, cur.retIdx = blk.ID, idx+1
-				stack = append(stack, cur)
-				cur = newFrame(p.Funcs[in.Target])
-				if err := enterBlock(cur.f.Entry); err != nil {
-					return nil, err
-				}
-			case ir.Ret:
-				if len(stack) == 0 {
-					return nil, excErr("return with empty call stack")
-				}
-				cur = stack[len(stack)-1]
-				stack = stack[:len(stack)-1]
-				blk = cur.f.Blocks[cur.retBlock]
-				idx = cur.retIdx
-			default:
-				if err := enterBlock(in.Target); err != nil {
-					return nil, err
-				}
-			}
-			continue
-		}
-		idx++
-	}
+	return code.Run(opts)
 }
 
 func b2i(b bool) int64 {

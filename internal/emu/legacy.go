@@ -1,0 +1,320 @@
+package emu
+
+import (
+	"fmt"
+
+	"predication/internal/ir"
+)
+
+// legacy.go holds the original tree-walking interpreter.  It walks the IR
+// object graph directly (*ir.Block / *ir.Instr pointers, per-iteration
+// closures) and is kept, unoptimized, as the executable specification the
+// pre-decoded fast path (fast.go) is differentially tested against.
+
+type frame struct {
+	f     *ir.Func
+	regs  []int64
+	preds []bool
+	// Return point in the caller.
+	retBlock, retIdx int
+}
+
+// runLegacy emulates the program with the original interpreter.  When the
+// run traces (Trace or Sink), instruction IDs are resolved through a
+// layout-order map so emitted events carry the same Event.ID the fast path
+// produces natively.
+func runLegacy(p *ir.Program, opts Options) (*Result, error) {
+	maxSteps := opts.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = defaultMaxSteps
+	}
+	mem := memImage(opts.MemBuf, p.MemWords)
+	copy(mem, p.Data)
+
+	newFrame := func(f *ir.Func) frame {
+		return frame{f: f, regs: make([]int64, f.NextReg), preds: make([]bool, f.NextPReg)}
+	}
+	var stack []frame
+	cur := newFrame(p.EntryFunc())
+	blk := cur.f.EntryBlock()
+	idx := 0
+
+	res := &Result{Mem: mem}
+	prof := opts.Profile
+	if prof != nil {
+		prof.BlockCount[blk]++
+	}
+	tracing := opts.Trace || opts.Sink != nil
+	var ids map[*ir.Instr]int32
+	if tracing {
+		ids = make(map[*ir.Instr]int32, p.NumInstrs())
+		next := int32(0)
+		p.ForEachInstr(func(fi int, in *ir.Instr) {
+			ids[in] = next
+			next++
+		})
+	}
+	emit := func(ev Event) {
+		if opts.Trace {
+			res.Trace = append(res.Trace, ev)
+		}
+		if opts.Sink != nil {
+			opts.Sink.Event(ev)
+		}
+	}
+
+	enterBlock := func(id int) error {
+		b := cur.f.Blocks[id]
+		if b == nil || b.Dead {
+			return fmt.Errorf("emu: transfer to dead block B%d in %s", id, cur.f.Name)
+		}
+		blk, idx = b, 0
+		if prof != nil {
+			prof.BlockCount[b]++
+		}
+		return nil
+	}
+
+	var steps int64
+	for {
+		if idx >= len(blk.Instrs) {
+			// Fall through to the next block.
+			if prof != nil {
+				prof.FallExit[blk]++
+			}
+			if blk.Fall < 0 {
+				return nil, fmt.Errorf("emu: fell off end of block B%d in %s", blk.ID, cur.f.Name)
+			}
+			if err := enterBlock(blk.Fall); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		in := blk.Instrs[idx]
+		steps++
+		if steps > maxSteps {
+			return nil, fmt.Errorf("emu: exceeded step limit %d", maxSteps)
+		}
+		excErr := func(msg string) error {
+			return &ExecError{Fn: cur.f.Name, Block: blk.ID, Index: idx, In: in, Msg: msg}
+		}
+		ev := Event{In: in}
+		if ids != nil {
+			ev.ID = ids[in]
+		}
+
+		guardTrue := in.Guard == ir.PNone || cur.preds[in.Guard]
+		// Predicate defines are special: their destination-update logic runs
+		// regardless of the input predicate value (Table 1: Pin=0 rows).
+		if !guardTrue && in.Op != ir.PredDef {
+			ev.Flags |= FlagNullified
+			if tracing {
+				emit(ev)
+			}
+			if prof != nil && in.Op.IsBranch() {
+				prof.NotTaken[in]++
+			}
+			idx++
+			continue
+		}
+
+		val := func(o ir.Operand) int64 {
+			if o.IsImm {
+				return o.Imm
+			}
+			return cur.regs[o.R]
+		}
+		setReg := func(r ir.Reg, v int64) { cur.regs[r] = v }
+
+		taken := false
+		switch in.Op {
+		case ir.Nop, ir.GuardApply:
+			// GuardApply is a timing artifact of the guard-instruction
+			// model: the predicate semantics live in the Guard fields of
+			// the covered instructions.
+		case ir.Halt:
+			if tracing {
+				emit(ev)
+			}
+			res.Steps = steps
+			return res, nil
+		case ir.Mov:
+			setReg(in.Dst, val(in.A))
+		case ir.Add:
+			setReg(in.Dst, val(in.A)+val(in.B))
+		case ir.Sub:
+			setReg(in.Dst, val(in.A)-val(in.B))
+		case ir.Mul:
+			setReg(in.Dst, val(in.A)*val(in.B))
+		case ir.Div:
+			d := val(in.B)
+			if d == 0 {
+				if !in.Silent {
+					return nil, excErr("divide by zero")
+				}
+				setReg(in.Dst, 0)
+			} else {
+				setReg(in.Dst, val(in.A)/d)
+			}
+		case ir.Rem:
+			d := val(in.B)
+			if d == 0 {
+				if !in.Silent {
+					return nil, excErr("divide by zero")
+				}
+				setReg(in.Dst, 0)
+			} else {
+				setReg(in.Dst, val(in.A)%d)
+			}
+		case ir.And:
+			setReg(in.Dst, val(in.A)&val(in.B))
+		case ir.Or:
+			setReg(in.Dst, val(in.A)|val(in.B))
+		case ir.Xor:
+			setReg(in.Dst, val(in.A)^val(in.B))
+		case ir.AndNot:
+			setReg(in.Dst, val(in.A)&^val(in.B))
+		case ir.OrNot:
+			setReg(in.Dst, val(in.A)|^val(in.B))
+		case ir.Shl:
+			setReg(in.Dst, val(in.A)<<uint64(val(in.B)&63))
+		case ir.Shr:
+			setReg(in.Dst, val(in.A)>>uint64(val(in.B)&63))
+		case ir.CmpEQ, ir.CmpNE, ir.CmpLT, ir.CmpLE, ir.CmpGT, ir.CmpGE,
+			ir.CmpEQF, ir.CmpNEF, ir.CmpLTF, ir.CmpLEF, ir.CmpGTF, ir.CmpGEF:
+			c, _ := ir.CompareCmp(in.Op)
+			setReg(in.Dst, b2i(ir.EvalCmp(c, val(in.A), val(in.B))))
+		case ir.AddF:
+			setReg(in.Dst, ir.F2I(ir.I2F(val(in.A))+ir.I2F(val(in.B))))
+		case ir.SubF:
+			setReg(in.Dst, ir.F2I(ir.I2F(val(in.A))-ir.I2F(val(in.B))))
+		case ir.MulF:
+			setReg(in.Dst, ir.F2I(ir.I2F(val(in.A))*ir.I2F(val(in.B))))
+		case ir.DivF:
+			d := ir.I2F(val(in.B))
+			if d == 0 {
+				if !in.Silent {
+					return nil, excErr("floating divide by zero")
+				}
+				setReg(in.Dst, 0)
+			} else {
+				setReg(in.Dst, ir.F2I(ir.I2F(val(in.A))/d))
+			}
+		case ir.AbsF:
+			f := ir.I2F(val(in.A))
+			if f < 0 {
+				f = -f
+			}
+			setReg(in.Dst, ir.F2I(f))
+		case ir.CvtIF:
+			setReg(in.Dst, ir.F2I(float64(val(in.A))))
+		case ir.CvtFI:
+			setReg(in.Dst, int64(ir.I2F(val(in.A))))
+		case ir.Load:
+			a := val(in.A) + val(in.B)
+			if a < 0 || a >= int64(len(mem)) {
+				if !in.Silent {
+					return nil, excErr(fmt.Sprintf("illegal load address %d", a))
+				}
+				setReg(in.Dst, 0)
+			} else {
+				setReg(in.Dst, mem[a])
+				ev.Addr = int32(a)
+			}
+		case ir.Store:
+			a := val(in.A) + val(in.B)
+			if a < 0 || a >= int64(len(mem)) {
+				return nil, excErr(fmt.Sprintf("illegal store address %d", a))
+			}
+			mem[a] = val(in.C)
+			ev.Addr = int32(a)
+		case ir.Jump:
+			taken = true
+		case ir.BrEQ, ir.BrNE, ir.BrLT, ir.BrLE, ir.BrGT, ir.BrGE:
+			c, _ := ir.BranchCmp(in.Op)
+			taken = ir.EvalCmp(c, val(in.A), val(in.B))
+		case ir.JSR:
+			taken = true
+		case ir.Ret:
+			taken = true
+		case ir.PredDef:
+			pin := guardTrue
+			cmp := ir.EvalCmp(in.Cmp, val(in.A), val(in.B))
+			for _, pd := range []ir.PredDest{in.P1, in.P2} {
+				if pd.Type == ir.PredNone {
+					continue
+				}
+				if v, written := pd.Type.Eval(pin, cmp); written {
+					cur.preds[pd.P] = v
+				}
+			}
+		case ir.PredClear:
+			for i := range cur.preds {
+				cur.preds[i] = false
+			}
+		case ir.PredSet:
+			for i := range cur.preds {
+				cur.preds[i] = true
+			}
+		case ir.CMov:
+			if val(in.C) != 0 {
+				setReg(in.Dst, val(in.A))
+			}
+		case ir.CMovCom:
+			if val(in.C) == 0 {
+				setReg(in.Dst, val(in.A))
+			}
+		case ir.Select:
+			if val(in.C) != 0 {
+				setReg(in.Dst, val(in.A))
+			} else {
+				setReg(in.Dst, val(in.B))
+			}
+		default:
+			return nil, excErr("unimplemented opcode")
+		}
+
+		if taken {
+			ev.Flags |= FlagTaken
+		}
+		if prof != nil && in.Op.IsBranch() {
+			if taken {
+				prof.Taken[in]++
+			} else {
+				prof.NotTaken[in]++
+			}
+		}
+		if tracing {
+			emit(ev)
+		}
+
+		if taken {
+			switch in.Op {
+			case ir.JSR:
+				if len(stack) >= 1024 {
+					return nil, excErr("call stack overflow")
+				}
+				cur.retBlock, cur.retIdx = blk.ID, idx+1
+				stack = append(stack, cur)
+				cur = newFrame(p.Funcs[in.Target])
+				if err := enterBlock(cur.f.Entry); err != nil {
+					return nil, err
+				}
+			case ir.Ret:
+				if len(stack) == 0 {
+					return nil, excErr("return with empty call stack")
+				}
+				cur = stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				blk = cur.f.Blocks[cur.retBlock]
+				idx = cur.retIdx
+			default:
+				if err := enterBlock(in.Target); err != nil {
+					return nil, err
+				}
+			}
+			continue
+		}
+		idx++
+	}
+}

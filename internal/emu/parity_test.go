@@ -1,0 +1,194 @@
+package emu_test
+
+// parity_test.go is the differential proof behind the pre-decoded
+// interpreter: for every benchmark kernel under every processor model, the
+// fast path and the legacy tree-walking interpreter must emit bit-identical
+// event streams, final memory images, and step counts, and the pre-decoded
+// sim.Simulator must report the same Stats as the legacy map-based
+// sim.LegacySimulator on both streams.  A separate guard pins the fast
+// path's steady state at zero allocations per step.
+
+import (
+	"fmt"
+	"testing"
+
+	"predication/internal/bench"
+	"predication/internal/cfg"
+	"predication/internal/core"
+	"predication/internal/emu"
+	"predication/internal/machine"
+	"predication/internal/sim"
+)
+
+// eventHash folds every event into a running FNV-1a style hash, so a full
+// trace comparison never materializes the (multi-million event) traces.
+type eventHash struct {
+	h uint64
+	n int64
+}
+
+func (s *eventHash) Event(ev emu.Event) {
+	h := s.h
+	h = (h ^ uint64(uint32(ev.ID))) * 1099511628211
+	h = (h ^ uint64(uint32(ev.Addr))) * 1099511628211
+	h = (h ^ uint64(ev.Flags)) * 1099511628211
+	h = (h ^ uint64(uint32(ev.In.Addr))) * 1099511628211
+	s.h = h
+	s.n++
+}
+
+// runArm emulates the compiled program on one data path, streaming into an
+// event hash plus one simulator per config (pre-decoded simulators for the
+// fast arm, legacy map-based ones for the legacy arm).
+func runArm(t *testing.T, c *core.Compiled, cfgs []machine.Config, legacy bool) (*emu.Result, *eventHash, []sim.Stats) {
+	t.Helper()
+	hash := &eventHash{h: 14695981039346656037}
+	fan := emu.FanoutSink{hash}
+	sims := make([]interface{ Stats() sim.Stats }, len(cfgs))
+	for i, cfg := range cfgs {
+		if legacy {
+			ls := sim.NewLegacy(c.Prog, cfg)
+			sims[i] = ls
+			fan = append(fan, ls)
+		} else {
+			fs := sim.New(c.Prog, cfg)
+			sims[i] = fs
+			fan = append(fan, fs)
+		}
+	}
+	res, err := emu.Run(c.Prog, emu.Options{Sink: fan, Legacy: legacy})
+	if err != nil {
+		t.Fatalf("emulate (legacy=%v): %v", legacy, err)
+	}
+	stats := make([]sim.Stats, len(cfgs))
+	for i, s := range sims {
+		stats[i] = s.Stats()
+	}
+	return res, hash, stats
+}
+
+// TestFastMatchesLegacyAllKernels is the suite-wide differential test:
+// every kernel × model, fast vs legacy, events hashed (ID, Addr, Flags,
+// In.Addr), plus Stats equality between sim.Simulator and
+// sim.LegacySimulator on the perfect-cache and real-cache configurations.
+func TestFastMatchesLegacyAllKernels(t *testing.T) {
+	target := machine.Issue8Br1()
+	cfgs := []machine.Config{machine.Issue8Br1(), machine.Issue8Br1Cache()}
+	models := []core.Model{core.Superblock, core.CondMove, core.FullPred}
+	for _, k := range bench.All() {
+		for _, model := range models {
+			t.Run(fmt.Sprintf("%s/%v", k.Name, model), func(t *testing.T) {
+				c, err := core.Compile(k.Build(), model, core.DefaultOptions(target))
+				if err != nil {
+					t.Fatalf("compile: %v", err)
+				}
+				fastRes, fastHash, fastStats := runArm(t, c, cfgs, false)
+				legRes, legHash, legStats := runArm(t, c, cfgs, true)
+
+				if fastHash.n != legHash.n {
+					t.Fatalf("event count: fast %d, legacy %d", fastHash.n, legHash.n)
+				}
+				if fastHash.h != legHash.h {
+					t.Errorf("event stream hash: fast %#x, legacy %#x over %d events",
+						fastHash.h, legHash.h, fastHash.n)
+				}
+				if fastRes.Steps != legRes.Steps {
+					t.Errorf("steps: fast %d, legacy %d", fastRes.Steps, legRes.Steps)
+				}
+				if len(fastRes.Mem) != len(legRes.Mem) {
+					t.Fatalf("memory size: fast %d, legacy %d", len(fastRes.Mem), len(legRes.Mem))
+				}
+				for i := range fastRes.Mem {
+					if fastRes.Mem[i] != legRes.Mem[i] {
+						t.Fatalf("mem[%d]: fast %#x, legacy %#x", i, fastRes.Mem[i], legRes.Mem[i])
+					}
+				}
+				for i, cfg := range cfgs {
+					if fastStats[i] != legStats[i] {
+						t.Errorf("%s: Simulator/LegacySimulator stats diverge:\nfast:   %+v\nlegacy: %+v",
+							cfg.Name, fastStats[i], legStats[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestFastProfileMatchesLegacy pins that the dense-array profile counters
+// fold back into counts identical to the legacy map-based collection: the
+// same source program is profiled on both paths and every map compared
+// key-for-key (pointer keys are shared because the program object is).
+func TestFastProfileMatchesLegacy(t *testing.T) {
+	for _, k := range bench.All() {
+		p := k.Build()
+		profFast, profLeg := cfg.NewProfile(), cfg.NewProfile()
+		if _, err := emu.Run(p, emu.Options{Profile: profFast}); err != nil {
+			t.Fatalf("%s: fast profiling run: %v", k.Name, err)
+		}
+		if _, err := emu.Run(p, emu.Options{Profile: profLeg, Legacy: true}); err != nil {
+			t.Fatalf("%s: legacy profiling run: %v", k.Name, err)
+		}
+		if len(profFast.BlockCount) != len(profLeg.BlockCount) ||
+			len(profFast.FallExit) != len(profLeg.FallExit) ||
+			len(profFast.Taken) != len(profLeg.Taken) ||
+			len(profFast.NotTaken) != len(profLeg.NotTaken) {
+			t.Fatalf("%s: profile map sizes diverge", k.Name)
+		}
+		for b, n := range profLeg.BlockCount {
+			if profFast.BlockCount[b] != n {
+				t.Fatalf("%s: BlockCount[B%d] fast %d, legacy %d", k.Name, b.ID, profFast.BlockCount[b], n)
+			}
+		}
+		for b, n := range profLeg.FallExit {
+			if profFast.FallExit[b] != n {
+				t.Fatalf("%s: FallExit[B%d] fast %d, legacy %d", k.Name, b.ID, profFast.FallExit[b], n)
+			}
+		}
+		for in, n := range profLeg.Taken {
+			if profFast.Taken[in] != n {
+				t.Fatalf("%s: Taken[%v] fast %d, legacy %d", k.Name, in, profFast.Taken[in], n)
+			}
+		}
+		for in, n := range profLeg.NotTaken {
+			if profFast.NotTaken[in] != n {
+				t.Fatalf("%s: NotTaken[%v] fast %d, legacy %d", k.Name, in, profFast.NotTaken[in], n)
+			}
+		}
+	}
+}
+
+// TestFastPathSteadyStateZeroAllocs is the allocation gate: one full
+// emulation of the wc kernel (~150k steps) streaming into a simulator must
+// cost only the O(1) startup allocations — result, memory image, frame
+// pool, run state — far below one alloc per step.
+func TestFastPathSteadyStateZeroAllocs(t *testing.T) {
+	k, err := bench.ByName("wc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := core.Compile(k.Build(), core.FullPred, core.DefaultOptions(machine.Issue8Br1()))
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	code, err := emu.Decode(c.Prog)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	s := sim.New(c.Prog, machine.Issue8Br1())
+	var steps int64
+	allocs := testing.AllocsPerRun(2, func() {
+		res, err := code.Run(emu.Options{Sink: s})
+		if err != nil {
+			t.Fatalf("run: %v", err)
+		}
+		steps = res.Steps
+	})
+	if steps < 100_000 {
+		t.Fatalf("kernel too short for a steady-state measurement: %d steps", steps)
+	}
+	// Startup allocations are O(1); 64 against >100k steps pins the loop
+	// itself at zero allocations per step.
+	if allocs > 64 {
+		t.Errorf("Run allocated %.0f objects over %d steps; the hot loop must not allocate", allocs, steps)
+	}
+}

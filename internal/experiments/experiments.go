@@ -18,6 +18,7 @@ import (
 	"predication/internal/bench"
 	"predication/internal/core"
 	"predication/internal/emu"
+	"predication/internal/ir"
 	"predication/internal/machine"
 	"predication/internal/sim"
 )
@@ -60,6 +61,11 @@ type Suite struct {
 	// order (empty for a clean run).  The failing cells are tagged gaps
 	// in the tables; see ErrorReport.
 	Errors []*CellError
+	// Steps totals the dynamic instructions emulated by the measured runs
+	// (each kernel's reference run plus one emulation per matrix cell;
+	// profiling runs inside Compile are excluded).  cmd/predbench divides
+	// wall clock by this to report steps/second.
+	Steps int64
 }
 
 // Options configures a suite run.
@@ -83,6 +89,12 @@ type Options struct {
 	// (0 = unbounded).  An exceeded budget is a TimeoutError for that
 	// cell only.
 	CellTimeout time.Duration
+	// LegacyEmu runs the whole suite on the pre-optimization data path:
+	// the legacy tree-walking interpreter for profiling, reference, and
+	// traced runs, and the legacy map-based sim.LegacySimulator for
+	// timing.  Results are identical; only the wall clock differs.  It is
+	// the baseline arm of cmd/predbench (see docs/PERFORMANCE.md).
+	LegacyEmu bool
 }
 
 // schedTargets are the machine configurations code is scheduled for.  The
@@ -135,49 +147,57 @@ func matrixCells() []cellSpec {
 type cellResult struct {
 	stats    []sim.Stats // parallel to simsFor(target)
 	checksum int64
+	steps    int64 // dynamic instructions in the cell's emulation
+}
+
+// streamSim is the surface runCell needs from either simulator
+// implementation (the pre-decoded Simulator or the LegacySimulator).
+type streamSim interface {
+	emu.TraceSink
+	Stats() sim.Stats
 }
 
 // runCell compiles the kernel once for the cell's model and target,
-// emulates the compiled program once, and streams the dynamic trace into
-// one sim.Simulator per simulator configuration simultaneously — the
-// compile-once / emulate-once / simulate-many core of the harness.  The
-// trace is never materialized.
-func runCell(k *bench.Kernel, cell cellSpec) (*cellResult, error) {
+// emulates the compiled program once, and streams the dynamic trace
+// through an emu.FanoutSink into one simulator per simulator
+// configuration simultaneously — the compile-once / emulate-once /
+// simulate-many core of the harness.  The trace is never materialized.
+func runCell(k *bench.Kernel, cell cellSpec, legacy bool) (*cellResult, error) {
 	if CellHook != nil {
 		CellHook(k.Name, cell.model, cell.target.Name)
 	}
-	c, err := core.Compile(k.Build(), cell.model, core.DefaultOptions(cell.target))
+	copts := core.DefaultOptions(cell.target)
+	copts.LegacyEmu = legacy
+	c, err := core.Compile(k.Build(), cell.model, copts)
 	if err != nil {
 		return nil, fmt.Errorf("%v @ %s: %w", cell.model, cell.target.Name, err)
 	}
 	cfgs := simsFor(cell.target)
-	sims := make([]*sim.Simulator, len(cfgs))
+	sims := make([]streamSim, len(cfgs))
 	for i, sc := range cfgs {
-		sims[i] = sim.New(c.Prog, sc)
+		if legacy {
+			sims[i] = sim.NewLegacy(c.Prog, sc)
+		} else {
+			sims[i] = sim.New(c.Prog, sc)
+		}
 	}
 	var sink emu.TraceSink = sims[0]
 	if len(sims) > 1 {
-		sink = multiSink(sims)
+		fan := make(emu.FanoutSink, len(sims))
+		for i, s := range sims {
+			fan[i] = s
+		}
+		sink = fan
 	}
-	run, err := emu.Run(c.Prog, emu.Options{Sink: sink})
+	run, err := emu.Run(c.Prog, emu.Options{Sink: sink, Legacy: legacy})
 	if err != nil {
 		return nil, fmt.Errorf("%v @ %s: emulate: %w", cell.model, cell.target.Name, err)
 	}
-	res := &cellResult{checksum: run.Word(bench.CheckAddr)}
+	res := &cellResult{checksum: run.Word(bench.CheckAddr), steps: run.Steps}
 	for _, s := range sims {
 		res.stats = append(res.stats, s.Stats())
 	}
 	return res, nil
-}
-
-// multiSink fans one emulation's event stream out to several simulators
-// (the perfect-cache and real-cache variants of one scheduled binary).
-type multiSink []*sim.Simulator
-
-func (m multiSink) Event(ev emu.Event) {
-	for _, s := range m {
-		s.Event(ev)
-	}
 }
 
 // Run executes the full evaluation.  The kernel × model × target matrix —
@@ -211,6 +231,7 @@ func Run(opts Options) (*Suite, error) {
 	stride := 1 + len(cells)
 	n := len(kernels) * stride
 	refSums := make([]int64, len(kernels))
+	refSteps := make([]int64, len(kernels))
 	refOK := make([]bool, len(kernels))
 	cellRes := make([]*cellResult, n)
 	cellErr := make([]*CellError, n)
@@ -231,22 +252,23 @@ func Run(opts Options) (*Suite, error) {
 		var ce *CellError
 		if i%stride == 0 {
 			ref, err := guardCell(opts.CellTimeout, func() (*cellResult, error) {
-				r, err := emu.Run(k.Build(), emu.Options{})
+				r, err := emu.Run(k.Build(), emu.Options{Legacy: opts.LegacyEmu})
 				if err != nil {
 					return nil, err
 				}
-				return &cellResult{checksum: r.Word(bench.CheckAddr)}, nil
+				return &cellResult{checksum: r.Word(bench.CheckAddr), steps: r.Steps}, nil
 			})
 			if err != nil {
 				ce = &CellError{Kernel: k.Name, Ref: true, Err: err}
 			} else {
 				refSums[ki] = ref.checksum
+				refSteps[ki] = ref.steps
 				refOK[ki] = true
 			}
 		} else {
 			cell := cells[i%stride-1]
 			cr, err := guardCell(opts.CellTimeout, func() (*cellResult, error) {
-				return runCell(k, cell)
+				return runCell(k, cell, opts.LegacyEmu)
 			})
 			if err != nil {
 				ce = &CellError{Kernel: k.Name, Model: cell.model, Target: cell.target.Name, Err: err}
@@ -285,11 +307,13 @@ func Run(opts Options) (*Suite, error) {
 		}
 		if refOK[ki] {
 			res.Checksum = refSums[ki]
+			suite.Steps += refSteps[ki]
 			for ci, cell := range cells {
 				cr := cellRes[ki*stride+1+ci]
 				if cr == nil {
 					continue // failed cell: the error is already collected
 				}
+				suite.Steps += cr.steps
 				if cr.checksum != res.Checksum {
 					ce := &CellError{Kernel: k.Name, Model: cell.model, Target: cell.target.Name,
 						Err: fmt.Errorf("checksum mismatch %#x != %#x", cr.checksum, res.Checksum)}
@@ -309,6 +333,158 @@ func Run(opts Options) (*Suite, error) {
 	return suite, nil
 }
 
+// Precompiled holds every program of the suite matrix compiled once, so
+// the benchmark harness (cmd/predbench) can time the two interpreter
+// paths over identical inputs with the compilation cost factored out.
+// Compilation is shared deliberately: the fast and legacy interpreters
+// produce identical profiles (pinned by the differential tests), so the
+// compiled code is the same either way, and timing RunArm isolates
+// exactly the work the data paths differ in — emulation and simulation.
+type Precompiled struct {
+	kernels  []*bench.Kernel
+	cells    []cellSpec
+	progs    []*core.Compiled // [kernel*len(cells)+cell]
+	refs     []*ir.Program    // [kernel]: uncompiled reference program
+	codes    []*emu.Code      // pre-decoded progs (fast arm; parallel to progs)
+	refCodes []*emu.Code      // pre-decoded refs (fast arm; parallel to refs)
+}
+
+// Precompile compiles the kernel × model × target matrix on the standard
+// pipeline, fanning out across parallel workers (0 = GOMAXPROCS).
+func Precompile(names []string, parallel int) (*Precompiled, error) {
+	kernels := bench.All()
+	if names != nil {
+		named := make([]*bench.Kernel, 0, len(names))
+		for _, name := range names {
+			k, err := bench.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			named = append(named, k)
+		}
+		kernels = named
+	}
+	p := &Precompiled{
+		kernels:  kernels,
+		cells:    matrixCells(),
+		refs:     make([]*ir.Program, len(kernels)),
+		refCodes: make([]*emu.Code, len(kernels)),
+	}
+	p.progs = make([]*core.Compiled, len(kernels)*len(p.cells))
+	p.codes = make([]*emu.Code, len(p.progs))
+	err := runJobs(len(p.progs)+len(kernels), parallel, func(i int) error {
+		if i >= len(p.progs) {
+			ki := i - len(p.progs)
+			p.refs[ki] = kernels[ki].Build()
+			code, err := emu.Decode(p.refs[ki])
+			if err != nil {
+				return fmt.Errorf("%s: decode reference: %w", kernels[ki].Name, err)
+			}
+			p.refCodes[ki] = code
+			return nil
+		}
+		k := kernels[i/len(p.cells)]
+		cell := p.cells[i%len(p.cells)]
+		c, err := core.Compile(k.Build(), cell.model, core.DefaultOptions(cell.target))
+		if err != nil {
+			return fmt.Errorf("%s %v @ %s: %w", k.Name, cell.model, cell.target.Name, err)
+		}
+		p.progs[i] = c
+		code, err := emu.Decode(c.Prog)
+		if err != nil {
+			return fmt.Errorf("%s %v @ %s: decode: %w", k.Name, cell.model, cell.target.Name, err)
+		}
+		p.codes[i] = code
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// RunArm runs the whole emulation + simulation workload of the suite —
+// each kernel's reference run, then one emulation per matrix cell
+// streamed into one simulator per machine configuration — on the
+// selected interpreter path, and returns the total dynamic instructions
+// emulated.  Checksums are validated against each kernel's reference
+// run; any mismatch or trap is an error.  The compiled programs come
+// from Precompile and are reused across arms (runs never mutate them).
+func (p *Precompiled) RunArm(legacy bool, parallel int) (int64, error) {
+	steps := make([]int64, len(p.progs)+len(p.kernels))
+	sums := make([]int64, len(p.progs)+len(p.kernels))
+	// Memory images recycle through a pool so the timed region does not
+	// allocate multi-megabyte buffers per run (identically for both arms;
+	// see emu.Options.MemBuf).
+	var memPool sync.Pool
+	getBuf := func() []int64 { b, _ := memPool.Get().([]int64); return b }
+	// The fast arm runs the pre-decoded code from Precompile (decoding is
+	// a one-time cost by design: decode once, emulate many); the legacy
+	// interpreter walks the ir.Program directly and has no decode step.
+	run := func(prog *ir.Program, code *emu.Code, opts emu.Options) (*emu.Result, error) {
+		if legacy {
+			opts.Legacy = true
+			return emu.Run(prog, opts)
+		}
+		return code.Run(opts)
+	}
+	err := runJobs(len(steps), parallel, func(i int) error {
+		if i >= len(p.progs) {
+			ki := i - len(p.progs)
+			r, err := run(p.refs[ki], p.refCodes[ki], emu.Options{MemBuf: getBuf()})
+			if err != nil {
+				return fmt.Errorf("%s: reference: %w", p.kernels[ki].Name, err)
+			}
+			steps[i], sums[i] = r.Steps, r.Word(bench.CheckAddr)
+			memPool.Put(r.Mem)
+			return nil
+		}
+		k := p.kernels[i/len(p.cells)]
+		cell := p.cells[i%len(p.cells)]
+		cfgs := simsFor(cell.target)
+		sims := make([]streamSim, len(cfgs))
+		for si, sc := range cfgs {
+			if legacy {
+				sims[si] = sim.NewLegacy(p.progs[i].Prog, sc)
+			} else {
+				sims[si] = sim.New(p.progs[i].Prog, sc)
+			}
+		}
+		var sink emu.TraceSink = sims[0]
+		if len(sims) > 1 {
+			fan := make(emu.FanoutSink, len(sims))
+			for si, s := range sims {
+				fan[si] = s
+			}
+			sink = fan
+		}
+		r, err := run(p.progs[i].Prog, p.codes[i], emu.Options{Sink: sink, MemBuf: getBuf()})
+		if err != nil {
+			return fmt.Errorf("%s %v @ %s: emulate: %w", k.Name, cell.model, cell.target.Name, err)
+		}
+		steps[i], sums[i] = r.Steps, r.Word(bench.CheckAddr)
+		memPool.Put(r.Mem)
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for ki := range p.kernels {
+		ref := sums[len(p.progs)+ki]
+		for ci := range p.cells {
+			if got := sums[ki*len(p.cells)+ci]; got != ref {
+				return 0, fmt.Errorf("%s %v @ %s: checksum mismatch %#x != %#x",
+					p.kernels[ki].Name, p.cells[ci].model, p.cells[ci].target.Name, got, ref)
+			}
+		}
+	}
+	for _, s := range steps {
+		total += s
+	}
+	return total, nil
+}
+
 // RunBenchmark measures one kernel across all models and configurations,
 // fanning its matrix cells out across the worker pool.
 func RunBenchmark(k *bench.Kernel) (*BenchResult, error) {
@@ -325,7 +501,7 @@ func RunBenchmark(k *bench.Kernel) (*BenchResult, error) {
 			res.Checksum = ref.Word(bench.CheckAddr)
 			return nil
 		}
-		cr, err := runCell(k, cells[i-1])
+		cr, err := runCell(k, cells[i-1], false)
 		if err != nil {
 			return err
 		}

@@ -26,10 +26,12 @@ func TestStreamingMatchesMaterialized(t *testing.T) {
 				t.Fatalf("compile: %v", err)
 			}
 			sims := make([]*sim.Simulator, len(cfgs))
+			fan := make(emu.FanoutSink, len(cfgs))
 			for i, sc := range cfgs {
 				sims[i] = sim.New(c.Prog, sc)
+				fan[i] = sims[i]
 			}
-			run, err := emu.Run(c.Prog, emu.Options{Trace: true, Sink: multiSink(sims)})
+			run, err := emu.Run(c.Prog, emu.Options{Trace: true, Sink: fan})
 			if err != nil {
 				t.Fatalf("emulate: %v", err)
 			}

@@ -44,11 +44,15 @@ type region struct {
 func formFunc(f *ir.Func, prof *cfg.Profile, params Params) ([]int, error) {
 	var heads []int
 	tried := map[int]bool{}
+	g := cfg.NewGraph(f)
 	for round := 0; round < 8; round++ {
-		g := cfg.NewGraph(f)
+		if round > 0 {
+			g.Rebuild()
+		}
 		regions := findRegions(f, g, prof, params, tried)
 		formed := 0
 		touched := map[int]bool{}
+		dirty := false
 		for _, r := range regions {
 			// Regions overlapping blocks already transformed this round
 			// are retried next round against fresh analyses.
@@ -63,9 +67,18 @@ func formFunc(f *ir.Func, prof *cfg.Profile, params Params) ([]int, error) {
 				continue
 			}
 			tried[r.seed] = true
-			ok, err := tryForm(f, prof, params, r)
+			// tryForm needs a graph that reflects the current block
+			// structure; rebuild only when an earlier region changed it.
+			if dirty {
+				g.Rebuild()
+				dirty = false
+			}
+			ok, mutated, err := tryForm(f, g, prof, params, r)
 			if err != nil {
 				return nil, err
+			}
+			if mutated {
+				dirty = true
 			}
 			if ok {
 				heads = append(heads, r.seed)
@@ -234,17 +247,19 @@ func hasHazard(b *ir.Block) bool {
 
 // tryForm selects blocks from the region, removes side entrances by tail
 // duplication, and if-converts the selection into the seed block.  It
-// reports whether a hyperblock was formed; a non-nil error is an
-// if-conversion precondition failure that invalidates the function.
-func tryForm(f *ir.Func, prof *cfg.Profile, params Params, r *region) (bool, error) {
-	g := cfg.NewGraph(f)
+// reports whether a hyperblock was formed and whether the function was
+// mutated (tail duplication can rewrite blocks even when no hyperblock
+// results); a non-nil error is an if-conversion precondition failure that
+// invalidates the function.  g must reflect f's current block structure.
+func tryForm(f *ir.Func, g *cfg.Graph, prof *cfg.Profile, params Params, r *region) (bool, bool, error) {
+	mutated := false
 	order, ok := topoOrder(f, g, r.blocks, r.seed)
 	if !ok || len(order) < 2 {
-		return false, nil
+		return false, mutated, nil
 	}
 	entryW := prof.Weight(f.Blocks[r.seed])
 	if entryW < params.MinCount || hasHazard(f.Blocks[r.seed]) {
-		return false, nil
+		return false, mutated, nil
 	}
 
 	// Block selection (§3.1): walk the region in topological order and
@@ -329,38 +344,41 @@ func tryForm(f *ir.Func, prof *cfg.Profile, params Params, r *region) (bool, err
 	}
 	closeSelection(g, sel, r.seed)
 	if len(sel) < 2 {
-		return false, nil
+		return false, mutated, nil
 	}
 
 	// Side-entrance removal by tail duplication (bounded), dropping blocks
-	// when the duplication budget is exceeded.
+	// when the duplication budget is exceeded.  g stays current throughout:
+	// only a successful duplication changes the block structure, and only
+	// then is the graph rebuilt.
 	for iter := 0; iter < 32; iter++ {
-		g = cfg.NewGraph(f)
 		entered := sideEntered(g, sel, r.seed)
 		if entered < 0 {
 			break
 		}
-		if !tailDuplicate(f, g, sel, r.seed, entered, params.MaxDupInstrs) {
+		if tailDuplicate(f, g, sel, r.seed, entered, params.MaxDupInstrs) {
+			mutated = true
+			g.Rebuild()
+		} else {
 			delete(sel, entered)
 			closeSelection(g, sel, r.seed)
 		}
 		if len(sel) < 2 {
-			return false, nil
+			return false, mutated, nil
 		}
 	}
 
-	g = cfg.NewGraph(f)
 	if sideEntered(g, sel, r.seed) >= 0 {
-		return false, nil
+		return false, mutated, nil
 	}
 	order, ok = topoOrder(f, g, sel, r.seed)
 	if !ok {
-		return false, nil
+		return false, mutated, nil
 	}
 	if err := ifConvert(f, g, sel, r.seed, order); err != nil {
-		return false, err
+		return false, true, err
 	}
-	return true, nil
+	return true, true, nil
 }
 
 // blockHeight estimates the block's internal dependence height in cycles:

@@ -74,27 +74,29 @@ func (b *Block) EndsUnconditionally() bool {
 // instruction, so it does not end the block.
 func (b *Block) Succs(dst []int) []int {
 	start := len(dst)
-	add := func(id int) {
-		if id < 0 {
-			return
-		}
-		for _, s := range dst[start:] {
-			if s == id {
-				return
-			}
-		}
-		dst = append(dst, id)
-	}
 	for _, in := range b.Instrs {
 		switch in.Op {
 		case Jump, BrEQ, BrNE, BrLT, BrLE, BrGT, BrGE:
-			add(in.Target)
+			dst = addSucc(dst, start, in.Target)
 		}
 	}
 	if !b.EndsUnconditionally() {
-		add(b.Fall)
+		dst = addSucc(dst, start, b.Fall)
 	}
 	return dst
+}
+
+// addSucc appends id to dst unless negative or already present past start.
+func addSucc(dst []int, start, id int) []int {
+	if id < 0 {
+		return dst
+	}
+	for _, s := range dst[start:] {
+		if s == id {
+			return dst
+		}
+	}
+	return append(dst, id)
 }
 
 // BranchSites appends the indices of all control-transfer instructions

@@ -138,6 +138,26 @@ func (p *Program) NumInstrs() int {
 // addresses (instruction cache, branch target buffer).
 const InstrBytes = 4
 
+// ForEachInstr visits every instruction of every live block in layout
+// order: functions in index order, live blocks in ID order, instructions
+// in block order.  This is the canonical static order shared by
+// AssignAddresses, the emulator's pre-decoded code array, and the timing
+// simulator's per-instruction tables, so an instruction's position in this
+// walk is its program-wide instruction ID (ID*InstrBytes == Addr once
+// addresses are assigned).
+func (p *Program) ForEachInstr(visit func(fi int, in *Instr)) {
+	for fi, f := range p.Funcs {
+		for _, b := range f.Blocks {
+			if b == nil || b.Dead {
+				continue
+			}
+			for _, in := range b.Instrs {
+				visit(fi, in)
+			}
+		}
+	}
+}
+
 // AssignAddresses lays out all live blocks of all functions in ID order and
 // assigns each instruction a unique code byte address.  It returns the total
 // code size in bytes.  Layout order follows function order then block ID
@@ -145,14 +165,10 @@ const InstrBytes = 4
 // compilation passes.
 func (p *Program) AssignAddresses() int32 {
 	var addr int32
-	for _, f := range p.Funcs {
-		for _, b := range f.LiveBlocks(nil) {
-			for _, in := range b.Instrs {
-				in.Addr = addr
-				addr += InstrBytes
-			}
-		}
-	}
+	p.ForEachInstr(func(fi int, in *Instr) {
+		in.Addr = addr
+		addr += InstrBytes
+	})
 	return addr
 }
 

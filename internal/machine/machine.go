@@ -8,7 +8,11 @@
 // miss penalty (write-through, no write-allocate).
 package machine
 
-import "predication/internal/ir"
+import (
+	"fmt"
+
+	"predication/internal/ir"
+)
 
 // CacheConfig describes one direct-mapped cache.
 type CacheConfig struct {
@@ -61,6 +65,38 @@ type Config struct {
 	// predicate registers" (§2.1); 0 leaves the default of 1.
 	PredicateDistance int
 }
+
+// Validate checks the geometry constraints the simulator's index masks
+// assume: BTB entry counts and cache line/block counts must be powers of
+// two, because set selection is `index & (n-1)` — a non-power-of-two count
+// would silently alias entries instead of failing.  Cache geometry is only
+// checked when the caches are modeled (PerfectCache false).
+func (c Config) Validate() error {
+	if !powerOfTwo(c.BTBEntries) {
+		return fmt.Errorf("machine %s: BTBEntries = %d, must be a power of two (BTB set index is masked)", c.Name, c.BTBEntries)
+	}
+	if !c.PerfectCache {
+		if err := c.ICache.validate(c.Name, "ICache"); err != nil {
+			return err
+		}
+		if err := c.DCache.validate(c.Name, "DCache"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c CacheConfig) validate(machineName, which string) error {
+	if !powerOfTwo(c.BlockSize) {
+		return fmt.Errorf("machine %s: %s.BlockSize = %d, must be a power of two (block offset is a shift)", machineName, which, c.BlockSize)
+	}
+	if c.SizeBytes%c.BlockSize != 0 || !powerOfTwo(c.Lines()) {
+		return fmt.Errorf("machine %s: %s geometry %dB/%dB gives %d lines, must be a power of two (line index is masked)", machineName, which, c.SizeBytes, c.BlockSize, c.Lines())
+	}
+	return nil
+}
+
+func powerOfTwo(n int) bool { return n > 0 && n&(n-1) == 0 }
 
 // PredDist returns the effective predicate define-to-use distance.
 func (c Config) PredDist() int {

@@ -1,0 +1,63 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestValidateAcceptsPaperConfigs: every shipped configuration passes.
+func TestValidateAcceptsPaperConfigs(t *testing.T) {
+	for _, cfg := range []Config{
+		Issue1(), Issue1Cache(), Issue4Br1(), Issue8Br1(), Issue8Br2(), Issue8Br1Cache(),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsNonPowerOfTwoBTB(t *testing.T) {
+	for _, entries := range []int{0, -4, 3, 1000} {
+		cfg := Issue8Br1()
+		cfg.BTBEntries = entries
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("BTBEntries=%d accepted, want error", entries)
+			continue
+		}
+		if !strings.Contains(err.Error(), "BTBEntries") {
+			t.Errorf("BTBEntries=%d: error %q does not name the field", entries, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadCacheGeometry(t *testing.T) {
+	blocky := Issue8Br1Cache()
+	blocky.ICache.BlockSize = 48 // not a power of two
+	if err := blocky.Validate(); err == nil || !strings.Contains(err.Error(), "ICache.BlockSize") {
+		t.Errorf("BlockSize=48: error = %v, want ICache.BlockSize complaint", err)
+	}
+
+	liney := Issue8Br1Cache()
+	liney.DCache.SizeBytes = 96 << 10 // 1536 lines: not a power of two
+	if err := liney.Validate(); err == nil || !strings.Contains(err.Error(), "lines") {
+		t.Errorf("96K/64B: error = %v, want line-count complaint", err)
+	}
+
+	ragged := Issue8Br1Cache()
+	ragged.ICache.SizeBytes = (64 << 10) + 13 // not block-aligned
+	if err := ragged.Validate(); err == nil {
+		t.Error("unaligned cache size accepted, want error")
+	}
+}
+
+// TestValidateSkipsCachesWhenPerfect: cache geometry is irrelevant (and
+// unchecked) when the cache models are disabled.
+func TestValidateSkipsCachesWhenPerfect(t *testing.T) {
+	cfg := Issue8Br1() // PerfectCache
+	cfg.ICache.BlockSize = 3
+	cfg.DCache.SizeBytes = 7
+	if err := cfg.Validate(); err != nil {
+		t.Errorf("perfect-cache config rejected for cache geometry: %v", err)
+	}
+}

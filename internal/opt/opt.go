@@ -17,14 +17,21 @@ import (
 )
 
 // Cleanup runs all scalar optimizations to a bounded fixpoint.
+//
+// One CFG is shared across the passes: only unreachable-block removal
+// changes edges (the other passes rewrite operands or delete non-branch
+// instructions), so the graph is rebuilt exactly when that pass fires.
 func Cleanup(f *ir.Func) {
+	g := cfg.NewGraph(f)
 	for i := 0; i < 4; i++ {
-		changed := false
-		changed = RemoveUnreachable(f) || changed
+		changed := removeUnreachable(f, g)
+		if changed {
+			g.Rebuild()
+		}
 		changed = FoldConstants(f) || changed
 		changed = CopyPropagate(f) || changed
 		changed = LocalCSE(f) || changed
-		changed = DeadCodeElim(f) || changed
+		changed = deadCodeElim(f, g) || changed
 		if !changed {
 			return
 		}
@@ -33,7 +40,10 @@ func Cleanup(f *ir.Func) {
 
 // RemoveUnreachable marks blocks unreachable from the entry as dead.
 func RemoveUnreachable(f *ir.Func) bool {
-	g := cfg.NewGraph(f)
+	return removeUnreachable(f, cfg.NewGraph(f))
+}
+
+func removeUnreachable(f *ir.Func, g *cfg.Graph) bool {
 	changed := false
 	for _, b := range f.Blocks {
 		if b == nil || b.Dead {
@@ -285,7 +295,10 @@ func LocalCSE(f *ir.Func) bool {
 // potentially excepting non-silent operations are kept.  Predicate defines
 // are removed when none of their destinations are live.
 func DeadCodeElim(f *ir.Func) bool {
-	g := cfg.NewGraph(f)
+	return deadCodeElim(f, cfg.NewGraph(f))
+}
+
+func deadCodeElim(f *ir.Func, g *cfg.Graph) bool {
 	lv := cfg.ComputeLiveness(g)
 	changed := false
 	for _, b := range f.LiveBlocks(nil) {

@@ -1,0 +1,221 @@
+package sim
+
+import (
+	"predication/internal/emu"
+	"predication/internal/ir"
+	"predication/internal/machine"
+)
+
+// legacy.go preserves the original per-event timing path: every event is
+// resolved through a map from *ir.Instr to its function index, and operand,
+// latency, and classification information is re-interrogated from the IR
+// object on each dynamic instruction.  It is kept as the measurement
+// baseline for the pre-decoded Simulator (see docs/PERFORMANCE.md) and is
+// pinned cycle-identical to it by the differential tests.
+
+// LegacySimulator is the original map-based streaming timing model.  It
+// implements emu.TraceSink and produces statistics identical to Simulator;
+// only the per-event cost differs.
+type LegacySimulator struct {
+	cfg machine.Config
+	st  Stats
+
+	regBase, predBase   []int32
+	regReady, predReady []int64
+	fnOf                map[*ir.Instr]int32
+
+	bp     predictor
+	ic, dc *cache
+
+	predDist int64
+
+	fetchAvail int64
+	prevIssue  int64
+	curCycle   int64
+	slots      int
+	brSlots    int
+	lastIssue  int64
+}
+
+// NewLegacy creates the original map-based simulator for the given program
+// and processor configuration.  Like New, it panics if the configuration
+// fails machine.Config.Validate.
+func NewLegacy(p *ir.Program, cfg machine.Config) *LegacySimulator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &LegacySimulator{cfg: cfg, curCycle: -1, predDist: int64(cfg.PredDist())}
+	var nRegs, nPreds int32
+	s.regBase, s.predBase, nRegs, nPreds = regIndex(p)
+	s.regReady = make([]int64, nRegs)
+	s.predReady = make([]int64, nPreds)
+	s.fnOf = instrFuncIndex(p)
+	if cfg.Gshare {
+		s.bp = newGshare(cfg.BTBEntries * 8)
+	} else {
+		s.bp = newBTB(cfg.BTBEntries)
+	}
+	if !cfg.PerfectCache {
+		s.ic = newCache(cfg.ICache)
+		s.dc = newCache(cfg.DCache)
+	}
+	return s
+}
+
+// Stats returns the statistics accumulated so far.
+func (s *LegacySimulator) Stats() Stats {
+	st := s.st
+	st.Cycles = s.lastIssue + 1
+	return st
+}
+
+// Event advances the processor model by one dynamic instruction, resolving
+// the instruction's operands and classification from the IR object graph.
+func (s *LegacySimulator) Event(ev emu.Event) {
+	cfg := &s.cfg
+	in := ev.In
+	fi := s.fnOf[in]
+	s.st.Instrs++
+
+	// Front end: instruction cache.
+	t := s.fetchAvail
+	if t < s.prevIssue {
+		t = s.prevIssue
+	}
+	if s.ic != nil && !s.ic.access(int64(in.Addr), true) {
+		s.st.ICacheMisses++
+		t += int64(cfg.ICache.MissCycles)
+		s.fetchAvail = t
+	}
+
+	// Operand readiness.
+	if in.Guard != ir.PNone {
+		if r := s.predReady[s.predBase[fi]+int32(in.Guard)]; r > t {
+			t = r
+		}
+	}
+	nullified := ev.Nullified()
+	var loadLat int64
+	if nullified {
+		s.st.Nullified++
+	} else {
+		var srcBuf [4]ir.Reg
+		for _, src := range in.SrcRegs(srcBuf[:0]) {
+			if r := s.regReady[s.regBase[fi]+int32(src)]; r > t {
+				t = r
+			}
+		}
+		switch in.Op {
+		case ir.Load:
+			s.st.Loads++
+			loadLat = int64(machine.Latency(ir.Load))
+			if s.dc != nil && !s.dc.access(int64(ev.Addr)*8, true) {
+				s.st.DCacheMisses++
+				loadLat += int64(cfg.DCache.MissCycles)
+			}
+		case ir.Store:
+			s.st.Stores++
+			// Write-through, no-allocate: a store miss does not stall
+			// (write buffer assumed) and does not allocate the block.
+			if s.dc != nil && !s.dc.access(int64(ev.Addr)*8, false) {
+				s.st.DCacheMisses++
+			}
+		}
+	}
+
+	// Issue slot allocation (in-order: never before the previous
+	// instruction's issue cycle).  A guard-suppressed branch is
+	// squashed at decode and does not occupy the branch unit.
+	isBranch := in.Op.IsBranch() && !nullified
+	for {
+		if t > s.curCycle {
+			s.curCycle = t
+			s.slots, s.brSlots = 0, 0
+		}
+		if s.slots < cfg.IssueWidth && (!isBranch || s.brSlots < cfg.BranchSlots) {
+			break
+		}
+		t = s.curCycle + 1
+	}
+	s.slots++
+	if isBranch {
+		s.brSlots++
+	}
+	issue := t
+	s.prevIssue = issue
+	s.lastIssue = issue
+
+	// Destination updates.
+	if !nullified {
+		if d := in.DefReg(); d != ir.RNone {
+			lat := int64(machine.Latency(in.Op))
+			if in.Op == ir.Load {
+				lat = loadLat
+			}
+			s.regReady[s.regBase[fi]+int32(d)] = issue + lat
+		}
+		switch in.Op {
+		case ir.PredDef:
+			var pBuf [2]ir.PReg
+			for _, pr := range in.PredDefs(pBuf[:0]) {
+				s.predReady[s.predBase[fi]+int32(pr)] = issue + s.predDist
+			}
+		case ir.PredClear, ir.PredSet:
+			base := s.predBase[fi]
+			var end int32
+			if int(fi)+1 < len(s.predBase) {
+				end = s.predBase[fi+1]
+			} else {
+				end = int32(len(s.predReady))
+			}
+			for i := base; i < end; i++ {
+				s.predReady[i] = issue + s.predDist
+			}
+		}
+	}
+
+	// Branch resolution and prediction.  A branch is dynamically
+	// conditional if it is a compare-and-branch or a guarded jump (the
+	// combined exits produced by branch combining); such branches are
+	// predicted by the BTB even when their guard nullifies them — the
+	// front end predicts at fetch, before decode-stage suppression.
+	if in.Op.IsBranch() {
+		if !nullified {
+			s.st.Branches++
+		}
+		taken := ev.Taken()
+		conditional := in.Op.IsCondBranch() || (in.Op == ir.Jump && in.Guard != ir.PNone)
+		switch {
+		case conditional:
+			s.st.CondBranches++
+			predicted := s.bp.predict(in.Addr)
+			s.bp.update(in.Addr, taken)
+			if predicted != taken {
+				s.st.Mispredicts++
+				s.fetchAvail = issue + 1 + int64(cfg.MispredictPenalty)
+			} else if taken {
+				s.fetchAvail = issue + int64(cfg.TakenBranchBubble)
+			}
+		default:
+			// Unguarded Jump, JSR, Ret: static or stack-predicted
+			// targets are assumed correctly predicted; only the
+			// configured taken redirect bubble applies.
+			if taken && !nullified {
+				s.fetchAvail = issue + int64(cfg.TakenBranchBubble)
+			}
+		}
+	}
+}
+
+// instrFuncIndex maps each static instruction to its function index.
+func instrFuncIndex(p *ir.Program) map[*ir.Instr]int32 {
+	m := make(map[*ir.Instr]int32, p.NumInstrs())
+	for i, f := range p.Funcs {
+		for _, b := range f.LiveBlocks(nil) {
+			for _, in := range b.Instrs {
+				m[in] = int32(i)
+			}
+		}
+	}
+	return m
+}

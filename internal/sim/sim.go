@@ -55,38 +55,40 @@ type predictor interface {
 }
 
 // btb is a direct-mapped branch target buffer with 2-bit saturating
-// counters.
+// counters.  Empty entries hold the tag -1, which no code address ever
+// matches, so no separate valid bit is consulted on the hot path.
 type btb struct {
-	tags  []int32
-	ctr   []uint8
-	valid []bool
-	mask  int32
+	tags []int32
+	ctr  []uint8
+	mask int32
 }
 
 func newBTB(entries int) *btb {
-	return &btb{
-		tags:  make([]int32, entries),
-		ctr:   make([]uint8, entries),
-		valid: make([]bool, entries),
-		mask:  int32(entries - 1),
+	b := &btb{
+		tags: make([]int32, entries),
+		ctr:  make([]uint8, entries),
+		mask: int32(entries - 1),
 	}
+	for i := range b.tags {
+		b.tags[i] = -1
+	}
+	return b
 }
 
 // predict returns the predicted direction for the conditional branch at pc.
 // An untracked branch is predicted not-taken.
 func (b *btb) predict(pc int32) bool {
 	i := (pc / ir.InstrBytes) & b.mask
-	return b.valid[i] && b.tags[i] == pc && b.ctr[i] >= 2
+	return b.tags[i] == pc && b.ctr[i] >= 2
 }
 
 // update trains the predictor with the branch outcome.
 func (b *btb) update(pc int32, taken bool) {
 	i := (pc / ir.InstrBytes) & b.mask
-	if !b.valid[i] || b.tags[i] != pc {
+	if b.tags[i] != pc {
 		if !taken {
 			return // no-allocate on not-taken misses
 		}
-		b.valid[i] = true
 		b.tags[i] = pc
 		b.ctr[i] = 2
 		return
@@ -100,10 +102,16 @@ func (b *btb) update(pc int32, taken bool) {
 	}
 }
 
-// cache is a direct-mapped cache tracking only hit/miss (timing, not data).
+// cache is a direct-mapped cache tracking only hit/miss (timing, not
+// data).  Empty lines hold the tag -1; block numbers are non-negative
+// (addresses are), so no separate valid bit is consulted per access.
+// last memoizes the most recent block known to be resident: tags only
+// change through allocation, which re-points last at the new block, so a
+// repeat access to last (the common sequential-fetch case) can hit
+// without touching the tag array.
 type cache struct {
 	tags     []int64
-	valid    []bool
+	last     int64
 	mask     int64
 	blkShift uint
 }
@@ -114,47 +122,91 @@ func newCache(cfg machine.CacheConfig) *cache {
 	for 1<<shift < cfg.BlockSize {
 		shift++
 	}
-	return &cache{
+	c := &cache{
 		tags:     make([]int64, lines),
-		valid:    make([]bool, lines),
+		last:     -1,
 		mask:     int64(lines - 1),
 		blkShift: shift,
 	}
+	for i := range c.tags {
+		c.tags[i] = -1
+	}
+	return c
 }
 
 // access checks the block containing byte address addr, allocating it when
 // allocate is true.  It reports whether the access hit.
 func (c *cache) access(addr int64, allocate bool) bool {
 	blk := addr >> c.blkShift
+	if blk == c.last {
+		return true
+	}
 	i := blk & c.mask
-	if c.valid[i] && c.tags[i] == blk {
+	if c.tags[i] == blk {
+		c.last = blk
 		return true
 	}
 	if allocate {
-		c.valid[i] = true
 		c.tags[i] = blk
+		c.last = blk
 	}
 	return false
 }
 
+// simInstr is the pre-decoded per-static-instruction state the timing
+// model needs: source/destination readiness indices already folded with
+// the function's base offset, latency, code address, and classification
+// flags.  It is built once in New and indexed by Event.ID, replacing the
+// per-event map lookup and ir.Instr interrogation of the original
+// implementation.
+type simInstr struct {
+	lat            int64
+	srcs           [3]int32 // global regReady indices
+	pd             [2]int32 // global predReady indices written by PredDef
+	predLo, predHi int32    // predReady range of the owning function
+	dst            int32    // global regReady index, -1 = none
+	guard          int32    // global predReady index, -1 = unguarded
+	addr           int32    // code byte address (icache, predictor)
+	nsrc, npd      uint8
+	flags          uint8
+}
+
+// simInstr classification flags.
+const (
+	sfBranch uint8 = 1 << iota // any control transfer
+	sfCond                     // dynamically conditional (predicted by the BTB)
+	sfLoad
+	sfStore
+	sfPredDef
+	sfPredAll // PredClear / PredSet: broadcast over the function's predicates
+)
+
 // Simulator is the streaming form of the timing model: it implements
 // emu.TraceSink, consuming the dynamic instruction stream one event at a
 // time while the emulator produces it.  State is O(static program size) —
-// readiness arrays, predictor, caches — independent of trace length, so a
-// run never materializes the trace.  Feed every event through Event, then
-// read the totals with Stats.
+// readiness arrays, pre-decoded instruction table, predictor, caches —
+// independent of trace length, so a run never materializes the trace.
+// Feed every event through Event, then read the totals with Stats.
 type Simulator struct {
 	cfg machine.Config
 	st  Stats
 
-	regBase, predBase   []int32
+	code                []simInstr // indexed by emu.Event.ID
 	regReady, predReady []int64
-	fnOf                map[*ir.Instr]int32
 
 	bp     predictor
+	tbl    *btb // non-nil when bp is the BTB: devirtualized hot path
 	ic, dc *cache
 
-	predDist int64
+	// Scalar copies of the machine parameters the per-event path reads,
+	// hoisted out of the nested config struct.
+	predDist    int64
+	icMiss      int64
+	dcMiss      int64
+	mispredict  int64
+	takenBubble int64
+	issueWidth  int
+	branchSlots int
 
 	fetchAvail int64 // earliest issue cycle allowed by the front end
 	prevIssue  int64
@@ -166,24 +218,94 @@ type Simulator struct {
 
 // New creates a simulator for the given program and processor
 // configuration.  The program must have had code addresses assigned
-// (Program.AssignAddresses) before the trace is produced.
+// (Program.AssignAddresses) before New is called: addresses are baked
+// into the pre-decoded instruction table.  New panics if the
+// configuration fails machine.Config.Validate (non-power-of-two BTB or
+// cache geometry would silently corrupt the index masks).
 func New(p *ir.Program, cfg machine.Config) *Simulator {
-	s := &Simulator{cfg: cfg, curCycle: -1, predDist: int64(cfg.PredDist())}
-	var nRegs, nPreds int32
-	s.regBase, s.predBase, nRegs, nPreds = regIndex(p)
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	s := &Simulator{
+		cfg:         cfg,
+		curCycle:    -1,
+		predDist:    int64(cfg.PredDist()),
+		icMiss:      int64(cfg.ICache.MissCycles),
+		dcMiss:      int64(cfg.DCache.MissCycles),
+		mispredict:  int64(cfg.MispredictPenalty),
+		takenBubble: int64(cfg.TakenBranchBubble),
+		issueWidth:  cfg.IssueWidth,
+		branchSlots: cfg.BranchSlots,
+	}
+	regBase, predBase, nRegs, nPreds := regIndex(p)
 	s.regReady = make([]int64, nRegs)
 	s.predReady = make([]int64, nPreds)
-	s.fnOf = instrFuncIndex(p)
+	s.code = decodeInstrs(p, regBase, predBase, nPreds)
 	if cfg.Gshare {
 		s.bp = newGshare(cfg.BTBEntries * 8)
 	} else {
-		s.bp = newBTB(cfg.BTBEntries)
+		s.tbl = newBTB(cfg.BTBEntries)
+		s.bp = s.tbl
 	}
 	if !cfg.PerfectCache {
 		s.ic = newCache(cfg.ICache)
 		s.dc = newCache(cfg.DCache)
 	}
 	return s
+}
+
+// decodeInstrs builds the per-instruction table in layout order, so that
+// position i describes the instruction with Event.ID == i.
+func decodeInstrs(p *ir.Program, regBase, predBase []int32, nPreds int32) []simInstr {
+	code := make([]simInstr, 0, p.NumInstrs())
+	p.ForEachInstr(func(fi int, in *ir.Instr) {
+		d := simInstr{
+			dst:   -1,
+			guard: -1,
+			addr:  in.Addr,
+			lat:   int64(machine.Latency(in.Op)),
+		}
+		if in.Guard != ir.PNone {
+			d.guard = predBase[fi] + int32(in.Guard)
+		}
+		var srcBuf [4]ir.Reg
+		for _, src := range in.SrcRegs(srcBuf[:0]) {
+			d.srcs[d.nsrc] = regBase[fi] + int32(src)
+			d.nsrc++
+		}
+		if r := in.DefReg(); r != ir.RNone {
+			d.dst = regBase[fi] + int32(r)
+		}
+		switch in.Op {
+		case ir.Load:
+			d.flags |= sfLoad
+		case ir.Store:
+			d.flags |= sfStore
+		case ir.PredDef:
+			d.flags |= sfPredDef
+			var pBuf [2]ir.PReg
+			for _, pr := range in.PredDefs(pBuf[:0]) {
+				d.pd[d.npd] = predBase[fi] + int32(pr)
+				d.npd++
+			}
+		case ir.PredClear, ir.PredSet:
+			d.flags |= sfPredAll
+			d.predLo = predBase[fi]
+			if fi+1 < len(predBase) {
+				d.predHi = predBase[fi+1]
+			} else {
+				d.predHi = nPreds
+			}
+		}
+		if in.Op.IsBranch() {
+			d.flags |= sfBranch
+		}
+		if in.Op.IsCondBranch() || (in.Op == ir.Jump && in.Guard != ir.PNone) {
+			d.flags |= sfCond
+		}
+		code = append(code, d)
+	})
+	return code
 }
 
 // Stats returns the statistics accumulated so far.  It may be called at
@@ -196,141 +318,179 @@ func (s *Simulator) Stats() Stats {
 }
 
 // Event advances the processor model by one dynamic instruction.  It
-// implements emu.TraceSink.
+// implements emu.TraceSink.  The event's ID indexes the pre-decoded
+// instruction table; nothing is looked up or allocated per event.  The
+// model logic lives in EventBatch; this wrapper feeds it a stack-backed
+// one-event batch.
 func (s *Simulator) Event(ev emu.Event) {
-	cfg := &s.cfg
-	in := ev.In
-	fi := s.fnOf[in]
-	s.st.Instrs++
+	evs := [1]emu.Event{ev}
+	s.EventBatch(evs[:])
+}
 
-	// Front end: instruction cache.
-	t := s.fetchAvail
-	if t < s.prevIssue {
-		t = s.prevIssue
-	}
-	if s.ic != nil && !s.ic.access(int64(in.Addr), true) {
-		s.st.ICacheMisses++
-		t += int64(cfg.ICache.MissCycles)
-		s.fetchAvail = t
-	}
+// EventBatch implements emu.BatchSink: the fast interpreter hands over
+// its buffered event runs here, replacing one interface dispatch per
+// event with one per batch.  The pipeline scalars (fetch availability,
+// issue cycle, slot counts) and statistics are copied into locals for
+// the duration of the batch so the per-event updates stay in registers
+// instead of bouncing through the struct.
+func (s *Simulator) EventBatch(evs []emu.Event) {
+	st := s.st
+	fetchAvail, prevIssue := s.fetchAvail, s.prevIssue
+	curCycle, lastIssue := s.curCycle, s.lastIssue
+	slots, brSlots := s.slots, s.brSlots
+	code := s.code
+	regReady, predReady := s.regReady, s.predReady
+	ic, dc, tbl := s.ic, s.dc, s.tbl
+	icMiss, dcMiss, predDist := s.icMiss, s.dcMiss, s.predDist
+	mispredict, takenBubble := s.mispredict, s.takenBubble
+	issueWidth, branchSlots := s.issueWidth, s.branchSlots
 
-	// Operand readiness.
-	if in.Guard != ir.PNone {
-		if r := s.predReady[s.predBase[fi]+int32(in.Guard)]; r > t {
-			t = r
+	for i := range evs {
+		ev := &evs[i]
+		d := &code[ev.ID]
+		st.Instrs++
+
+		// Front end: instruction cache.
+		t := fetchAvail
+		if t < prevIssue {
+			t = prevIssue
 		}
-	}
-	nullified := ev.Nullified()
-	var loadLat int64
-	if nullified {
-		s.st.Nullified++
-	} else {
-		var srcBuf [4]ir.Reg
-		for _, src := range in.SrcRegs(srcBuf[:0]) {
-			if r := s.regReady[s.regBase[fi]+int32(src)]; r > t {
+		if ic != nil && !ic.access(int64(d.addr), true) {
+			st.ICacheMisses++
+			t += icMiss
+			fetchAvail = t
+		}
+
+		// Operand readiness.
+		if d.guard >= 0 {
+			if r := predReady[d.guard]; r > t {
 				t = r
 			}
 		}
-		switch in.Op {
-		case ir.Load:
-			s.st.Loads++
-			loadLat = int64(machine.Latency(ir.Load))
-			if s.dc != nil && !s.dc.access(int64(ev.Addr)*8, true) {
-				s.st.DCacheMisses++
-				loadLat += int64(cfg.DCache.MissCycles)
+		nullified := ev.Flags&emu.FlagNullified != 0
+		var loadLat int64
+		if nullified {
+			st.Nullified++
+		} else {
+			// Unrolled over the (at most 3) sources: a counted slice range
+			// here costs a slice-header construction per event.
+			if d.nsrc > 0 {
+				if r := regReady[d.srcs[0]]; r > t {
+					t = r
+				}
+				if d.nsrc > 1 {
+					if r := regReady[d.srcs[1]]; r > t {
+						t = r
+					}
+					if d.nsrc > 2 {
+						if r := regReady[d.srcs[2]]; r > t {
+							t = r
+						}
+					}
+				}
 			}
-		case ir.Store:
-			s.st.Stores++
-			// Write-through, no-allocate: a store miss does not stall
-			// (write buffer assumed) and does not allocate the block.
-			if s.dc != nil && !s.dc.access(int64(ev.Addr)*8, false) {
-				s.st.DCacheMisses++
+			switch {
+			case d.flags&sfLoad != 0:
+				st.Loads++
+				loadLat = d.lat
+				if dc != nil && !dc.access(int64(ev.Addr)*8, true) {
+					st.DCacheMisses++
+					loadLat += dcMiss
+				}
+			case d.flags&sfStore != 0:
+				st.Stores++
+				// Write-through, no-allocate: a store miss does not stall
+				// (write buffer assumed) and does not allocate the block.
+				if dc != nil && !dc.access(int64(ev.Addr)*8, false) {
+					st.DCacheMisses++
+				}
 			}
 		}
-	}
 
-	// Issue slot allocation (in-order: never before the previous
-	// instruction's issue cycle).  A guard-suppressed branch is
-	// squashed at decode and does not occupy the branch unit.
-	isBranch := in.Op.IsBranch() && !nullified
-	for {
-		if t > s.curCycle {
-			s.curCycle = t
-			s.slots, s.brSlots = 0, 0
+		// Issue slot allocation (in-order: never before the previous
+		// instruction's issue cycle).  A guard-suppressed branch is
+		// squashed at decode and does not occupy the branch unit.
+		isBranch := d.flags&sfBranch != 0 && !nullified
+		for {
+			if t > curCycle {
+				curCycle = t
+				slots, brSlots = 0, 0
+			}
+			if slots < issueWidth && (!isBranch || brSlots < branchSlots) {
+				break
+			}
+			t = curCycle + 1
 		}
-		if s.slots < cfg.IssueWidth && (!isBranch || s.brSlots < cfg.BranchSlots) {
-			break
+		slots++
+		if isBranch {
+			brSlots++
 		}
-		t = s.curCycle + 1
-	}
-	s.slots++
-	if isBranch {
-		s.brSlots++
-	}
-	issue := t
-	s.prevIssue = issue
-	s.lastIssue = issue
+		issue := t
+		prevIssue = issue
+		lastIssue = issue
 
-	// Destination updates.
-	if !nullified {
-		if d := in.DefReg(); d != ir.RNone {
-			lat := int64(machine.Latency(in.Op))
-			if in.Op == ir.Load {
-				lat = loadLat
-			}
-			s.regReady[s.regBase[fi]+int32(d)] = issue + lat
-		}
-		switch in.Op {
-		case ir.PredDef:
-			var pBuf [2]ir.PReg
-			for _, pr := range in.PredDefs(pBuf[:0]) {
-				s.predReady[s.predBase[fi]+int32(pr)] = issue + s.predDist
-			}
-		case ir.PredClear, ir.PredSet:
-			base := s.predBase[fi]
-			var end int32
-			if int(fi)+1 < len(s.predBase) {
-				end = s.predBase[fi+1]
-			} else {
-				end = int32(len(s.predReady))
-			}
-			for i := base; i < end; i++ {
-				s.predReady[i] = issue + s.predDist
-			}
-		}
-	}
-
-	// Branch resolution and prediction.  A branch is dynamically
-	// conditional if it is a compare-and-branch or a guarded jump (the
-	// combined exits produced by branch combining); such branches are
-	// predicted by the BTB even when their guard nullifies them — the
-	// front end predicts at fetch, before decode-stage suppression.
-	if in.Op.IsBranch() {
+		// Destination updates.
 		if !nullified {
-			s.st.Branches++
-		}
-		taken := ev.Taken()
-		conditional := in.Op.IsCondBranch() || (in.Op == ir.Jump && in.Guard != ir.PNone)
-		switch {
-		case conditional:
-			s.st.CondBranches++
-			predicted := s.bp.predict(in.Addr)
-			s.bp.update(in.Addr, taken)
-			if predicted != taken {
-				s.st.Mispredicts++
-				s.fetchAvail = issue + 1 + int64(cfg.MispredictPenalty)
-			} else if taken {
-				s.fetchAvail = issue + int64(cfg.TakenBranchBubble)
+			if d.dst >= 0 {
+				lat := d.lat
+				if d.flags&sfLoad != 0 {
+					lat = loadLat
+				}
+				regReady[d.dst] = issue + lat
 			}
-		default:
-			// Unguarded Jump, JSR, Ret: static or stack-predicted
-			// targets are assumed correctly predicted; only the
-			// configured taken redirect bubble applies.
-			if taken && !nullified {
-				s.fetchAvail = issue + int64(cfg.TakenBranchBubble)
+			if d.flags&sfPredDef != 0 {
+				if d.npd > 0 {
+					predReady[d.pd[0]] = issue + predDist
+					if d.npd > 1 {
+						predReady[d.pd[1]] = issue + predDist
+					}
+				}
+			} else if d.flags&sfPredAll != 0 {
+				for p := d.predLo; p < d.predHi; p++ {
+					predReady[p] = issue + predDist
+				}
+			}
+		}
+
+		// Branch resolution and prediction.  A branch is dynamically
+		// conditional if it is a compare-and-branch or a guarded jump (the
+		// combined exits produced by branch combining); such branches are
+		// predicted by the BTB even when their guard nullifies them — the
+		// front end predicts at fetch, before decode-stage suppression.
+		if d.flags&sfBranch != 0 {
+			if !nullified {
+				st.Branches++
+			}
+			taken := ev.Flags&emu.FlagTaken != 0
+			if d.flags&sfCond != 0 {
+				st.CondBranches++
+				var predicted bool
+				if tbl != nil {
+					predicted = tbl.predict(d.addr)
+					tbl.update(d.addr, taken)
+				} else {
+					predicted = s.bp.predict(d.addr)
+					s.bp.update(d.addr, taken)
+				}
+				if predicted != taken {
+					st.Mispredicts++
+					fetchAvail = issue + 1 + mispredict
+				} else if taken {
+					fetchAvail = issue + takenBubble
+				}
+			} else if taken && !nullified {
+				// Unguarded Jump, JSR, Ret: static or stack-predicted
+				// targets are assumed correctly predicted; only the
+				// configured taken redirect bubble applies.
+				fetchAvail = issue + takenBubble
 			}
 		}
 	}
+
+	s.st = st
+	s.fetchAvail, s.prevIssue = fetchAvail, prevIssue
+	s.curCycle, s.lastIssue = curCycle, lastIssue
+	s.slots, s.brSlots = slots, brSlots
 }
 
 // Simulate runs a materialized trace through the configured processor
@@ -357,17 +517,4 @@ func regIndex(p *ir.Program) (regBase, predBase []int32, nRegs, nPreds int32) {
 		nPreds += int32(f.NextPReg)
 	}
 	return
-}
-
-// instrFuncIndex maps each static instruction to its function index.
-func instrFuncIndex(p *ir.Program) map[*ir.Instr]int32 {
-	m := make(map[*ir.Instr]int32, p.NumInstrs())
-	for i, f := range p.Funcs {
-		for _, b := range f.LiveBlocks(nil) {
-			for _, in := range b.Instrs {
-				m[in] = int32(i)
-			}
-		}
-	}
-	return m
 }

@@ -11,6 +11,8 @@
 package superblock
 
 import (
+	"sort"
+
 	"predication/internal/cfg"
 	"predication/internal/ir"
 )
@@ -45,9 +47,44 @@ func Form(p *ir.Program, prof *cfg.Profile, params Params) {
 
 func formFunc(f *ir.Func, prof *cfg.Profile, params Params) {
 	inTrace := map[int]bool{}
+	// One CFG serves consecutive trace selections; it is rebuilt only after
+	// a transformation (tail duplication or merge) changes block structure.
+	g := cfg.NewGraph(f)
+	// Profile weights are fixed for the whole formation, so the candidate
+	// seeds can be ranked once up front instead of rescanning every block
+	// per trace.  Blocks created later (tail-duplication clones) have no
+	// profile entry and can never outweigh MinCount, so the ranking stays
+	// complete; the degenerate MinCount <= 0 configuration falls back to
+	// the rescan to keep selection order identical.
+	var ranked []int
+	if params.MinCount > 0 {
+		ranked = rankSeeds(f, prof, params)
+	}
 	for {
-		g := cfg.NewGraph(f)
-		seed := selectSeed(f, g, prof, params, inTrace)
+		var seed int
+		if params.MinCount > 0 {
+			// Drop permanently ineligible entries (traced or dead) while
+			// scanning; unreachable blocks are skipped but kept, since a
+			// later rebuild could in principle see them differently.
+			seed = -1
+			kept := ranked[:0]
+			for i, id := range ranked {
+				if inTrace[id] || f.Blocks[id].Dead {
+					continue
+				}
+				if seed < 0 && g.Reachable(id) {
+					seed = id
+				}
+				kept = append(kept, id)
+				if seed >= 0 {
+					kept = append(kept, ranked[i+1:]...)
+					break
+				}
+			}
+			ranked = kept
+		} else {
+			seed = selectSeed(f, g, prof, params, inTrace)
+		}
 		if seed < 0 {
 			break
 		}
@@ -58,11 +95,43 @@ func formFunc(f *ir.Func, prof *cfg.Profile, params Params) {
 		if len(trace) < 2 {
 			continue
 		}
-		trace = removeSideEntrances(f, prof, params, trace)
+		var mutated bool
+		trace, mutated = removeSideEntrances(f, g, params, trace)
 		if len(trace) >= 2 {
 			merge(f, trace)
+			mutated = true
+		}
+		if mutated {
+			g.Rebuild()
 		}
 	}
+}
+
+// rankSeeds lists the IDs of all live blocks heavy enough to seed a trace,
+// highest weight first (ties go to the lower ID, matching selectSeed's
+// first-wins scan order).
+func rankSeeds(f *ir.Func, prof *cfg.Profile, params Params) []int {
+	type cand struct {
+		id int
+		w  int64
+	}
+	var cands []cand
+	for _, b := range f.LiveBlocks(nil) {
+		if w := prof.Weight(b); w >= params.MinCount {
+			cands = append(cands, cand{b.ID, w})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].w != cands[j].w {
+			return cands[i].w > cands[j].w
+		}
+		return cands[i].id < cands[j].id
+	})
+	ids := make([]int, len(cands))
+	for i, c := range cands {
+		ids[i] = c.id
+	}
+	return ids
 }
 
 // selectSeed picks the highest-weight block not yet in a trace.
@@ -158,8 +227,9 @@ func hasHazard(b *ir.Block) bool {
 // removeSideEntrances tail-duplicates the trace suffix from the first block
 // with a predecessor outside the trace, so the trace becomes single entry.
 // If duplication would exceed the budget the trace is truncated instead.
-func removeSideEntrances(f *ir.Func, prof *cfg.Profile, params Params, trace []int) []int {
-	g := cfg.NewGraph(f)
+// g must reflect f's current block structure; the second result reports
+// whether f was rewritten (and g therefore invalidated).
+func removeSideEntrances(f *ir.Func, g *cfg.Graph, params Params, trace []int) ([]int, bool) {
 	pos := map[int]int{}
 	for i, id := range trace {
 		pos[id] = i
@@ -178,7 +248,7 @@ func removeSideEntrances(f *ir.Func, prof *cfg.Profile, params Params, trace []i
 		}
 	}
 	if first < 0 {
-		return trace
+		return trace, false
 	}
 	// Budget check.
 	dupInstrs := 0
@@ -186,7 +256,7 @@ func removeSideEntrances(f *ir.Func, prof *cfg.Profile, params Params, trace []i
 		dupInstrs += len(f.Blocks[id].Instrs)
 	}
 	if dupInstrs > params.MaxDupInstrs {
-		return trace[:first]
+		return trace[:first], false
 	}
 	// Duplicate trace[first:] as a chain of fresh blocks.
 	clone := map[int]int{}
@@ -240,7 +310,7 @@ func removeSideEntrances(f *ir.Func, prof *cfg.Profile, params Params, trace []i
 			}
 		}
 	}
-	return trace
+	return trace, true
 }
 
 // merge concatenates the (now single-entry) trace into its head block,
