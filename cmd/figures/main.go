@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -17,6 +18,8 @@ import (
 	"strings"
 
 	"predication/internal/experiments"
+	"predication/internal/obs"
+	"predication/internal/sim"
 )
 
 func main() {
@@ -48,6 +51,8 @@ func run(args []string, out, errw io.Writer) error {
 	markdown := fs.Bool("markdown", false, "emit GitHub-flavored markdown tables")
 	csv := fs.Bool("csv", false, "emit comma-separated values")
 	ext := fs.Bool("ext", false, "also run the extension experiments (penalty sweep, predicate distance, register pressure, finite register files)")
+	breakdown := fs.Bool("breakdown", false, "also render the stall-cycle breakdown and IPC tables (8-issue 1-branch)")
+	statsJSON := fs.String("stats-json", "", "write the whole suite (stats, breakdowns, pipelines, registry) as JSON to this file (- for stdout)")
 	failfast := fs.Bool("failfast", false, "abort the whole run on the first failing matrix cell (default: failed cells become tagged gaps)")
 	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell time budget, e.g. 30s (0 = unbounded)")
 	legacy := fs.Bool("legacy", false, "run the suite on the legacy (pre-decoded-free) emulator and simulator data path")
@@ -91,6 +96,12 @@ func run(args []string, out, errw io.Writer) error {
 		FailFast:    *failfast,
 		CellTimeout: *cellTimeout,
 		LegacyEmu:   *legacy,
+		Observe:     *breakdown || *statsJSON != "",
+	}
+	var reg *obs.Registry
+	if opts.Observe {
+		reg = obs.NewRegistry()
+		opts.Registry = reg
 	}
 	if *benchList != "" {
 		opts.Kernels = strings.Split(*benchList, ",")
@@ -101,7 +112,23 @@ func run(args []string, out, errw io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *statsJSON != "" {
+		if err := writeSuiteJSON(*statsJSON, out, suite, reg); err != nil {
+			return err
+		}
+		if *statsJSON == "-" {
+			// The JSON document owns stdout; only the exit status remains.
+			if len(suite.Errors) > 0 {
+				fmt.Fprint(errw, suite.ErrorReport())
+				return fmt.Errorf("%d matrix cell(s) failed", len(suite.Errors))
+			}
+			return nil
+		}
+	}
 	tables := suite.AllTables()
+	if *breakdown {
+		tables = append(tables, suite.BreakdownTable("issue8-br1"), suite.IPCTable("issue8-br1"))
+	}
 	if *ext {
 		extra, err := experiments.Extensions()
 		if err != nil {
@@ -126,6 +153,71 @@ func run(args []string, out, errw io.Writer) error {
 		return fmt.Errorf("%d matrix cell(s) failed; gaps are tagged %q in the tables", len(suite.Errors), "n/a")
 	}
 	return nil
+}
+
+// suiteJSON is the figures -stats-json schema: one record per measured
+// (benchmark, model, config) cell plus the suite-level registry snapshot
+// (documented in docs/OBSERVABILITY.md; keep the two in sync).
+type suiteJSON struct {
+	Cells    []cellJSON    `json:"cells"`
+	Steps    int64         `json:"steps"`
+	Errors   []string      `json:"errors"`
+	Registry *obs.Registry `json:"registry,omitempty"`
+}
+
+type cellJSON struct {
+	Benchmark string             `json:"benchmark"`
+	Model     string             `json:"model"`
+	Config    string             `json:"config"`
+	Stats     sim.Stats          `json:"stats"`
+	IPC       float64            `json:"ipc"`
+	UsefulIPC float64            `json:"useful_ipc"`
+	Breakdown *obs.Breakdown     `json:"breakdown,omitempty"`
+	Mix       []obs.MixEntry     `json:"mix,omitempty"`
+	Pipeline  *obs.PipelineTrace `json:"pipeline,omitempty"`
+}
+
+func writeSuiteJSON(path string, out io.Writer, suite *experiments.Suite, reg *obs.Registry) error {
+	doc := suiteJSON{Steps: suite.Steps, Errors: []string{}, Registry: reg}
+	for _, r := range suite.Results {
+		for _, m := range experiments.Models {
+			for _, cfg := range []string{"issue1", "issue1-64k", "issue4-br1", "issue8-br1", "issue8-br2", "issue8-br1-64k"} {
+				if !r.Has(m, cfg) {
+					continue
+				}
+				st := r.Stat(m, cfg)
+				c := cellJSON{
+					Benchmark: r.Name,
+					Model:     m.String(),
+					Config:    cfg,
+					Stats:     st,
+					IPC:       st.IPC(),
+					UsefulIPC: st.UsefulIPC(),
+				}
+				if a, ok := r.Accounts[experiments.Key{Model: m, Config: cfg}]; ok {
+					c.Breakdown = &a.Breakdown
+					c.Mix = a.Mix()
+				}
+				if pt, ok := r.Pipelines[experiments.Key{Model: m, Config: cfg}]; ok {
+					c.Pipeline = pt
+				}
+				doc.Cells = append(doc.Cells, c)
+			}
+		}
+	}
+	for _, e := range suite.Errors {
+		doc.Errors = append(doc.Errors, e.Error())
+	}
+	data, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = out.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
 }
 
 func markdownTable(t *experiments.Table) string {

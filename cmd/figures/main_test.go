@@ -1,13 +1,17 @@
 package main
 
 import (
+	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"testing"
 
 	"predication/internal/core"
 	"predication/internal/experiments"
+	"predication/internal/sim"
 )
 
 // capture runs the command with args and returns its stdout, discarding
@@ -208,5 +212,93 @@ func TestFailFastFlag(t *testing.T) {
 	}
 	if !strings.Contains(err.Error(), "panic") {
 		t.Errorf("-failfast error does not surface the cell failure: %v", err)
+	}
+}
+
+// TestBreakdownTables: -breakdown appends the stall-cycle and IPC tables
+// after the paper's figures.
+func TestBreakdownTables(t *testing.T) {
+	out := capture(t, "-bench", "wc", "-breakdown")
+	figI := strings.Index(out, "Figure 8")
+	bdI := strings.Index(out, "Cycle breakdown (issue8-br1)")
+	ipcI := strings.Index(out, "IPC and useful IPC (issue8-br1)")
+	if figI < 0 || bdI < 0 || ipcI < 0 {
+		t.Fatalf("missing tables (figure %d, breakdown %d, ipc %d):\n%s", figI, bdI, ipcI, out)
+	}
+	if bdI < figI || ipcI < bdI {
+		t.Error("breakdown tables not appended after the paper figures")
+	}
+	for _, cause := range []string{"issue_width", "branch_limit", "mispredict"} {
+		if !strings.Contains(out, cause) {
+			t.Errorf("breakdown table missing cause column %q", cause)
+		}
+	}
+}
+
+// TestSuiteStatsJSON: -stats-json emits one verified record per measured
+// cell plus the suite registry.
+func TestSuiteStatsJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.json")
+	capture(t, "-bench", "wc", "-stats-json", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Cells []struct {
+			Benchmark string           `json:"benchmark"`
+			Model     string           `json:"model"`
+			Config    string           `json:"config"`
+			Stats     sim.Stats        `json:"stats"`
+			IPC       float64          `json:"ipc"`
+			UsefulIPC float64          `json:"useful_ipc"`
+			Breakdown map[string]int64 `json:"breakdown"`
+		} `json:"cells"`
+		Steps    int64          `json:"steps"`
+		Errors   []string       `json:"errors"`
+		Registry map[string]any `json:"registry"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("suite JSON does not parse: %v", err)
+	}
+	// wc alone: superblock measures 6 configs (issue1 fans out to the cache
+	// variant), the predicated models 4 each.
+	if len(doc.Cells) != 14 {
+		t.Errorf("%d cells for one kernel, want 14", len(doc.Cells))
+	}
+	if doc.Steps <= 0 || len(doc.Errors) != 0 {
+		t.Errorf("steps %d, errors %v", doc.Steps, doc.Errors)
+	}
+	if doc.Registry == nil {
+		t.Error("registry snapshot missing")
+	}
+	for _, c := range doc.Cells {
+		if c.Benchmark != "wc" || c.Stats.Cycles <= 0 {
+			t.Errorf("bad cell identity: %+v", c)
+		}
+		if c.Breakdown == nil {
+			t.Errorf("%s @ %s: no breakdown", c.Model, c.Config)
+			continue
+		}
+		if c.Breakdown["total"] != c.Stats.Cycles {
+			t.Errorf("%s @ %s: breakdown total %d != %d cycles",
+				c.Model, c.Config, c.Breakdown["total"], c.Stats.Cycles)
+		}
+		if c.UsefulIPC > c.IPC || c.UsefulIPC <= 0 {
+			t.Errorf("%s @ %s: implausible IPC pair %f / %f", c.Model, c.Config, c.IPC, c.UsefulIPC)
+		}
+	}
+}
+
+// TestSuiteStatsJSONStdout: with -stats-json - stdout is one JSON
+// document and the tables move out of the way.
+func TestSuiteStatsJSONStdout(t *testing.T) {
+	out := capture(t, "-bench", "wc", "-stats-json", "-")
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(out), &doc); err != nil {
+		t.Fatalf("stdout is not a single JSON document: %v", err)
+	}
+	if strings.Contains(out, "Figure 8: speedup") {
+		t.Error("tables mixed into the JSON stream")
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"predication/internal/emu"
 	"predication/internal/experiments"
 	"predication/internal/machine"
+	"predication/internal/obs"
 	"predication/internal/sim"
 )
 
@@ -86,6 +87,13 @@ type report struct {
 	AllocsPerStep  float64    `json:"allocs_per_step"`
 	AllocKernel    string     `json:"alloc_kernel"`
 	AllocSteps     int64      `json:"alloc_steps"`
+	// Machines describes every simulator configuration the suite matrix
+	// exercises, so the committed artifact records what it measured.
+	Machines []obs.MachineMeta `json:"machines"`
+	// Breakdowns (with -breakdown) aggregates each model's stall-cycle
+	// decomposition over the 8-issue 1-branch cells, measured on an
+	// instrumented extra pass outside the timed region.
+	Breakdowns map[string]*obs.CycleAccount `json:"breakdowns,omitempty"`
 }
 
 // run parses args, times the suite on each requested data path, measures
@@ -100,6 +108,8 @@ func run(args []string, out, errw io.Writer) error {
 	trials := fs.Int("trials", 3, "timed repetitions per arm; the fastest is reported (noise only ever adds time)")
 	maxAllocs := fs.Float64("max-allocs-per-step", 0.001,
 		"fail when the fast path's steady-state allocations per emulated step exceed this")
+	breakdown := fs.Bool("breakdown", false,
+		"attach each model's aggregate stall-cycle breakdown to the report (an extra instrumented pass outside the timed region)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the fast-path suite run to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -225,6 +235,18 @@ func run(args []string, out, errw io.Writer) error {
 		if fast.WallSeconds > 0 {
 			rep.Speedup = legacy.WallSeconds / fast.WallSeconds
 		}
+	}
+
+	rep.Machines = pre.Machines()
+	if *breakdown {
+		// Instrumented pass after the timed arms: the accounting hooks live
+		// on a separate simulator path, so the timings above are untouched.
+		fmt.Fprintf(errw, "measuring stall-cycle breakdowns (8-issue 1-branch)...\n")
+		bd, err := pre.Breakdowns(*parallel)
+		if err != nil {
+			return fmt.Errorf("breakdown: %w", err)
+		}
+		rep.Breakdowns = bd
 	}
 
 	allocs, steps, kname, err := allocsPerStep(kernels)

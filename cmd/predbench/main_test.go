@@ -89,3 +89,81 @@ func TestBadKernelErrors(t *testing.T) {
 		t.Error("unknown kernel accepted")
 	}
 }
+
+// TestMachinesAndBreakdowns: the report always names every simulated
+// machine configuration, and -breakdown attaches each model's verified
+// aggregate cycle decomposition.
+func TestMachinesAndBreakdowns(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var sb, eb strings.Builder
+	if err := run([]string{"-kernels", "wc", "-compare=false", "-trials", "1",
+		"-breakdown", "-out", out}, &sb, &eb); err != nil {
+		t.Fatalf("predbench: %v\nstderr:\n%s", err, eb.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Machines []struct {
+			Name       string `json:"name"`
+			IssueWidth int    `json:"issue_width"`
+		} `json:"machines"`
+		Breakdowns map[string]struct {
+			Breakdown map[string]int64 `json:"breakdown"`
+			Mix       []struct {
+				Class   string `json:"class"`
+				Fetched int64  `json:"fetched"`
+			} `json:"mix"`
+		} `json:"breakdowns"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, m := range rep.Machines {
+		names[m.Name] = true
+		if m.IssueWidth <= 0 {
+			t.Errorf("machine %s has issue width %d", m.Name, m.IssueWidth)
+		}
+	}
+	for _, want := range []string{"issue1", "issue1-64k", "issue4-br1", "issue8-br1", "issue8-br2", "issue8-br1-64k"} {
+		if !names[want] {
+			t.Errorf("machine %s missing from report (have %v)", want, names)
+		}
+	}
+	if len(rep.Breakdowns) != 3 {
+		t.Fatalf("%d model breakdowns, want 3", len(rep.Breakdowns))
+	}
+	for model, a := range rep.Breakdowns {
+		var sum int64
+		for cause, v := range a.Breakdown {
+			if cause != "total" {
+				sum += v
+			}
+		}
+		if sum == 0 || sum != a.Breakdown["total"] {
+			t.Errorf("%s: causes sum to %d, total says %d", model, sum, a.Breakdown["total"])
+		}
+		if len(a.Mix) == 0 {
+			t.Errorf("%s: empty instruction mix", model)
+		}
+	}
+}
+
+// TestNoBreakdownByDefault: without the flag the report omits the
+// breakdown section (the instrumented pass never runs).
+func TestNoBreakdownByDefault(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var sb, eb strings.Builder
+	if err := run([]string{"-kernels", "cmp", "-compare=false", "-trials", "1", "-out", out}, &sb, &eb); err != nil {
+		t.Fatalf("predbench: %v", err)
+	}
+	data, _ := os.ReadFile(out)
+	if strings.Contains(string(data), "\"breakdowns\"") {
+		t.Error("breakdowns present without -breakdown")
+	}
+	if !strings.Contains(string(data), "\"machines\"") {
+		t.Error("machine metadata missing from default report")
+	}
+}

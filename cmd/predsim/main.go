@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -24,6 +25,7 @@ import (
 	"predication/internal/emu"
 	"predication/internal/ir"
 	"predication/internal/machine"
+	"predication/internal/obs"
 	"predication/internal/sched"
 	"predication/internal/sim"
 )
@@ -65,6 +67,12 @@ func run(args []string, out io.Writer) error {
 	schedule := fs.Bool("schedule", false, "print the hottest block with issue cycles (the paper's Figure 5/6 presentation)")
 	verify := fs.Bool("verify", false, "run the structural IR verifier after every pipeline stage")
 	predictorName := fs.String("predictor", "btb", "branch direction predictor: btb | gshare")
+	breakdown := fs.Bool("breakdown", false, "print the stall-cycle breakdown and instruction mix (see docs/OBSERVABILITY.md)")
+	statsJSON := fs.String("stats-json", "", "write the full report as JSON to this file (- for stdout)")
+	traceOut := fs.String("trace-out", "", "write a structured trace of the dynamic instruction stream to this file")
+	traceFormat := fs.String("trace-format", "chrome", "trace encoding: chrome | jsonl")
+	traceSample := fs.Int64("trace-sample", 1, "keep one of every N trace events")
+	traceLimit := fs.Int64("trace-limit", 0, "stop emitting trace records after N (0 = unlimited)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the compile+emulate+simulate run to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	list := fs.Bool("list", false, "list benchmark kernels")
@@ -167,6 +175,8 @@ func run(args []string, out io.Writer) error {
 			fmt.Fprintf(out, "=== after %s (%d instructions) ===\n%s\n", stage, p.NumInstrs(), p)
 		}
 	}
+	pipe := obs.NewPipelineTrace()
+	opts.Pipeline = pipe
 	c, err := core.Compile(build(), model, opts)
 	if err != nil {
 		return err
@@ -176,19 +186,56 @@ func run(args []string, out io.Writer) error {
 	}
 
 	// Stream the emulation into the timing simulator — and, for -schedule,
-	// a per-instruction frequency counter — without materializing the trace.
+	// a per-instruction frequency counter; for -trace-out, the structured
+	// trace writer — without materializing the trace.
 	simulator := sim.New(c.Prog, mc)
-	var sink emu.TraceSink = simulator
+	var acct *obs.CycleAccount
+	if *breakdown || *statsJSON != "" {
+		acct = &obs.CycleAccount{}
+		simulator.Instrument(acct)
+	}
+	sinks := emu.FanoutSink{simulator}
 	var counts countingSink
 	if *schedule {
 		counts = countingSink{}
-		sink = emu.FanoutSink{simulator, counts}
+		sinks = append(sinks, counts)
+	}
+	var tracer *obs.TraceWriter
+	if *traceOut != "" {
+		tf, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		tracer, err = obs.NewTraceWriter(tf, obs.TraceOptions{
+			Format: obs.TraceFormat(*traceFormat),
+			Sample: *traceSample,
+			Limit:  *traceLimit,
+		})
+		if err != nil {
+			return err
+		}
+		sinks = append(sinks, tracer)
+	}
+	var sink emu.TraceSink = simulator
+	if len(sinks) > 1 {
+		sink = sinks
 	}
 	runRes, err := emu.Run(c.Prog, emu.Options{Sink: sink})
 	if err != nil {
 		return err
 	}
+	if tracer != nil {
+		if err := tracer.Close(); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
 	st := simulator.Stats()
+	if acct != nil {
+		if err := acct.Verify(st.Cycles, st.Instrs, st.Nullified); err != nil {
+			return err
+		}
+	}
 	if *schedule {
 		// The hottest block: largest contribution to the trace.
 		var best *ir.Block
@@ -210,6 +257,41 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// With -stats-json - the JSON document owns stdout; the human report
+	// would corrupt it for the jq pipelines the flag exists for.
+	if *statsJSON != "-" {
+		printReport(out, label, model, mc, runRes, st, acct, tracer, *traceOut, *breakdown)
+	}
+	if *statsJSON != "" {
+		rep := statsReport{
+			Program:   label,
+			Model:     model.String(),
+			Machine:   obs.MachineMetaOf(mc),
+			Checksum:  runRes.Word(bench.CheckAddr),
+			Stats:     st,
+			IPC:       st.IPC(),
+			UsefulIPC: st.UsefulIPC(),
+			Breakdown: &acct.Breakdown,
+			Mix:       acct.Mix(),
+			Pipeline:  pipe,
+		}
+		data, err := json.MarshalIndent(&rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		if *statsJSON == "-" {
+			_, err = out.Write(data)
+			return err
+		}
+		return os.WriteFile(*statsJSON, data, 0o644)
+	}
+	return nil
+}
+
+func printReport(out io.Writer, label string, model core.Model, mc machine.Config,
+	runRes *emu.Result, st sim.Stats, acct *obs.CycleAccount, tracer *obs.TraceWriter,
+	traceOut string, breakdown bool) {
 	fmt.Fprintf(out, "program:        %s\n", label)
 	fmt.Fprintf(out, "model:          %v\n", model)
 	fmt.Fprintf(out, "machine:        %s\n", mc.Name)
@@ -219,12 +301,44 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "checksum:       %#x\n", runRes.Word(bench.CheckAddr))
 	fmt.Fprintf(out, "cycles:         %d\n", st.Cycles)
 	fmt.Fprintf(out, "dyn. instrs:    %d (nullified %d)\n", st.Instrs, st.Nullified)
-	fmt.Fprintf(out, "IPC:            %.2f\n", st.IPC())
+	fmt.Fprintf(out, "IPC:            %.2f (useful %.2f)\n", st.IPC(), st.UsefulIPC())
 	fmt.Fprintf(out, "branches:       %d (cond %d)\n", st.Branches, st.CondBranches)
 	fmt.Fprintf(out, "mispredicts:    %d (%.2f%%)\n", st.Mispredicts, 100*st.MispredictRate())
 	if !mc.PerfectCache {
 		fmt.Fprintf(out, "icache misses:  %d\n", st.ICacheMisses)
 		fmt.Fprintf(out, "dcache misses:  %d\n", st.DCacheMisses)
 	}
-	return nil
+	if breakdown {
+		fmt.Fprintf(out, "\ncycle breakdown (%d cycles):\n", st.Cycles)
+		for c := obs.Cause(0); c < obs.NumCauses; c++ {
+			if acct.Breakdown[c] == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "  %-14s %12d  %5.1f%%\n",
+				c.String(), acct.Breakdown[c], 100*float64(acct.Breakdown[c])/float64(st.Cycles))
+		}
+		fmt.Fprintf(out, "instruction mix:\n")
+		for _, me := range acct.Mix() {
+			fmt.Fprintf(out, "  %-14s %12d  (nullified %d)\n", me.Class, me.Fetched, me.Nullified)
+		}
+	}
+	if traceOut != "" {
+		fmt.Fprintf(out, "trace:          %s (%d records of %d steps)\n",
+			traceOut, tracer.Emitted(), tracer.Steps())
+	}
+}
+
+// statsReport is the -stats-json schema (documented in
+// docs/OBSERVABILITY.md; keep the two in sync).
+type statsReport struct {
+	Program   string             `json:"program"`
+	Model     string             `json:"model"`
+	Machine   obs.MachineMeta    `json:"machine"`
+	Checksum  int64              `json:"checksum"`
+	Stats     sim.Stats          `json:"stats"`
+	IPC       float64            `json:"ipc"`
+	UsefulIPC float64            `json:"useful_ipc"`
+	Breakdown *obs.Breakdown     `json:"breakdown"`
+	Mix       []obs.MixEntry     `json:"mix"`
+	Pipeline  *obs.PipelineTrace `json:"pipeline"`
 }

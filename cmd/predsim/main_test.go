@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -240,5 +241,125 @@ func TestProfileFlags(t *testing.T) {
 		if st.Size() == 0 {
 			t.Errorf("%s is empty", path)
 		}
+	}
+}
+
+// TestBreakdownFlag: -breakdown appends the verified cycle decomposition
+// and instruction mix to the report.
+func TestBreakdownFlag(t *testing.T) {
+	out := capture(t, "-bench", "wc", "-model", "full", "-breakdown")
+	for _, want := range []string{"cycle breakdown", "instruction mix:", "issue", "pred_define"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-breakdown output missing %q", want)
+		}
+	}
+	if !strings.Contains(out, "checksum:") {
+		t.Error("-breakdown suppressed the base report")
+	}
+}
+
+// TestStatsJSONFile: -stats-json writes the documented schema with a
+// breakdown that sums to the cycle count and a populated pipeline trace,
+// while the human report stays on stdout.
+func TestStatsJSONFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stats.json")
+	out := capture(t, "-bench", "wc", "-model", "full", "-stats-json", path)
+	if !strings.Contains(out, "checksum:") {
+		t.Error("human report missing when -stats-json targets a file")
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep statsReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("stats JSON does not parse: %v", err)
+	}
+	if rep.Program != "wc" || rep.Machine.Name != "issue8-br1" {
+		t.Errorf("wrong identity fields: program %q machine %q", rep.Program, rep.Machine.Name)
+	}
+	if rep.Stats.Cycles <= 0 {
+		t.Fatalf("no cycles recorded: %+v", rep.Stats)
+	}
+	if got := rep.Breakdown.Total(); got != rep.Stats.Cycles {
+		t.Errorf("breakdown sums to %d, run took %d cycles", got, rep.Stats.Cycles)
+	}
+	if rep.UsefulIPC > rep.IPC || rep.UsefulIPC <= 0 {
+		t.Errorf("implausible IPC pair: ipc %f useful %f", rep.IPC, rep.UsefulIPC)
+	}
+	if len(rep.Mix) == 0 {
+		t.Error("empty instruction mix")
+	}
+	if rep.Pipeline == nil || len(rep.Pipeline.Stages) == 0 {
+		t.Error("empty pipeline trace")
+	}
+}
+
+// TestStatsJSONStdout: with -stats-json - the whole of stdout is one JSON
+// document (no human report mixed in), so jq pipelines work.
+func TestStatsJSONStdout(t *testing.T) {
+	out := capture(t, "-bench", "wc", "-stats-json", "-")
+	var rep statsReport
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("stdout is not a single JSON document: %v\n%s", err, out)
+	}
+	if rep.Stats.Cycles <= 0 {
+		t.Errorf("no stats in JSON: %+v", rep.Stats)
+	}
+}
+
+// TestTraceFlags: -trace-out writes a loadable Chrome trace or JSONL
+// stream, honoring -trace-sample and -trace-limit; a bad -trace-format is
+// an error.
+func TestTraceFlags(t *testing.T) {
+	dir := t.TempDir()
+
+	chrome := filepath.Join(dir, "trace.json")
+	out := capture(t, "-bench", "wc", "-model", "full", "-trace-out", chrome, "-trace-sample", "100")
+	if !strings.Contains(out, "trace:") {
+		t.Error("report does not mention the trace file")
+	}
+	data, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("chrome trace does not parse: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+	ev := doc.TraceEvents[0]
+	for _, key := range []string{"name", "ph", "ts"} {
+		if _, ok := ev[key]; !ok {
+			t.Errorf("trace event missing %q: %v", key, ev)
+		}
+	}
+
+	jsonl := filepath.Join(dir, "trace.jsonl")
+	capture(t, "-bench", "wc", "-model", "full",
+		"-trace-out", jsonl, "-trace-format", "jsonl", "-trace-limit", "50")
+	data, err = os.ReadFile(jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 50 {
+		t.Errorf("jsonl trace has %d records, -trace-limit asked for 50", len(lines))
+	}
+	for _, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("jsonl record does not parse: %v\n%s", err, line)
+		}
+	}
+
+	var sb strings.Builder
+	if err := run([]string{"-bench", "wc", "-trace-out", filepath.Join(dir, "x"),
+		"-trace-format", "xml"}, &sb); err == nil {
+		t.Error("bad -trace-format accepted")
 	}
 }

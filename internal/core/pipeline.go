@@ -23,6 +23,7 @@ import (
 	"predication/internal/ir"
 	"predication/internal/irverify"
 	"predication/internal/machine"
+	"predication/internal/obs"
 	"predication/internal/opt"
 	"predication/internal/partial"
 	"predication/internal/sched"
@@ -89,6 +90,11 @@ type Options struct {
 	// pipeline stage (for -stages dumps and stage-level tests).  The
 	// program must not be modified by the hook.
 	StageHook func(stage string, p *ir.Program)
+	// Pipeline, when non-nil, records per-stage wall time and IR
+	// snapshots plus the hyperblock sizes chosen at formation (see
+	// obs.PipelineTrace).  It additionally gets a "profile" record
+	// covering the profiling emulation, which StageHook never sees.
+	Pipeline *obs.PipelineTrace
 	// VerifyStages runs the structural verifier (internal/irverify) after
 	// every pipeline stage, attributing diagnostics to the stage that
 	// produced them.  The final model-legality verification always runs;
@@ -129,6 +135,9 @@ func Compile(src *ir.Program, model Model, opts Options) (*Compiled, error) {
 	p := src.Clone()
 	p.Normalize()
 	stage := func(name string) error {
+		if opts.Pipeline != nil {
+			opts.Pipeline.Record(name, p)
+		}
 		if opts.StageHook != nil {
 			opts.StageHook(name, p)
 		}
@@ -145,6 +154,12 @@ func Compile(src *ir.Program, model Model, opts Options) (*Compiled, error) {
 	prof := cfg.NewProfile()
 	if _, err := emu.Run(p, emu.Options{Profile: prof, MaxSteps: opts.ProfileSteps, Legacy: opts.LegacyEmu}); err != nil {
 		return nil, fmt.Errorf("core: profiling run failed: %w", err)
+	}
+	if opts.Pipeline != nil {
+		// The profiling emulation is not a transformation, but it is real
+		// compile-time cost; give it its own record so the next stage's
+		// wall time is its own.
+		opts.Pipeline.Record("profile", p)
 	}
 	res := &Compiled{Prog: p, Model: model, Profile: prof}
 
@@ -173,6 +188,14 @@ func Compile(src *ir.Program, model Model, opts Options) (*Compiled, error) {
 			return nil, fmt.Errorf("core: hyperblock formation failed: %w", err)
 		}
 		res.HyperblockHeads = hb.Heads
+		if opts.Pipeline != nil {
+			for fi := range p.Funcs { // index order: hb.Heads is a map
+				for _, id := range hb.Heads[fi] {
+					opts.Pipeline.HyperblockSizes = append(opts.Pipeline.HyperblockSizes,
+						len(p.Funcs[fi].Blocks[id].Instrs))
+				}
+			}
+		}
 		if err := stage("hyperblock-formation"); err != nil {
 			return nil, err
 		}

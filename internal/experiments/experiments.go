@@ -20,6 +20,7 @@ import (
 	"predication/internal/emu"
 	"predication/internal/ir"
 	"predication/internal/machine"
+	"predication/internal/obs"
 	"predication/internal/sim"
 )
 
@@ -38,6 +39,14 @@ type BenchResult struct {
 	Stats map[Key]sim.Stats
 	// Checksum sanity: identical across all runs.
 	Checksum int64
+	// Accounts holds the per-cell stall-cycle breakdown and instruction
+	// mix when the suite ran with Options.Observe; nil otherwise.  Every
+	// account is Verify-checked against its cell's Stats at merge time.
+	Accounts map[Key]*obs.CycleAccount
+	// Pipelines holds the per-compile stage trace when Options.Observe is
+	// set, keyed by model and *scheduling target* name (simulator
+	// configurations sharing scheduled code share the compile).
+	Pipelines map[Key]*obs.PipelineTrace
 }
 
 // Stat returns the stats for one model/config pair (the zero value for a
@@ -95,6 +104,17 @@ type Options struct {
 	// timing.  Results are identical; only the wall clock differs.  It is
 	// the baseline arm of cmd/predbench (see docs/PERFORMANCE.md).
 	LegacyEmu bool
+	// Observe attaches the observability layer to every matrix cell: each
+	// simulator gets a cycle account (BenchResult.Accounts) and each
+	// compile a stage trace (BenchResult.Pipelines).  Accounts require
+	// the pre-decoded simulator, so Observe is ignored under LegacyEmu.
+	// The merge verifies every account against its cell's Stats; a
+	// decomposition violation is a CellError like any other cell fault.
+	Observe bool
+	// Registry, when non-nil, receives suite-level counters (cells_ok,
+	// cells_failed, steps_total) and a per-cell dynamic-step histogram
+	// (cell_steps).  See obs.Registry for the JSON schema.
+	Registry *obs.Registry
 }
 
 // schedTargets are the machine configurations code is scheduled for.  The
@@ -148,6 +168,10 @@ type cellResult struct {
 	stats    []sim.Stats // parallel to simsFor(target)
 	checksum int64
 	steps    int64 // dynamic instructions in the cell's emulation
+	// accounts and pipeline are populated only under Options.Observe
+	// (accounts parallel to stats; nil entries under the legacy path).
+	accounts []*obs.CycleAccount
+	pipeline *obs.PipelineTrace
 }
 
 // streamSim is the surface runCell needs from either simulator
@@ -162,23 +186,35 @@ type streamSim interface {
 // through an emu.FanoutSink into one simulator per simulator
 // configuration simultaneously — the compile-once / emulate-once /
 // simulate-many core of the harness.  The trace is never materialized.
-func runCell(k *bench.Kernel, cell cellSpec, legacy bool) (*cellResult, error) {
+func runCell(k *bench.Kernel, cell cellSpec, legacy, observe bool) (*cellResult, error) {
 	if CellHook != nil {
 		CellHook(k.Name, cell.model, cell.target.Name)
 	}
 	copts := core.DefaultOptions(cell.target)
 	copts.LegacyEmu = legacy
+	var pipe *obs.PipelineTrace
+	if observe {
+		pipe = obs.NewPipelineTrace()
+		copts.Pipeline = pipe
+	}
 	c, err := core.Compile(k.Build(), cell.model, copts)
 	if err != nil {
 		return nil, fmt.Errorf("%v @ %s: %w", cell.model, cell.target.Name, err)
 	}
 	cfgs := simsFor(cell.target)
 	sims := make([]streamSim, len(cfgs))
+	var accounts []*obs.CycleAccount
 	for i, sc := range cfgs {
 		if legacy {
 			sims[i] = sim.NewLegacy(c.Prog, sc)
 		} else {
-			sims[i] = sim.New(c.Prog, sc)
+			s := sim.New(c.Prog, sc)
+			if observe {
+				var a obs.CycleAccount
+				s.Instrument(&a)
+				accounts = append(accounts, &a)
+			}
+			sims[i] = s
 		}
 	}
 	var sink emu.TraceSink = sims[0]
@@ -193,7 +229,8 @@ func runCell(k *bench.Kernel, cell cellSpec, legacy bool) (*cellResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%v @ %s: emulate: %w", cell.model, cell.target.Name, err)
 	}
-	res := &cellResult{checksum: run.Word(bench.CheckAddr), steps: run.Steps}
+	res := &cellResult{checksum: run.Word(bench.CheckAddr), steps: run.Steps,
+		accounts: accounts, pipeline: pipe}
 	for _, s := range sims {
 		res.stats = append(res.stats, s.Stats())
 	}
@@ -268,7 +305,7 @@ func Run(opts Options) (*Suite, error) {
 		} else {
 			cell := cells[i%stride-1]
 			cr, err := guardCell(opts.CellTimeout, func() (*cellResult, error) {
-				return runCell(k, cell, opts.LegacyEmu)
+				return runCell(k, cell, opts.LegacyEmu, opts.Observe && !opts.LegacyEmu)
 			})
 			if err != nil {
 				ce = &CellError{Kernel: k.Name, Model: cell.model, Target: cell.target.Name, Err: err}
@@ -300,6 +337,10 @@ func Run(opts Options) (*Suite, error) {
 	suite := &Suite{}
 	for ki, k := range kernels {
 		res := &BenchResult{Name: k.Name, Stats: map[Key]sim.Stats{}}
+		if opts.Observe {
+			res.Accounts = map[Key]*obs.CycleAccount{}
+			res.Pipelines = map[Key]*obs.PipelineTrace{}
+		}
 		for j := 0; j < stride; j++ {
 			if ce := cellErr[ki*stride+j]; ce != nil {
 				suite.Errors = append(suite.Errors, ce)
@@ -323,12 +364,55 @@ func Run(opts Options) (*Suite, error) {
 					suite.Errors = append(suite.Errors, ce)
 					continue
 				}
+				// The decomposition invariant is checked at merge, where
+				// the final Stats are in hand; a violation discredits the
+				// whole cell, not just its breakdown.
+				if cr.accounts != nil {
+					var bad error
+					for si := range cr.accounts {
+						st := cr.stats[si]
+						if err := cr.accounts[si].Verify(st.Cycles, st.Instrs, st.Nullified); err != nil {
+							bad = err
+							break
+						}
+					}
+					if bad != nil {
+						ce := &CellError{Kernel: k.Name, Model: cell.model, Target: cell.target.Name,
+							Err: fmt.Errorf("cycle accounting: %w", bad)}
+						if opts.FailFast {
+							return nil, ce
+						}
+						suite.Errors = append(suite.Errors, ce)
+						continue
+					}
+				}
 				for si, sc := range simsFor(cell.target) {
 					res.Stats[Key{cell.model, sc.Name}] = cr.stats[si]
+					if cr.accounts != nil {
+						res.Accounts[Key{cell.model, sc.Name}] = cr.accounts[si]
+					}
+				}
+				if cr.pipeline != nil {
+					res.Pipelines[Key{cell.model, cell.target.Name}] = cr.pipeline
 				}
 			}
 		}
 		suite.Results = append(suite.Results, res)
+	}
+	if opts.Registry != nil {
+		ok, failed := 0, len(suite.Errors)
+		for _, r := range suite.Results {
+			ok += len(r.Stats)
+		}
+		opts.Registry.Counter("cells_ok").Add(int64(ok))
+		opts.Registry.Counter("cells_failed").Add(int64(failed))
+		opts.Registry.Counter("steps_total").Add(suite.Steps)
+		h := opts.Registry.Histogram("cell_steps", []int64{1e3, 1e4, 1e5, 1e6})
+		for i, cr := range cellRes {
+			if i%stride != 0 && cr != nil {
+				h.Observe(cr.steps)
+			}
+		}
 	}
 	return suite, nil
 }
@@ -485,6 +569,75 @@ func (p *Precompiled) RunArm(legacy bool, parallel int) (int64, error) {
 	return total, nil
 }
 
+// Machines enumerates the metadata of every simulator configuration the
+// precompiled matrix exercises, deduplicated in first-seen matrix order.
+// cmd/predbench embeds the list in its JSON report so committed benchmark
+// artifacts are self-describing about the machines they measured.
+func (p *Precompiled) Machines() []obs.MachineMeta {
+	var metas []obs.MachineMeta
+	seen := map[string]bool{}
+	for _, cell := range p.cells {
+		for _, cfg := range simsFor(cell.target) {
+			if seen[cfg.Name] {
+				continue
+			}
+			seen[cfg.Name] = true
+			metas = append(metas, obs.MachineMetaOf(cfg))
+		}
+	}
+	return metas
+}
+
+// Breakdowns runs one instrumented emulation per kernel and model over the
+// precompiled 8-issue 1-branch programs and returns each model's aggregate
+// stall-cycle breakdown, keyed by model name.  Every account is
+// Verify-checked against its run's stats.  cmd/predbench attaches the
+// result to its report — outside the timed region, on the fast path only.
+func (p *Precompiled) Breakdowns(parallel int) (map[string]*obs.CycleAccount, error) {
+	type job struct {
+		model core.Model
+		prog  *core.Compiled
+		code  *emu.Code
+		name  string
+	}
+	var jobs []job
+	for i, cell := range p.cells {
+		if cell.target.Name != "issue8-br1" {
+			continue
+		}
+		for ki := range p.kernels {
+			idx := ki*len(p.cells) + i
+			jobs = append(jobs, job{cell.model, p.progs[idx], p.codes[idx], p.kernels[ki].Name})
+		}
+	}
+	accounts := make([]obs.CycleAccount, len(jobs))
+	err := runJobs(len(jobs), parallel, func(i int) error {
+		s := sim.New(jobs[i].prog.Prog, machine.Issue8Br1())
+		s.Instrument(&accounts[i])
+		if _, err := jobs[i].code.Run(emu.Options{Sink: s}); err != nil {
+			return fmt.Errorf("%s %v: emulate: %w", jobs[i].name, jobs[i].model, err)
+		}
+		st := s.Stats()
+		if err := accounts[i].Verify(st.Cycles, st.Instrs, st.Nullified); err != nil {
+			return fmt.Errorf("%s %v: cycle accounting: %w", jobs[i].name, jobs[i].model, err)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	agg := map[string]*obs.CycleAccount{}
+	for i, j := range jobs {
+		a, ok := agg[j.model.String()]
+		if !ok {
+			a = &obs.CycleAccount{}
+			agg[j.model.String()] = a
+		}
+		a.Add(&accounts[i])
+	}
+	return agg, nil
+}
+
 // RunBenchmark measures one kernel across all models and configurations,
 // fanning its matrix cells out across the worker pool.
 func RunBenchmark(k *bench.Kernel) (*BenchResult, error) {
@@ -501,7 +654,7 @@ func RunBenchmark(k *bench.Kernel) (*BenchResult, error) {
 			res.Checksum = ref.Word(bench.CheckAddr)
 			return nil
 		}
-		cr, err := runCell(k, cells[i-1], false)
+		cr, err := runCell(k, cells[i-1], false, false)
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"predication/internal/core"
+	"predication/internal/obs"
 )
 
 // Table is a rendered result table: a title, column headers, and rows.
@@ -174,6 +175,78 @@ func (s *Suite) Table3() *Table {
 			st := r.Stat(m, "issue8-br1")
 			row = append(row, fmtCount(st.Branches), fmtCount(st.Mispredicts),
 				fmt.Sprintf("%.2f%%", 100*st.MispredictRate()))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t
+}
+
+// AggregateBreakdown sums the cycle accounts of every benchmark for one
+// model/config cell.  It returns nil when the suite ran without
+// Options.Observe or no cell of that key was measured.
+func (s *Suite) AggregateBreakdown(m core.Model, cfg string) *obs.CycleAccount {
+	var agg *obs.CycleAccount
+	for _, r := range s.Results {
+		if a, ok := r.Accounts[Key{m, cfg}]; ok {
+			if agg == nil {
+				agg = &obs.CycleAccount{}
+			}
+			agg.Add(a)
+		}
+	}
+	return agg
+}
+
+// BreakdownTable renders the stall-cycle decomposition of every benchmark
+// and model on one configuration, as percentages of total cycles.  The
+// suite must have run with Options.Observe; without accounts every cell is
+// a gap.
+func (s *Suite) BreakdownTable(cfg string) *Table {
+	t := &Table{
+		Title:   fmt.Sprintf("Cycle breakdown (%s), %% of cycles", cfg),
+		Headers: append([]string{"Benchmark", "Model", "Cycles"}, obs.CauseNames()...),
+	}
+	for _, r := range s.Results {
+		for _, m := range Models {
+			a, ok := r.Accounts[Key{m, cfg}]
+			if !ok {
+				continue
+			}
+			cycles := a.Breakdown.Total()
+			row := []string{r.Name, m.String(), fmtCount(cycles)}
+			for c := obs.Cause(0); c < obs.NumCauses; c++ {
+				row = append(row, fmt.Sprintf("%.1f", 100*float64(a.Breakdown[c])/float64(cycles)))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	if len(t.Rows) == 0 {
+		t.Rows = append(t.Rows, []string{gapCell, "run with observability enabled", ""})
+	}
+	return t
+}
+
+// IPCTable renders raw and useful IPC (nullified instructions excluded)
+// per benchmark and model on one configuration — the gap between the two
+// columns is the fetch bandwidth full predication spends on nullified
+// instructions.
+func (s *Suite) IPCTable(cfg string) *Table {
+	t := &Table{
+		Title: fmt.Sprintf("IPC and useful IPC (%s)", cfg),
+		Headers: []string{"Benchmark",
+			"SB IPC", "SB useful",
+			"CM IPC", "CM useful",
+			"FP IPC", "FP useful"},
+	}
+	for _, r := range s.Results {
+		row := []string{r.Name}
+		for _, m := range Models {
+			if !r.Has(m, cfg) {
+				row = append(row, gapCell, gapCell)
+				continue
+			}
+			st := r.Stat(m, cfg)
+			row = append(row, fmt.Sprintf("%.2f", st.IPC()), fmt.Sprintf("%.2f", st.UsefulIPC()))
 		}
 		t.Rows = append(t.Rows, row)
 	}

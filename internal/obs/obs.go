@@ -1,0 +1,111 @@
+// Package obs is the observability layer of the simulator stack: cycle
+// accounting, structured trace export, pipeline instrumentation, and a
+// registry of counters and histograms with a stable JSON schema.
+//
+// The paper's core claims are explanations, not just speedups — full
+// predication wins because it removes mispredict and branch-issue-bandwidth
+// penalties, and loses when predicate defines stretch the dependence height
+// (§4).  Reproducing the bars is not enough to reproduce the *why*; that
+// takes a stall-cause decomposition of every simulated cycle.  This package
+// supplies the vocabulary (Breakdown, CycleAccount, InstrClass), the export
+// formats (TraceWriter, Registry), and the compile-pipeline instrumentation
+// (PipelineTrace); internal/sim, internal/core, and internal/experiments
+// wire them through, and the CLIs surface them behind -breakdown,
+// -stats-json, and -trace-out.  See docs/OBSERVABILITY.md.
+//
+// Everything here is off the hot path: the simulator consults the layer
+// only when a CycleAccount is attached, so the pre-decoded zero-allocation
+// data path (docs/PERFORMANCE.md) is unaffected when observability is off.
+package obs
+
+import "predication/internal/ir"
+
+// InstrClass buckets opcodes for the dynamic-instruction-mix histograms
+// (the paper's Table 3-style data).  The classes separate exactly the
+// populations the paper's analysis distinguishes: predicate defines (the
+// full-predication overhead), conditional moves (the partial-predication
+// overhead), branches (the baseline's overhead), and the functional-unit
+// classes underneath.
+type InstrClass uint8
+
+// Instruction classes in stable reporting order.
+const (
+	// ClassIALU is single-cycle integer work: arithmetic, logic, shifts,
+	// moves, and integer comparisons.
+	ClassIALU InstrClass = iota
+	// ClassMulDiv is multi-cycle integer arithmetic (mul, div, rem).
+	ClassMulDiv
+	// ClassFALU is floating-point arithmetic, conversion, and comparison.
+	ClassFALU
+	// ClassLoad and ClassStore are the memory operations.
+	ClassLoad
+	ClassStore
+	// ClassCondBranch is compare-and-branch.
+	ClassCondBranch
+	// ClassJump is unconditional control transfer: jump, jsr, ret.
+	ClassJump
+	// ClassPredDef is the full-predication define family, including the
+	// pred_clear/pred_set broadcasts.
+	ClassPredDef
+	// ClassCMov is the partial-predication family: cmov, cmov_com, select.
+	ClassCMov
+	// ClassGuard is the guard-instruction encoding's prefix instruction.
+	ClassGuard
+	// ClassNop is nop and halt.
+	ClassNop
+
+	// NumClasses is the number of instruction classes.
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	ClassIALU:       "ialu",
+	ClassMulDiv:     "muldiv",
+	ClassFALU:       "falu",
+	ClassLoad:       "load",
+	ClassStore:      "store",
+	ClassCondBranch: "cond_branch",
+	ClassJump:       "jump",
+	ClassPredDef:    "pred_define",
+	ClassCMov:       "cond_move",
+	ClassGuard:      "guard",
+	ClassNop:        "nop",
+}
+
+// String returns the class name used in reports and JSON output.
+func (c InstrClass) String() string {
+	if c < NumClasses {
+		return classNames[c]
+	}
+	return "unknown"
+}
+
+// ClassOf buckets an opcode.
+func ClassOf(op ir.Op) InstrClass {
+	switch {
+	case op == ir.Nop || op == ir.Halt:
+		return ClassNop
+	case op == ir.Mul || op == ir.Div || op == ir.Rem:
+		return ClassMulDiv
+	case op.IsFloat() || op == ir.CvtFI:
+		// ir.Op.IsFloat's range misses CvtFI (it consumes a float and
+		// produces an integer); the FP unit still executes it.
+		return ClassFALU
+	case op == ir.Load:
+		return ClassLoad
+	case op == ir.Store:
+		return ClassStore
+	case op.IsCondBranch():
+		return ClassCondBranch
+	case op == ir.Jump || op == ir.JSR || op == ir.Ret:
+		return ClassJump
+	case op == ir.PredDef || op == ir.PredClear || op == ir.PredSet:
+		return ClassPredDef
+	case op == ir.CMov || op == ir.CMovCom || op == ir.Select:
+		return ClassCMov
+	case op == ir.GuardApply:
+		return ClassGuard
+	default:
+		return ClassIALU
+	}
+}

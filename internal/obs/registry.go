@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically named total, safe for concurrent use (the
+// experiment harness updates counters from its worker pool).
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current total.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket distribution.  Bounds are inclusive upper
+// bucket edges; one implicit overflow bucket catches everything above the
+// last bound.  Safe for concurrent use.
+type Histogram struct {
+	mu     sync.Mutex
+	bounds []int64
+	counts []int64 // len(bounds)+1; last = overflow
+	count  int64
+	sum    int64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
+	h.counts[i]++
+	h.count++
+	h.sum += v
+}
+
+// HistogramSnapshot is a histogram's JSON form: parallel "le"/"counts"
+// arrays (counts has one extra overflow entry) plus the observation count
+// and sum.
+type HistogramSnapshot struct {
+	Bounds []int64 `json:"le"`
+	Counts []int64 `json:"counts"`
+	Count  int64   `json:"count"`
+	Sum    int64   `json:"sum"`
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: append([]int64(nil), h.counts...),
+		Count:  h.count,
+		Sum:    h.sum,
+	}
+}
+
+// Registry is a named collection of counters and histograms.  Metrics are
+// created on first use and identified by name; Snapshot renders the whole
+// registry with a stable JSON schema (object keys sort lexically).
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use.  A name
+// already registered as a histogram panics: one name, one metric kind.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.hists[name]; ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as a histogram", name))
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given
+// inclusive upper bucket bounds (which must be ascending) on first use.
+// Later calls ignore bounds and return the existing histogram.
+func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.counters[name]; ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as a counter", name))
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("obs: histogram %q bounds not ascending: %v", name, bounds))
+			}
+		}
+		h = &Histogram{
+			bounds: append([]int64(nil), bounds...),
+			counts: make([]int64, len(bounds)+1),
+		}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegistrySnapshot is the registry's JSON form.
+type RegistrySnapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures every metric's current value.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := RegistrySnapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for name, c := range r.counters {
+		snap.Counters[name] = c.Value()
+	}
+	for name, h := range r.hists {
+		snap.Histograms[name] = h.snapshot()
+	}
+	return snap
+}
+
+// MarshalJSON renders a snapshot of the registry (encoding/json sorts map
+// keys, so the output is deterministic for a given state).
+func (r *Registry) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.Snapshot())
+}

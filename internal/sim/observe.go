@@ -1,0 +1,295 @@
+package sim
+
+import (
+	"predication/internal/emu"
+	"predication/internal/obs"
+)
+
+// observe.go is the cycle-accounting twin of the fast path: observedBatch
+// mirrors EventBatch's timing model exactly (the differential tests pin
+// the two Stats-identical) while attributing every simulated cycle to one
+// obs.Cause.  The decomposition invariant is
+//
+//	sum(Breakdown) == Stats.Cycles
+//
+// and holds at every batch boundary: each dynamic instruction attributes
+// exactly the cycles between the previously attributed cycle and its own
+// issue cycle.  Cycles where an instruction was waiting go to the
+// constraint that blocked issue there, in the order the model applies
+// constraints: front-end redirect (mispredict / icache / taken bubble),
+// this instruction's own icache miss, guard-predicate readiness, source
+// register readiness (with the trailing data-cache-miss share of the
+// producing load split out).  When several constraints stall the same
+// instruction the later constraint owns the later cycles, and the binding
+// constraint — the one that finally set the issue cycle — donates the
+// issue cycle itself back to CauseIssued.  The issue-width and
+// branch-bandwidth limits are accounted differently because they can
+// never empty a cycle (a slot-deferred instruction issues the very next
+// cycle, which by construction also issued the instructions that filled
+// the slots): a cycle on which the machine issued but turned an
+// instruction away for bandwidth is charged to that limit, so
+// CauseIssued counts only unconstrained issue cycles and
+// Breakdown.Stalls() reads as "cycles that were empty or saturated".
+//
+// Accounting state lives beside the hot path's, never in it: the plain
+// EventBatch does not read or write any of it.
+
+// Instrument attaches a cycle account to the simulator.  Every event fed
+// from this point on is attributed; for a whole-run breakdown, call it
+// before the first event.  The account may be shared across simulators
+// only sequentially (it is not synchronized).
+func (s *Simulator) Instrument(a *obs.CycleAccount) {
+	s.acct = a
+	if s.regMiss == nil {
+		s.regMiss = make([]int64, len(s.regReady))
+	}
+	// -1: the first event also attributes cycle 0..issue, matching
+	// Stats.Cycles = lastIssue + 1.
+	s.acctPrev = -1
+}
+
+// Account returns the attached cycle account (nil when uninstrumented).
+func (s *Simulator) Account() *obs.CycleAccount { return s.acct }
+
+// observedBatch is EventBatch with per-cycle cause attribution.  Any
+// change to the timing model must be made in both; TestObservedStatsMatch
+// and the kernel-matrix invariant test fail on divergence.
+func (s *Simulator) observedBatch(evs []emu.Event) {
+	st := s.st
+	a := s.acct
+	fetchAvail, prevIssue := s.fetchAvail, s.prevIssue
+	curCycle, lastIssue := s.curCycle, s.lastIssue
+	slots, brSlots := s.slots, s.brSlots
+	code := s.code
+	regReady, predReady := s.regReady, s.predReady
+	regMiss := s.regMiss
+	ic, dc, tbl := s.ic, s.dc, s.tbl
+	icMiss, dcMiss, predDist := s.icMiss, s.dcMiss, s.predDist
+	mispredict, takenBubble := s.mispredict, s.takenBubble
+	issueWidth, branchSlots := s.issueWidth, s.branchSlots
+	acctPrev, fetchCause := s.acctPrev, s.fetchCause
+
+	for i := range evs {
+		ev := &evs[i]
+		d := &code[ev.ID]
+		st.Instrs++
+		a.Fetched[d.class]++
+
+		// Per-event attribution: inc collects the cycles each constraint
+		// added beyond the in-order floor; last remembers the binding
+		// constraint (CauseIssued doubles as "none yet" — every real
+		// attribution overwrites it).
+		var inc [obs.NumCauses]int64
+		last := obs.CauseIssued
+		floor := prevIssue
+
+		// Front end: redirect floor, then instruction cache.
+		t := fetchAvail
+		if t < prevIssue {
+			t = prevIssue
+		} else if t > prevIssue {
+			inc[fetchCause] += t - prevIssue
+			last = fetchCause
+		}
+		if ic != nil && !ic.access(int64(d.addr), true) {
+			st.ICacheMisses++
+			t += icMiss
+			fetchAvail = t
+			fetchCause = obs.CauseICache
+			inc[obs.CauseICache] += icMiss
+			last = obs.CauseICache
+		}
+
+		// Operand readiness.
+		if d.guard >= 0 {
+			if r := predReady[d.guard]; r > t {
+				inc[obs.CausePredInterlock] += r - t
+				last = obs.CausePredInterlock
+				t = r
+			}
+		}
+		nullified := ev.Flags&emu.FlagNullified != 0
+		var loadLat, loadMiss int64
+		if nullified {
+			st.Nullified++
+			a.Nullified[d.class]++
+		} else {
+			// Source readiness, split between the register interlock and
+			// the data-cache-miss share: ready is the real constraint,
+			// base the counterfactual without the producing loads' miss
+			// penalties.  The wait up to base is interlock, the tail
+			// beyond it is the dcache's.
+			if d.nsrc > 0 {
+				ready, base := int64(-1), int64(-1)
+				for k := uint8(0); k < d.nsrc; k++ {
+					src := d.srcs[k]
+					r := regReady[src]
+					if r > ready {
+						ready = r
+					}
+					if b := r - regMiss[src]; b > base {
+						base = b
+					}
+				}
+				if ready > t {
+					if base < t {
+						base = t
+					}
+					if il := base - t; il > 0 {
+						inc[obs.CauseRegInterlock] += il
+						last = obs.CauseRegInterlock
+					}
+					if miss := ready - base; miss > 0 {
+						inc[obs.CauseDCache] += miss
+						last = obs.CauseDCache
+					}
+					t = ready
+				}
+			}
+			switch {
+			case d.flags&sfLoad != 0:
+				st.Loads++
+				loadLat = d.lat
+				if dc != nil && !dc.access(int64(ev.Addr)*8, true) {
+					st.DCacheMisses++
+					loadLat += dcMiss
+					loadMiss = dcMiss
+				}
+			case d.flags&sfStore != 0:
+				st.Stores++
+				// Write-through, no-allocate: a store miss does not stall
+				// (write buffer assumed) and does not allocate the block.
+				if dc != nil && !dc.access(int64(ev.Addr)*8, false) {
+					st.DCacheMisses++
+				}
+			}
+		}
+
+		// Issue slot allocation (in-order: never before the previous
+		// instruction's issue cycle).  A guard-suppressed branch is
+		// squashed at decode and does not occupy the branch unit.  Each
+		// deferred cycle is charged to the limit that was full.
+		isBranch := d.flags&sfBranch != 0 && !nullified
+		for {
+			if t > curCycle {
+				curCycle = t
+				slots, brSlots = 0, 0
+			}
+			if slots < issueWidth && (!isBranch || brSlots < branchSlots) {
+				break
+			}
+			if slots >= issueWidth {
+				inc[obs.CauseIssueWidth]++
+				last = obs.CauseIssueWidth
+			} else {
+				inc[obs.CauseBranchLimit]++
+				last = obs.CauseBranchLimit
+			}
+			t = curCycle + 1
+		}
+		slots++
+		if isBranch {
+			brSlots++
+		}
+		issue := t
+		prevIssue = issue
+		lastIssue = issue
+
+		// Flush the attribution.  New cycles this event brought into the
+		// run: (acctPrev, issue].  The increments above cover (floor,
+		// issue]; the difference — acctPrev+1-floor, i.e. one cycle except
+		// on the first event — was already attributed (it is the previous
+		// instruction's issue cycle, the floor both ranges share), so the
+		// binding constraint donates it back.  The issue cycle itself goes
+		// to CauseIssued; in a cycle where nothing new stalls (inc all
+		// zero) issue == acctPrev and nothing is added.
+		if issue > acctPrev {
+			if last == obs.CauseIssueWidth || last == obs.CauseBranchLimit {
+				// Bandwidth saturation is special: the deferred
+				// instruction still issues on the very next cycle, so the
+				// limit never produces an empty cycle — its cost is a
+				// saturated one.  Slot conflicts only arise when t == floor
+				// (any operand or fetch raise moves t past curCycle and
+				// resets the slots), so inc holds exactly the one deferral
+				// cycle; charge it to the limit instead of CauseIssued.
+			} else {
+				if over := acctPrev + 1 - floor; over > 0 && last != obs.CauseIssued {
+					inc[last] -= over
+				}
+				inc[obs.CauseIssued]++
+			}
+			for c, n := range inc {
+				if n != 0 {
+					a.Breakdown[c] += n
+				}
+			}
+			acctPrev = issue
+		}
+
+		// Destination updates.
+		if !nullified {
+			if d.dst >= 0 {
+				lat := d.lat
+				var lm int64
+				if d.flags&sfLoad != 0 {
+					lat = loadLat
+					lm = loadMiss
+				}
+				regReady[d.dst] = issue + lat
+				regMiss[d.dst] = lm
+			}
+			if d.flags&sfPredDef != 0 {
+				if d.npd > 0 {
+					predReady[d.pd[0]] = issue + predDist
+					if d.npd > 1 {
+						predReady[d.pd[1]] = issue + predDist
+					}
+				}
+			} else if d.flags&sfPredAll != 0 {
+				for p := d.predLo; p < d.predHi; p++ {
+					predReady[p] = issue + predDist
+				}
+			}
+		}
+
+		// Branch resolution and prediction (see EventBatch); redirects
+		// additionally record the cause the next fetch stall belongs to.
+		if d.flags&sfBranch != 0 {
+			if !nullified {
+				st.Branches++
+			}
+			taken := ev.Flags&emu.FlagTaken != 0
+			if d.flags&sfCond != 0 {
+				st.CondBranches++
+				var predicted bool
+				if tbl != nil {
+					predicted = tbl.predict(d.addr)
+					tbl.update(d.addr, taken)
+				} else {
+					predicted = s.bp.predict(d.addr)
+					s.bp.update(d.addr, taken)
+				}
+				if predicted != taken {
+					st.Mispredicts++
+					fetchAvail = issue + 1 + mispredict
+					fetchCause = obs.CauseMispredict
+				} else if taken {
+					fetchAvail = issue + takenBubble
+					fetchCause = obs.CauseTakenRedirect
+				}
+			} else if taken && !nullified {
+				// Unguarded Jump, JSR, Ret: static or stack-predicted
+				// targets are assumed correctly predicted; only the
+				// configured taken redirect bubble applies.
+				fetchAvail = issue + takenBubble
+				fetchCause = obs.CauseTakenRedirect
+			}
+		}
+	}
+
+	s.st = st
+	s.fetchAvail, s.prevIssue = fetchAvail, prevIssue
+	s.curCycle, s.lastIssue = curCycle, lastIssue
+	s.slots, s.brSlots = slots, brSlots
+	s.acctPrev, s.fetchCause = acctPrev, fetchCause
+}

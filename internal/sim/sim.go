@@ -14,28 +14,41 @@ import (
 	"predication/internal/emu"
 	"predication/internal/ir"
 	"predication/internal/machine"
+	"predication/internal/obs"
 )
 
 // Stats aggregates the outcome of one simulation.
 type Stats struct {
-	Cycles       int64
-	Instrs       int64 // dynamic instructions fetched (incl. nullified)
-	Nullified    int64 // predicated instructions suppressed by their guard
-	Branches     int64 // control-transfer instructions executed
-	CondBranches int64
-	Mispredicts  int64
-	ICacheMisses int64
-	DCacheMisses int64
-	Loads        int64
-	Stores       int64
+	Cycles       int64 `json:"cycles"`
+	Instrs       int64 `json:"instrs"`    // dynamic instructions fetched (incl. nullified)
+	Nullified    int64 `json:"nullified"` // predicated instructions suppressed by their guard
+	Branches     int64 `json:"branches"`  // control-transfer instructions executed
+	CondBranches int64 `json:"cond_branches"`
+	Mispredicts  int64 `json:"mispredicts"`
+	ICacheMisses int64 `json:"icache_misses"`
+	DCacheMisses int64 `json:"dcache_misses"`
+	Loads        int64 `json:"loads"`
+	Stores       int64 `json:"stores"`
 }
 
-// IPC returns dynamic instructions per cycle.
+// IPC returns dynamic instructions per cycle, counting nullified
+// instructions: they were fetched and consumed issue bandwidth.
 func (s Stats) IPC() float64 {
 	if s.Cycles == 0 {
 		return 0
 	}
 	return float64(s.Instrs) / float64(s.Cycles)
+}
+
+// UsefulIPC returns non-nullified instructions per cycle.  Fetched IPC
+// alone overstates full-predication throughput — a nullified instruction
+// contributes fetch traffic, not work — which is exactly the paper's §4.2
+// caveat; reports show both.
+func (s Stats) UsefulIPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Instrs-s.Nullified) / float64(s.Cycles)
 }
 
 // MispredictRate returns the fraction of executed conditional branches that
@@ -169,6 +182,7 @@ type simInstr struct {
 	addr           int32    // code byte address (icache, predictor)
 	nsrc, npd      uint8
 	flags          uint8
+	class          uint8 // obs.InstrClass for the instruction-mix histograms
 }
 
 // simInstr classification flags.
@@ -214,6 +228,17 @@ type Simulator struct {
 	slots      int
 	brSlots    int
 	lastIssue  int64
+
+	// Cycle-accounting state, active only after Instrument: the account
+	// being filled, the per-register data-cache-miss share of readiness,
+	// the cause of the current fetchAvail redirect, and the last cycle
+	// already attributed.  When acct is nil (the default), EventBatch
+	// never touches any of it and the hot path is byte-identical to the
+	// uninstrumented build.
+	acct       *obs.CycleAccount
+	regMiss    []int64
+	fetchCause obs.Cause
+	acctPrev   int64
 }
 
 // New creates a simulator for the given program and processor
@@ -264,6 +289,7 @@ func decodeInstrs(p *ir.Program, regBase, predBase []int32, nPreds int32) []simI
 			guard: -1,
 			addr:  in.Addr,
 			lat:   int64(machine.Latency(in.Op)),
+			class: uint8(obs.ClassOf(in.Op)),
 		}
 		if in.Guard != ir.PNone {
 			d.guard = predBase[fi] + int32(in.Guard)
@@ -333,7 +359,15 @@ func (s *Simulator) Event(ev emu.Event) {
 // issue cycle, slot counts) and statistics are copied into locals for
 // the duration of the batch so the per-event updates stay in registers
 // instead of bouncing through the struct.
+//
+// With a cycle account attached (Instrument), the batch detours to the
+// attributing twin in observe.go; the only cost to the uninstrumented
+// path is this one predictable branch per batch.
 func (s *Simulator) EventBatch(evs []emu.Event) {
+	if s.acct != nil {
+		s.observedBatch(evs)
+		return
+	}
 	st := s.st
 	fetchAvail, prevIssue := s.fetchAvail, s.prevIssue
 	curCycle, lastIssue := s.curCycle, s.lastIssue
