@@ -64,6 +64,12 @@ func run(args []string, out, errw io.Writer) error {
 	if *parallel < 0 {
 		return fmt.Errorf("-parallel %d: worker count cannot be negative", *parallel)
 	}
+	if *cellTimeout < 0 {
+		return fmt.Errorf("-cell-timeout %v: time budget cannot be negative (0 = unbounded)", *cellTimeout)
+	}
+	if *legacy && (*breakdown || *statsJSON != "") {
+		return fmt.Errorf("-legacy cannot be combined with -breakdown or -stats-json: cycle accounting instruments the pre-decoded simulator only")
+	}
 	if *benchList != "" && *kernelList != "" && *benchList != *kernelList {
 		return fmt.Errorf("-bench and -kernels both given with different kernel lists")
 	}

@@ -302,3 +302,38 @@ func TestSuiteStatsJSONStdout(t *testing.T) {
 		t.Error("tables mixed into the JSON stream")
 	}
 }
+
+// TestCellTimeoutValidation: a negative -cell-timeout is rejected up
+// front with a one-line diagnostic rather than handed to the harness with
+// undefined behavior.
+func TestCellTimeoutValidation(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-bench", "wc", "-cell-timeout", "-3s"}, &sb, io.Discard)
+	if err == nil {
+		t.Fatal("expected error for negative -cell-timeout")
+	}
+	if msg := err.Error(); strings.Contains(msg, "\n") {
+		t.Errorf("diagnostic is not one line: %q", msg)
+	}
+}
+
+// TestLegacyObserveConflict: -legacy cannot produce breakdowns (cycle
+// accounting instruments the pre-decoded simulator only), so combining it
+// with -breakdown or -stats-json is a one-line error instead of a run
+// that silently returns empty breakdowns.
+func TestLegacyObserveConflict(t *testing.T) {
+	for _, args := range [][]string{
+		{"-bench", "wc", "-legacy", "-breakdown"},
+		{"-bench", "wc", "-legacy", "-stats-json", "-"},
+	} {
+		var sb strings.Builder
+		err := run(args, &sb, io.Discard)
+		if err == nil {
+			t.Errorf("figures %v: expected error", args)
+			continue
+		}
+		if msg := err.Error(); strings.Contains(msg, "\n") {
+			t.Errorf("figures %v: diagnostic is not one line: %q", args, msg)
+		}
+	}
+}

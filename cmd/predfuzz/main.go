@@ -1,8 +1,8 @@
 // Command predfuzz is the cross-model differential fuzzer: it feeds
 // progen-generated programs (flat and nested loop shapes, interleaved by
-// seed parity) through the superblock, conditional-move, and
-// full-predication pipelines and checks every compiled program against
-// the reference emulation (internal/difftest).  Divergences are
+// seed parity) through the superblock, conditional-move, full-predication,
+// and guard-instruction pipelines and checks every compiled program
+// against the reference emulation (internal/difftest).  Divergences are
 // delta-minimized and written as self-contained .psasm repro artifacts.
 //
 // Usage:

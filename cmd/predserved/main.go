@@ -1,0 +1,105 @@
+// Command predserved is the simulation-as-a-service daemon: it serves
+// the experiment matrix over HTTP/JSON with content-addressed caching of
+// compiled artifacts and rendered results, singleflight coalescing of
+// concurrent identical requests, and admission control (bounded worker
+// pool, bounded queue, 429 + Retry-After past capacity).  SIGTERM/SIGINT
+// trigger a graceful drain: in-flight requests complete, new ones are
+// refused.  See docs/SERVING.md for the API.
+//
+// Usage:
+//
+//	predserved -addr :8097
+//	predserved -addr :8097 -workers 4 -queue 128 -request-timeout 30s
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"predication/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "predserved:", err)
+		os.Exit(1)
+	}
+}
+
+// parseConfig turns the flag set into a serve.Config plus the listen
+// address and drain budget; it is separated from run so the CLI tests
+// can exercise flag validation without binding a socket.
+func parseConfig(args []string, errw io.Writer) (cfg serve.Config, addr string, drain time.Duration, err error) {
+	fs := flag.NewFlagSet("predserved", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	addrFlag := fs.String("addr", ":8097", "listen address")
+	workers := fs.Int("workers", 0, "concurrent compute executions (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 0, "queued requests beyond the executing ones before 429 (0 = default 64)")
+	artifacts := fs.Int("artifact-cache", 0, "compiled-artifact cache entries (0 = default 64)")
+	results := fs.Int("result-cache", 0, "rendered-result cache entries (0 = default 1024)")
+	reqTimeout := fs.Duration("request-timeout", 0, "per-request compute deadline (0 = default 60s)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	if err := fs.Parse(args); err != nil {
+		return serve.Config{}, "", 0, err
+	}
+	for name, v := range map[string]int{"-workers": *workers, "-queue": *queue,
+		"-artifact-cache": *artifacts, "-result-cache": *results} {
+		if v < 0 {
+			return serve.Config{}, "", 0, fmt.Errorf("%s %d: cannot be negative (0 = default)", name, v)
+		}
+	}
+	if *reqTimeout < 0 {
+		return serve.Config{}, "", 0, fmt.Errorf("-request-timeout %v: cannot be negative (0 = default)", *reqTimeout)
+	}
+	if *drainTimeout <= 0 {
+		return serve.Config{}, "", 0, fmt.Errorf("-drain-timeout %v: must be positive", *drainTimeout)
+	}
+	cfg = serve.Config{
+		Workers:           *workers,
+		QueueDepth:        *queue,
+		ArtifactCacheSize: *artifacts,
+		ResultCacheSize:   *results,
+		RequestTimeout:    *reqTimeout,
+	}
+	return cfg, *addrFlag, *drainTimeout, nil
+}
+
+func run(args []string, errw io.Writer) error {
+	cfg, addr, drainBudget, err := parseConfig(args, errw)
+	if err != nil {
+		return err
+	}
+	srv := serve.New(cfg)
+	httpSrv := &http.Server{Addr: addr, Handler: srv}
+
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(errw, "predserved: listening on %s\n", addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		return err
+	case sig := <-sigs:
+		fmt.Fprintf(errw, "predserved: %v: draining (up to %v)\n", sig, drainBudget)
+		ctx, cancel := context.WithTimeout(context.Background(), drainBudget)
+		defer cancel()
+		// Refuse new compute first, then close listeners once in-flight
+		// work finished (Shutdown itself also waits for active conns).
+		if err := srv.Drain(ctx); err != nil {
+			httpSrv.Close()
+			return err
+		}
+		return httpSrv.Shutdown(ctx)
+	}
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFlagValidation: out-of-range capacity knobs are rejected up front
+// with a one-line diagnostic, per the CLI convention.
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-workers", "-1"},
+		{"-queue", "-2"},
+		{"-artifact-cache", "-1"},
+		{"-result-cache", "-1"},
+		{"-request-timeout", "-5s"},
+		{"-drain-timeout", "0s"},
+		{"-drain-timeout", "-1s"},
+	}
+	for _, args := range cases {
+		_, _, _, err := parseConfig(args, io.Discard)
+		if err == nil {
+			t.Errorf("predserved %v: expected error", args)
+			continue
+		}
+		if msg := err.Error(); strings.Contains(msg, "\n") {
+			t.Errorf("predserved %v: diagnostic is not one line: %q", args, msg)
+		}
+	}
+}
+
+// TestFlagDefaults: the zero flags map onto the serve.Config defaults
+// (resolved inside serve.New) and the documented listen address.
+func TestFlagDefaults(t *testing.T) {
+	cfg, addr, drain, err := parseConfig(nil, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != ":8097" {
+		t.Errorf("default addr = %q, want :8097", addr)
+	}
+	if drain != 30*time.Second {
+		t.Errorf("default drain budget = %v, want 30s", drain)
+	}
+	if cfg.Workers != 0 || cfg.QueueDepth != 0 || cfg.RequestTimeout != 0 {
+		t.Errorf("zero flags should leave config fields zero for serve.New defaults: %+v", cfg)
+	}
+}
+
+// TestFlagMapping: explicit knobs land in the config.
+func TestFlagMapping(t *testing.T) {
+	cfg, addr, _, err := parseConfig([]string{
+		"-addr", ":9000", "-workers", "3", "-queue", "7",
+		"-artifact-cache", "11", "-result-cache", "13", "-request-timeout", "5s"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr != ":9000" || cfg.Workers != 3 || cfg.QueueDepth != 7 ||
+		cfg.ArtifactCacheSize != 11 || cfg.ResultCacheSize != 13 ||
+		cfg.RequestTimeout != 5*time.Second {
+		t.Errorf("flags not mapped: addr=%q cfg=%+v", addr, cfg)
+	}
+}

@@ -79,6 +79,15 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// Reject out-of-range sampling parameters up front: a zero or negative
+	// sample rate would otherwise be silently clamped to 1, and a negative
+	// limit would mean "unlimited" by accident.
+	if *traceSample < 1 {
+		return fmt.Errorf("-trace-sample %d: sampling rate must be at least 1 (keep one of every N events)", *traceSample)
+	}
+	if *traceLimit < 0 {
+		return fmt.Errorf("-trace-limit %d: record limit cannot be negative (0 = unlimited)", *traceLimit)
+	}
 
 	if *list {
 		for _, k := range bench.All() {
@@ -108,34 +117,13 @@ func run(args []string, out io.Writer) error {
 		build = k.Build
 	}
 
-	var model core.Model
-	switch *modelName {
-	case "superblock", "sb":
-		model = core.Superblock
-	case "cmov", "condmove", "partial":
-		model = core.CondMove
-	case "full", "fullpred":
-		model = core.FullPred
-	case "guard", "guardinstr":
-		model = core.GuardInstr
-	default:
-		return fmt.Errorf("unknown model %q", *modelName)
+	model, err := core.ParseModel(*modelName)
+	if err != nil {
+		return err
 	}
-
-	var mc machine.Config
-	switch *machName {
-	case "issue1":
-		mc = machine.Issue1()
-	case "issue4-br1":
-		mc = machine.Issue4Br1()
-	case "issue8-br1":
-		mc = machine.Issue8Br1()
-	case "issue8-br2":
-		mc = machine.Issue8Br2()
-	case "issue8-br1-64k":
-		mc = machine.Issue8Br1Cache()
-	default:
-		return fmt.Errorf("unknown machine %q", *machName)
+	mc, err := machine.ByName(*machName)
+	if err != nil {
+		return err
 	}
 	switch *predictorName {
 	case "btb":

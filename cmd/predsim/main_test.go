@@ -363,3 +363,26 @@ func TestTraceFlags(t *testing.T) {
 		t.Error("bad -trace-format accepted")
 	}
 }
+
+// TestTraceFlagValidation: zero/negative sampling parameters are rejected
+// up front with a one-line diagnostic instead of being silently clamped
+// (zero -trace-sample used to mean "every event", negative -trace-limit
+// used to mean "unlimited").
+func TestTraceFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-bench", "wc", "-trace-sample", "0"},
+		{"-bench", "wc", "-trace-sample", "-5"},
+		{"-bench", "wc", "-trace-limit", "-1"},
+	}
+	for _, args := range cases {
+		var sb strings.Builder
+		err := run(args, &sb)
+		if err == nil {
+			t.Errorf("predsim %v: expected error", args)
+			continue
+		}
+		if msg := err.Error(); strings.Contains(msg, "\n") {
+			t.Errorf("predsim %v: diagnostic is not one line: %q", args, msg)
+		}
+	}
+}

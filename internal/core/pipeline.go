@@ -66,6 +66,22 @@ func (m Model) String() string {
 	return fmt.Sprintf("Model(%d)", int(m))
 }
 
+// ParseModel resolves the CLI/API names of the models (including the
+// short aliases the predsim -model flag has always accepted).
+func ParseModel(name string) (Model, error) {
+	switch name {
+	case "superblock", "sb":
+		return Superblock, nil
+	case "cmov", "condmove", "partial":
+		return CondMove, nil
+	case "full", "fullpred":
+		return FullPred, nil
+	case "guard", "guardinstr":
+		return GuardInstr, nil
+	}
+	return 0, fmt.Errorf("unknown model %q (want superblock, cmov, full, or guard)", name)
+}
+
 // Options configures a compilation pipeline.
 type Options struct {
 	Machine    machine.Config

@@ -1,9 +1,9 @@
 // Package difftest is the cross-model differential oracle behind
 // cmd/predfuzz.  The paper's central claim is that the superblock,
-// conditional-move, and full-predication pipelines emit semantically
-// identical programs whose only difference is performance; this package
-// turns that claim into an executable check over progen-generated
-// programs:
+// conditional-move, full-predication, and guard-instruction pipelines
+// emit semantically identical programs whose only difference is
+// performance; this package turns that claim into an executable check
+// over progen-generated programs:
 //
 //	source --emulate--> reference memory image + checksum
 //	source --compile(model)--> emulate --> must match, for every model
@@ -79,13 +79,15 @@ type Options struct {
 	CrossEmu bool
 }
 
-// DefaultOptions returns the standard oracle configuration: the three
-// models of the paper on the 8-issue machine, default generator
+// DefaultOptions returns the standard oracle configuration: all four
+// compilation pipelines — the paper's three models plus the guard-
+// instruction design point (internal/guardinstr, the predication-spectrum
+// arm of EXPERIMENTS.md) — on the 8-issue machine, default generator
 // parameters, and a 5M-step emulation budget.
 func DefaultOptions() Options {
 	return Options{
 		Machine:  machine.Issue8Br1(),
-		Models:   []core.Model{core.Superblock, core.CondMove, core.FullPred},
+		Models:   []core.Model{core.Superblock, core.CondMove, core.FullPred, core.GuardInstr},
 		Params:   progen.Default(),
 		MaxSteps: 5_000_000,
 	}

@@ -12,7 +12,24 @@ import (
 	"predication/internal/progen"
 )
 
-// TestOracleCleanSeeds: the three pipelines agree with the reference on a
+// TestDefaultOracleCoversAllModels: the default oracle must fuzz every
+// compilation pipeline, including the guard-instruction model — it was
+// silently missing from the default model list once, so the fourth
+// pipeline went unfuzzed (regression guard).
+func TestDefaultOracleCoversAllModels(t *testing.T) {
+	want := []core.Model{core.Superblock, core.CondMove, core.FullPred, core.GuardInstr}
+	got := DefaultOptions().Models
+	if len(got) != len(want) {
+		t.Fatalf("default oracle covers %d models %v, want %d %v", len(got), got, len(want), want)
+	}
+	for i, m := range want {
+		if got[i] != m {
+			t.Errorf("Models[%d] = %v, want %v", i, got[i], m)
+		}
+	}
+}
+
+// TestOracleCleanSeeds: the four pipelines agree with the reference on a
 // spread of generated programs, flat and nested.  This is the -race CI
 // target for the oracle itself.
 func TestOracleCleanSeeds(t *testing.T) {

@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+
+	"predication/internal/bench"
+	"predication/internal/core"
+	"predication/internal/emu"
+	"predication/internal/machine"
+	"predication/internal/obs"
+	"predication/internal/sim"
+)
+
+// This file is the exported per-cell surface of the harness: the serving
+// daemon (internal/serve) computes single (kernel, model, machine) cells
+// on demand and caches the compiled artifacts content-addressed, so the
+// compile and measure halves of runCell are exposed as reusable steps.
+// Run and Precompile keep using the same primitives internally, which
+// pins the served numbers to the ones the figures report.
+
+// SchedTarget maps a simulator configuration to the machine its code is
+// scheduled for.  The cache variants share the perfect-cache schedules:
+// caches change timing, not compilation (see schedTargets/simsFor).
+func SchedTarget(cfg machine.Config) machine.Config {
+	switch cfg.Name {
+	case "issue1-64k":
+		return machine.Issue1()
+	case "issue8-br1-64k":
+		return machine.Issue8Br1()
+	default:
+		return cfg
+	}
+}
+
+// CellArtifact is one compiled matrix cell: the kernel compiled under the
+// model for a scheduling target, plus its pre-decoded emulation code.
+// Artifacts are immutable after CompileCell (runs never mutate them), so
+// one artifact can be shared by concurrent measurements and cached
+// across requests — the unit of the serving daemon's content-addressed
+// compiled-artifact cache.
+type CellArtifact struct {
+	Kernel   string
+	Model    core.Model
+	Target   machine.Config
+	Compiled *core.Compiled
+	Code     *emu.Code
+}
+
+// CompileCell compiles the named kernel under the model for the
+// scheduling target of cfg on the standard pipeline (core.DefaultOptions)
+// and pre-decodes the result for the fast emulator.
+func CompileCell(kernel string, model core.Model, cfg machine.Config) (*CellArtifact, error) {
+	k, err := bench.ByName(kernel)
+	if err != nil {
+		return nil, err
+	}
+	target := SchedTarget(cfg)
+	c, err := core.Compile(k.Build(), model, core.DefaultOptions(target))
+	if err != nil {
+		return nil, fmt.Errorf("%s %v @ %s: %w", kernel, model, target.Name, err)
+	}
+	code, err := emu.Decode(c.Prog)
+	if err != nil {
+		return nil, fmt.Errorf("%s %v @ %s: decode: %w", kernel, model, target.Name, err)
+	}
+	return &CellArtifact{Kernel: kernel, Model: model, Target: target, Compiled: c, Code: code}, nil
+}
+
+// Measurement is one simulated cell: the timing statistics of a single
+// emulation of the artifact streamed into a simulator for one machine
+// configuration, plus the run's checksum and dynamic instruction count.
+// Account is non-nil only for observed measurements and is already
+// Verify-checked against Stats.
+type Measurement struct {
+	Stats    sim.Stats
+	Checksum int64
+	Steps    int64
+	Account  *obs.CycleAccount
+}
+
+// Measure emulates the artifact once, streaming the dynamic trace into a
+// pre-decoded simulator for cfg.  With observe set the simulator is
+// instrumented with a cycle account, which is verified against the final
+// stats before returning.  cfg must schedule-target the artifact's
+// Target (see SchedTarget); measuring on a mismatched machine is not an
+// error — it is the ablation of running code scheduled for one machine
+// on another — so no check is enforced here.
+func (a *CellArtifact) Measure(cfg machine.Config, observe bool) (*Measurement, error) {
+	s := sim.New(a.Compiled.Prog, cfg)
+	var acct *obs.CycleAccount
+	if observe {
+		acct = &obs.CycleAccount{}
+		s.Instrument(acct)
+	}
+	run, err := a.Code.Run(emu.Options{Sink: s})
+	if err != nil {
+		return nil, fmt.Errorf("%s %v @ %s: emulate: %w", a.Kernel, a.Model, cfg.Name, err)
+	}
+	st := s.Stats()
+	if acct != nil {
+		if err := acct.Verify(st.Cycles, st.Instrs, st.Nullified); err != nil {
+			return nil, fmt.Errorf("%s %v @ %s: cycle accounting: %w", a.Kernel, a.Model, cfg.Name, err)
+		}
+	}
+	return &Measurement{Stats: st, Checksum: run.Word(bench.CheckAddr), Steps: run.Steps, Account: acct}, nil
+}

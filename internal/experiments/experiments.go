@@ -107,9 +107,11 @@ type Options struct {
 	// Observe attaches the observability layer to every matrix cell: each
 	// simulator gets a cycle account (BenchResult.Accounts) and each
 	// compile a stage trace (BenchResult.Pipelines).  Accounts require
-	// the pre-decoded simulator, so Observe is ignored under LegacyEmu.
-	// The merge verifies every account against its cell's Stats; a
-	// decomposition violation is a CellError like any other cell fault.
+	// the pre-decoded simulator, so Observe combined with LegacyEmu is an
+	// error from Run (it used to be silently ignored, handing callers
+	// empty breakdowns with no diagnostic).  The merge verifies every
+	// account against its cell's Stats; a decomposition violation is a
+	// CellError like any other cell fault.
 	Observe bool
 	// Registry, when non-nil, receives suite-level counters (cells_ok,
 	// cells_failed, steps_total) and a per-cell dynamic-step histogram
@@ -249,6 +251,9 @@ func runCell(k *bench.Kernel, cell cellSpec, legacy, observe bool) (*cellResult,
 // complete.  Options.FailFast restores the old first-error cancellation,
 // where the lowest-indexed failing job aborts the run.
 func Run(opts Options) (*Suite, error) {
+	if opts.Observe && opts.LegacyEmu {
+		return nil, fmt.Errorf("experiments: Options.Observe is unsupported with Options.LegacyEmu: cycle accounting instruments the pre-decoded simulator only (run without LegacyEmu to observe)")
+	}
 	kernels := bench.All()
 	if opts.Kernels != nil {
 		named := make([]*bench.Kernel, 0, len(opts.Kernels))
@@ -305,7 +310,7 @@ func Run(opts Options) (*Suite, error) {
 		} else {
 			cell := cells[i%stride-1]
 			cr, err := guardCell(opts.CellTimeout, func() (*cellResult, error) {
-				return runCell(k, cell, opts.LegacyEmu, opts.Observe && !opts.LegacyEmu)
+				return runCell(k, cell, opts.LegacyEmu, opts.Observe)
 			})
 			if err != nil {
 				ce = &CellError{Kernel: k.Name, Model: cell.model, Target: cell.target.Name, Err: err}

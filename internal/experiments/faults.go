@@ -57,38 +57,48 @@ func (e *TimeoutError) Error() string { return fmt.Sprintf("cell exceeded %v tim
 // before Run and left alone until Run returns.
 var CellHook func(kernel string, model core.Model, target string)
 
-// guardCell runs one cell's work on its own goroutine, converting panics
-// to PanicError and enforcing the optional timeout.  On timeout the
+// Guard runs work on its own goroutine under the harness's standard
+// fault isolation: a panic becomes a PanicError and an exceeded timeout
+// becomes a TimeoutError (timeout <= 0 means unbounded).  On timeout the
 // worker goroutine is abandoned — it still terminates on its own because
 // every emulation is bounded by the emulator's step cap — and its late
-// result is discarded via the buffered channel.
-func guardCell(timeout time.Duration, work func() (*cellResult, error)) (*cellResult, error) {
+// result is discarded via the buffered channel.  Run uses it for every
+// matrix cell; the serving daemon (internal/serve) uses it to map
+// per-request deadlines onto the same semantics as Options.CellTimeout.
+func Guard[T any](timeout time.Duration, work func() (T, error)) (T, error) {
 	type outcome struct {
-		cr  *cellResult
+		val T
 		err error
 	}
 	ch := make(chan outcome, 1)
 	go func() {
 		defer func() {
 			if r := recover(); r != nil {
-				ch <- outcome{nil, &PanicError{Val: r, Stack: debug.Stack()}}
+				var zero T
+				ch <- outcome{zero, &PanicError{Val: r, Stack: debug.Stack()}}
 			}
 		}()
-		cr, err := work()
-		ch <- outcome{cr, err}
+		val, err := work()
+		ch <- outcome{val, err}
 	}()
 	if timeout <= 0 {
 		o := <-ch
-		return o.cr, o.err
+		return o.val, o.err
 	}
 	t := time.NewTimer(timeout)
 	defer t.Stop()
 	select {
 	case o := <-ch:
-		return o.cr, o.err
+		return o.val, o.err
 	case <-t.C:
-		return nil, &TimeoutError{Limit: timeout}
+		var zero T
+		return zero, &TimeoutError{Limit: timeout}
 	}
+}
+
+// guardCell is Guard specialized to the matrix-cell result Run collects.
+func guardCell(timeout time.Duration, work func() (*cellResult, error)) (*cellResult, error) {
+	return Guard(timeout, work)
 }
 
 // ErrorReport renders the suite's collected cell failures, one line each,

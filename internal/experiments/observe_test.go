@@ -84,22 +84,23 @@ func TestRunObserve(t *testing.T) {
 	}
 }
 
-// TestRunObserveLegacy: the legacy arm has no fast-path instrumentation;
-// Observe must degrade to stats-only rather than fail.
+// TestRunObserveLegacy: the legacy arm has no fast-path instrumentation,
+// so Observe combined with LegacyEmu must be rejected up front with a
+// diagnostic — it used to be silently ignored, handing callers empty
+// breakdowns with nothing explaining why (regression guard).
 func TestRunObserveLegacy(t *testing.T) {
 	suite, err := Run(Options{Kernels: []string{"wc"}, Observe: true, LegacyEmu: true})
-	if err != nil {
-		t.Fatal(err)
+	if err == nil {
+		t.Fatal("Observe+LegacyEmu succeeded; want an unsupported-combination error")
 	}
-	if len(suite.Errors) != 0 {
-		t.Fatalf("legacy observed run errored: %v", suite.Errors)
+	if suite != nil {
+		t.Errorf("Observe+LegacyEmu returned a suite alongside the error")
 	}
-	r := suite.Results[0]
-	if len(r.Stats) == 0 {
-		t.Fatal("no stats measured")
+	if msg := err.Error(); !strings.Contains(msg, "Observe") || !strings.Contains(msg, "LegacyEmu") {
+		t.Errorf("error %q does not name the conflicting options", msg)
 	}
-	if len(r.Accounts) != 0 {
-		t.Errorf("legacy run produced %d accounts", len(r.Accounts))
+	if strings.Contains(err.Error(), "\n") {
+		t.Errorf("diagnostic is not one line: %q", err.Error())
 	}
 }
 

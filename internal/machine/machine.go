@@ -147,6 +147,31 @@ func Issue1() Config { return base("issue1", 1, 1, true) }
 // Figure 11).
 func Issue1Cache() Config { return base("issue1-64k", 1, 1, false) }
 
+// configs enumerates every named configuration constructor, in the
+// reporting order of the paper's figures.
+var configs = []func() Config{Issue1, Issue4Br1, Issue8Br1, Issue8Br2, Issue8Br1Cache, Issue1Cache}
+
+// ByName returns the named configuration.  The names are the ones the
+// CLI flags and the serving API accept: issue1, issue4-br1, issue8-br1,
+// issue8-br2, issue8-br1-64k, issue1-64k.
+func ByName(name string) (Config, error) {
+	for _, mk := range configs {
+		if c := mk(); c.Name == name {
+			return c, nil
+		}
+	}
+	return Config{}, fmt.Errorf("unknown machine %q (want one of %v)", name, Names())
+}
+
+// Names lists every named configuration.
+func Names() []string {
+	names := make([]string, len(configs))
+	for i, mk := range configs {
+		names[i] = mk().Name
+	}
+	return names
+}
+
 // Latency returns the issue-to-result latency in cycles of an opcode on the
 // modeled HP PA-7100-like pipeline (load latency is the cache-hit case).
 func Latency(op ir.Op) int {

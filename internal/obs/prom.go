@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WritePrometheus renders a snapshot of the registry in the Prometheus
+// text exposition format (version 0.0.4): every counter becomes a
+// `counter` metric and every histogram a cumulative `histogram` metric
+// with `_bucket`/`_sum`/`_count` series and a closing `+Inf` bucket.
+// Metric names are emitted in sorted order, so the output for a given
+// registry state is deterministic.  The serving daemon's /metrics
+// endpoint is this function behind an HTTP handler; the JSON schema of
+// Snapshot is unchanged and remains the format embedded in reports.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+
+	names := make([]string, 0, len(snap.Counters))
+	for name := range snap.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, snap.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range snap.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := snap.Histograms[name]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+			return err
+		}
+		// The snapshot's counts are per-bucket; Prometheus buckets are
+		// cumulative and end with the mandatory +Inf catch-all.
+		cum := int64(0)
+		for i, bound := range h.Bounds {
+			cum += h.Counts[i]
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

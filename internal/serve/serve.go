@@ -1,0 +1,524 @@
+// Package serve exposes the experiment matrix as an HTTP/JSON service:
+// the simulation-as-a-service daemon behind cmd/predserved.
+//
+// The paper's emulation-driven methodology makes a (kernel, model,
+// machine, compiler-options) cell fully deterministic, so the daemon is
+// built around a content-addressed cache (see key.go) with two layers —
+// compiled artifacts shared across simulator configurations, and
+// rendered response bodies — plus singleflight request coalescing so N
+// concurrent identical requests cost one compile+simulate execution.
+// Compute is admission-controlled: a bounded worker pool with a bounded
+// waiting line; an overflowing queue is refused with 429 + Retry-After,
+// and every request runs under a deadline mapped onto the harness's
+// fault-isolation guard (experiments.Guard, the CellTimeout semantics).
+// SIGTERM handling is a graceful drain: in-flight requests complete,
+// new ones are refused with 503.
+//
+// Endpoints (all GET, all JSON):
+//
+//	/v1/cell?kernel=wc&model=full&machine=issue8-br1[&timeout=30s]
+//	/v1/breakdown?...  — same cell, instrumented: adds the stall-cycle
+//	                     breakdown and instruction mix
+//	/v1/figures[?kernels=wc,grep]  — the paper's figure/table set
+//	/healthz   — liveness and drain state
+//	/metrics   — the obs.Registry in Prometheus text format
+//
+// The full schema and capacity knobs are documented in docs/SERVING.md.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"predication/internal/bench"
+	"predication/internal/core"
+	"predication/internal/experiments"
+	"predication/internal/machine"
+	"predication/internal/obs"
+	"predication/internal/sim"
+)
+
+// Config sizes the daemon.  The zero value of every field selects a
+// sensible default (see New).
+type Config struct {
+	// ArtifactCacheSize bounds the compiled-artifact cache (entries).
+	// Default 64 — the full 15-kernel × 4-model × 4-target matrix is 240
+	// artifacts, so the default deliberately exercises eviction.
+	ArtifactCacheSize int
+	// ResultCacheSize bounds the rendered-response cache (entries).
+	// Default 1024.
+	ResultCacheSize int
+	// Workers bounds concurrent compile+simulate executions.  Default
+	// runtime.GOMAXPROCS(0) — the same sizing as the batch harness pool.
+	Workers int
+	// QueueDepth bounds how many admitted requests may wait for a worker
+	// beyond the ones executing.  A request arriving past Workers +
+	// QueueDepth is refused with 429 + Retry-After.  Default 64.
+	QueueDepth int
+	// RequestTimeout is the per-request compute deadline, the serving
+	// analogue of experiments.Options.CellTimeout (a request may lower it
+	// with ?timeout=, never raise it).  Default 60s.
+	RequestTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses.  Default 1s.
+	RetryAfter time.Duration
+	// Registry receives the daemon's counters and histograms and backs
+	// /metrics.  A fresh registry is created when nil.
+	Registry *obs.Registry
+}
+
+// Server is the simulation service.  Create it with New; it implements
+// http.Handler.
+type Server struct {
+	cfg       Config
+	reg       *obs.Registry
+	artifacts *Cache
+	results   *Cache
+	flight    group
+	queue     chan struct{} // admission tokens: executing + waiting
+	workers   chan struct{} // execution tokens
+	mux       *http.ServeMux
+
+	mu       sync.Mutex
+	draining bool
+	inflight sync.WaitGroup
+
+	// computeHook, when non-nil, observes every cache-missing execution
+	// with its result key (test instrumentation: coalescing and drain
+	// tests count and stall executions through it).
+	computeHook func(key string)
+}
+
+// New creates a server with cfg's capacity knobs (zero fields take the
+// documented defaults).
+func New(cfg Config) *Server {
+	if cfg.ArtifactCacheSize <= 0 {
+		cfg.ArtifactCacheSize = 64
+	}
+	if cfg.ResultCacheSize <= 0 {
+		cfg.ResultCacheSize = 1024
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.RequestTimeout <= 0 {
+		cfg.RequestTimeout = 60 * time.Second
+	}
+	if cfg.RetryAfter <= 0 {
+		cfg.RetryAfter = time.Second
+	}
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	s := &Server{
+		cfg:       cfg,
+		reg:       cfg.Registry,
+		artifacts: NewCache("serve_artifact_cache", cfg.ArtifactCacheSize, cfg.Registry),
+		results:   NewCache("serve_result_cache", cfg.ResultCacheSize, cfg.Registry),
+		queue:     make(chan struct{}, cfg.Workers+cfg.QueueDepth),
+		workers:   make(chan struct{}, cfg.Workers),
+		mux:       http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /v1/cell", func(w http.ResponseWriter, r *http.Request) {
+		s.handleCell(w, r, false)
+	})
+	s.mux.HandleFunc("GET /v1/breakdown", func(w http.ResponseWriter, r *http.Request) {
+		s.handleCell(w, r, true)
+	})
+	s.mux.HandleFunc("GET /v1/figures", s.handleFigures)
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Registry returns the registry backing /metrics.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Drain refuses new compute requests (503) and waits for in-flight ones
+// to complete, or for ctx to expire.  It is the SIGTERM path of
+// cmd/predserved; calling it more than once is safe.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// enter registers a compute request against the drain barrier.  It
+// reports false — and answers 503 — once draining has begun.
+func (s *Server) enter(w http.ResponseWriter) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.reg.Counter("serve_rejected_draining").Inc()
+		httpError(w, http.StatusServiceUnavailable, "draining: not accepting new requests")
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// errQueueFull is admission control's refusal; the handler maps it to
+// 429 + Retry-After.
+var errQueueFull = errors.New("serve: compute queue full")
+
+// admit claims a queue token (refusing immediately when the waiting line
+// is full) and then blocks for an execution token.  The returned release
+// frees both.
+func (s *Server) admit(ctx context.Context) (release func(), err error) {
+	select {
+	case s.queue <- struct{}{}:
+	default:
+		s.reg.Counter("serve_rejected_queue").Inc()
+		return nil, errQueueFull
+	}
+	select {
+	case s.workers <- struct{}{}:
+		return func() { <-s.workers; <-s.queue }, nil
+	case <-ctx.Done():
+		<-s.queue
+		return nil, ctx.Err()
+	}
+}
+
+// timeoutFor resolves the request's compute deadline: the server default,
+// lowered (never raised) by an explicit ?timeout=.
+func (s *Server) timeoutFor(r *http.Request) (time.Duration, error) {
+	t := s.cfg.RequestTimeout
+	if v := r.URL.Query().Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return 0, fmt.Errorf("bad timeout %q: %v", v, err)
+		}
+		if d <= 0 {
+			return 0, fmt.Errorf("bad timeout %q: must be positive", v)
+		}
+		if d < t {
+			t = d
+		}
+	}
+	return t, nil
+}
+
+// CellResponse is the /v1/cell and /v1/breakdown body (schema documented
+// in docs/SERVING.md; keep the two in sync).
+type CellResponse struct {
+	Kernel    string          `json:"kernel"`
+	Model     string          `json:"model"`
+	Machine   obs.MachineMeta `json:"machine"`
+	Key       string          `json:"key"`
+	Checksum  int64           `json:"checksum"`
+	Steps     int64           `json:"steps"`
+	Stats     sim.Stats       `json:"stats"`
+	IPC       float64         `json:"ipc"`
+	UsefulIPC float64         `json:"useful_ipc"`
+	Breakdown *obs.Breakdown  `json:"breakdown,omitempty"`
+	Mix       []obs.MixEntry  `json:"mix,omitempty"`
+}
+
+func (s *Server) handleCell(w http.ResponseWriter, r *http.Request, observe bool) {
+	if !s.enter(w) {
+		return
+	}
+	defer s.inflight.Done()
+	s.reg.Counter("serve_requests").Inc()
+
+	q := r.URL.Query()
+	kernel := q.Get("kernel")
+	if _, err := bench.ByName(kernel); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	model, err := core.ParseModel(q.Get("model"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cfg, err := machine.ByName(q.Get("machine"))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	timeout, err := s.timeoutFor(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	key := ResultKey(kernel, model, cfg, observe)
+	if body, ok := s.results.Get(key); ok {
+		writeCached(w, body.([]byte), "hit")
+		return
+	}
+	v, shared, err := s.flight.Do(key, func() (any, error) {
+		release, err := s.admit(r.Context())
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		return s.computeCell(key, kernel, model, cfg, observe, timeout)
+	})
+	if err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	label := "miss"
+	if shared {
+		s.reg.Counter("serve_coalesced").Inc()
+		label = "coalesced"
+	}
+	writeCached(w, v.([]byte), label)
+}
+
+// computeCell is the cache-missing path of one cell request: compile (or
+// fetch) the artifact, measure it under the request deadline, render and
+// cache the body.  It runs inside the singleflight, so exactly one
+// execution happens per concurrent set of identical requests.
+func (s *Server) computeCell(key, kernel string, model core.Model, cfg machine.Config, observe bool, timeout time.Duration) ([]byte, error) {
+	if s.computeHook != nil {
+		s.computeHook(key)
+	}
+	s.reg.Counter("serve_executions").Inc()
+	start := time.Now()
+	m, err := experiments.Guard(timeout, func() (*experiments.Measurement, error) {
+		art, err := s.artifact(kernel, model, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return art.Measure(cfg, observe)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.reg.Histogram("serve_compute_ms", []int64{1, 10, 100, 1000, 10000}).
+		Observe(time.Since(start).Milliseconds())
+
+	resp := CellResponse{
+		Kernel:    kernel,
+		Model:     model.String(),
+		Machine:   obs.MachineMetaOf(cfg),
+		Key:       key,
+		Checksum:  m.Checksum,
+		Steps:     m.Steps,
+		Stats:     m.Stats,
+		IPC:       m.Stats.IPC(),
+		UsefulIPC: m.Stats.UsefulIPC(),
+	}
+	if m.Account != nil {
+		resp.Breakdown = &m.Account.Breakdown
+		resp.Mix = m.Account.Mix()
+	}
+	body, err := json.MarshalIndent(&resp, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	body = append(body, '\n')
+	s.results.Add(key, body)
+	return body, nil
+}
+
+// artifact returns the compiled artifact for the cell, through the
+// content-addressed cache.  Its own singleflight key prevents two
+// simulator configurations sharing scheduled code (the cache variants)
+// from compiling the same artifact twice concurrently.
+func (s *Server) artifact(kernel string, model core.Model, cfg machine.Config) (*experiments.CellArtifact, error) {
+	target := experiments.SchedTarget(cfg)
+	akey := ArtifactKey(kernel, model, target)
+	if v, ok := s.artifacts.Get(akey); ok {
+		return v.(*experiments.CellArtifact), nil
+	}
+	v, _, err := s.flight.Do("compile:"+akey, func() (any, error) {
+		if v, ok := s.artifacts.Get(akey); ok {
+			return v, nil
+		}
+		art, err := experiments.CompileCell(kernel, model, cfg)
+		if err != nil {
+			return nil, err
+		}
+		s.artifacts.Add(akey, art)
+		return art, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*experiments.CellArtifact), nil
+}
+
+// FiguresResponse is the /v1/figures body: the paper's rendered tables.
+type FiguresResponse struct {
+	Tables []TableJSON `json:"tables"`
+	Steps  int64       `json:"steps"`
+	Errors []string    `json:"errors"`
+}
+
+// TableJSON mirrors experiments.Table with JSON tags.
+type TableJSON struct {
+	Title   string     `json:"title"`
+	Headers []string   `json:"headers"`
+	Rows    [][]string `json:"rows"`
+}
+
+func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
+	if !s.enter(w) {
+		return
+	}
+	defer s.inflight.Done()
+	s.reg.Counter("serve_requests").Inc()
+
+	var kernels []string
+	if v := r.URL.Query().Get("kernels"); v != "" {
+		kernels = strings.Split(v, ",")
+		for _, k := range kernels {
+			if _, err := bench.ByName(k); err != nil {
+				httpError(w, http.StatusBadRequest, err.Error())
+				return
+			}
+		}
+	}
+	timeout, err := s.timeoutFor(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	key := FiguresKey(kernels)
+	if body, ok := s.results.Get(key); ok {
+		writeCached(w, body.([]byte), "hit")
+		return
+	}
+	v, shared, err := s.flight.Do(key, func() (any, error) {
+		release, err := s.admit(r.Context())
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		return s.computeFigures(key, kernels, timeout)
+	})
+	if err != nil {
+		s.writeComputeError(w, err)
+		return
+	}
+	label := "miss"
+	if shared {
+		s.reg.Counter("serve_coalesced").Inc()
+		label = "coalesced"
+	}
+	writeCached(w, v.([]byte), label)
+}
+
+// computeFigures runs the suite on the requested kernels inside one
+// worker slot (Parallel: 1 keeps the daemon's concurrency bounded by the
+// pool, not multiplied by it) under the request deadline.
+func (s *Server) computeFigures(key string, kernels []string, timeout time.Duration) ([]byte, error) {
+	if s.computeHook != nil {
+		s.computeHook(key)
+	}
+	s.reg.Counter("serve_executions").Inc()
+	suite, err := experiments.Guard(timeout, func() (*experiments.Suite, error) {
+		return experiments.Run(experiments.Options{Kernels: kernels, Parallel: 1, CellTimeout: timeout})
+	})
+	if err != nil {
+		return nil, err
+	}
+	resp := FiguresResponse{Errors: []string{}, Steps: suite.Steps}
+	for _, t := range suite.AllTables() {
+		resp.Tables = append(resp.Tables, TableJSON{Title: t.Title, Headers: t.Headers, Rows: t.Rows})
+	}
+	for _, e := range suite.Errors {
+		resp.Errors = append(resp.Errors, e.Error())
+	}
+	body, err := json.MarshalIndent(&resp, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	body = append(body, '\n')
+	s.results.Add(key, body)
+	return body, nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := "ok"
+	code := http.StatusOK
+	if draining {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"status\":%q}\n", status)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	s.reg.WritePrometheus(w)
+}
+
+// writeComputeError maps compute failures onto status codes: admission
+// refusals to 429 with a Retry-After hint, exceeded deadlines to 504,
+// a canceled client to 499-equivalent 503, anything else (compile or
+// measurement failure, guarded panic) to 500 with the one-line message.
+func (s *Server) writeComputeError(w http.ResponseWriter, err error) {
+	var te *experiments.TimeoutError
+	switch {
+	case errors.Is(err, errQueueFull):
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+		httpError(w, http.StatusTooManyRequests, "compute queue full, retry later")
+	case errors.As(err, &te):
+		httpError(w, http.StatusGatewayTimeout, err.Error())
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		s.reg.Counter("serve_errors").Inc()
+		httpError(w, http.StatusInternalServerError, firstLine(err.Error()))
+	}
+}
+
+// writeCached writes a rendered response body with its cache disposition
+// in the X-Cache header.
+func writeCached(w http.ResponseWriter, body []byte, disposition string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", disposition)
+	w.Write(body)
+}
+
+// httpError writes a one-line JSON error document.
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\":%q}\n", msg)
+}
+
+// firstLine truncates multi-line diagnostics (a guarded panic carries a
+// stack in its wrapped error, never in the served message).
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
