@@ -4,7 +4,7 @@
 // Usage:
 //
 //	figures [-bench name,name,...] [-kernels name,name,...] [-parallel N]
-//	        [-markdown | -csv] [-ext]
+//	        [-markdown | -csv] [-ext] [-gang=false] [-predictor btb,gshare]
 package main
 
 import (
@@ -56,6 +56,8 @@ func run(args []string, out, errw io.Writer) error {
 	failfast := fs.Bool("failfast", false, "abort the whole run on the first failing matrix cell (default: failed cells become tagged gaps)")
 	cellTimeout := fs.Duration("cell-timeout", 0, "per-cell time budget, e.g. 30s (0 = unbounded)")
 	legacy := fs.Bool("legacy", false, "run the suite on the legacy (pre-decoded-free) emulator and simulator data path")
+	gang := fs.Bool("gang", true, "measure each matrix cell's configurations in a single gang-simulator pass (-gang=false falls back to one simulator per configuration)")
+	predictor := fs.String("predictor", "", "comma-separated branch predictors to cross the matrix with (btb, gshare; default btb)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -69,6 +71,11 @@ func run(args []string, out, errw io.Writer) error {
 	}
 	if *legacy && (*breakdown || *statsJSON != "") {
 		return fmt.Errorf("-legacy cannot be combined with -breakdown or -stats-json: cycle accounting instruments the pre-decoded simulator only")
+	}
+	gangSet := false
+	fs.Visit(func(f *flag.Flag) { gangSet = gangSet || f.Name == "gang" })
+	if *legacy && *gang && gangSet {
+		return fmt.Errorf("-gang cannot be combined with -legacy: the gang simulator exists on the pre-decoded data path only")
 	}
 	if *benchList != "" && *kernelList != "" && *benchList != *kernelList {
 		return fmt.Errorf("-bench and -kernels both given with different kernel lists")
@@ -97,12 +104,21 @@ func run(args []string, out, errw io.Writer) error {
 	}
 
 	opts := experiments.Options{
-		Parallel:    *parallel,
-		Progress:    func(s string) { fmt.Fprintln(errw, s) },
-		FailFast:    *failfast,
-		CellTimeout: *cellTimeout,
-		LegacyEmu:   *legacy,
-		Observe:     *breakdown || *statsJSON != "",
+		Parallel:     *parallel,
+		Progress:     func(s string) { fmt.Fprintln(errw, s) },
+		FailFast:     *failfast,
+		CellTimeout:  *cellTimeout,
+		LegacyEmu:    *legacy,
+		Observe:      *breakdown || *statsJSON != "",
+		PerConfigSim: !*gang,
+	}
+	if *predictor != "" {
+		opts.Predictors = strings.Split(*predictor, ",")
+	}
+	// Fail on a bad predictor list before the suite spins up.
+	configNames, err := experiments.SimConfigNames(opts.Predictors)
+	if err != nil {
+		return err
 	}
 	var reg *obs.Registry
 	if opts.Observe {
@@ -119,7 +135,7 @@ func run(args []string, out, errw io.Writer) error {
 		return err
 	}
 	if *statsJSON != "" {
-		if err := writeSuiteJSON(*statsJSON, out, suite, reg); err != nil {
+		if err := writeSuiteJSON(*statsJSON, out, suite, reg, configNames); err != nil {
 			return err
 		}
 		if *statsJSON == "-" {
@@ -183,11 +199,11 @@ type cellJSON struct {
 	Pipeline  *obs.PipelineTrace `json:"pipeline,omitempty"`
 }
 
-func writeSuiteJSON(path string, out io.Writer, suite *experiments.Suite, reg *obs.Registry) error {
+func writeSuiteJSON(path string, out io.Writer, suite *experiments.Suite, reg *obs.Registry, configNames []string) error {
 	doc := suiteJSON{Steps: suite.Steps, Errors: []string{}, Registry: reg}
 	for _, r := range suite.Results {
 		for _, m := range experiments.Models {
-			for _, cfg := range []string{"issue1", "issue1-64k", "issue4-br1", "issue8-br1", "issue8-br2", "issue8-br1-64k"} {
+			for _, cfg := range configNames {
 				if !r.Has(m, cfg) {
 					continue
 				}

@@ -337,3 +337,52 @@ func TestLegacyObserveConflict(t *testing.T) {
 		}
 	}
 }
+
+// TestGangFlag: the default gang data path and the -gang=false
+// per-config fallback render byte-identical tables (the lanes are
+// pinned Stats-identical), and an explicit -gang cannot be combined
+// with -legacy.
+func TestGangFlag(t *testing.T) {
+	gang := capture(t, "-bench", "wc", "-markdown")
+	per := capture(t, "-bench", "wc", "-markdown", "-gang=false")
+	if gang != per {
+		t.Errorf("-gang and -gang=false tables diverge:\n--- gang ---\n%s\n--- per-config ---\n%s", gang, per)
+	}
+	var sb strings.Builder
+	err := run([]string{"-bench", "wc", "-legacy", "-gang"}, &sb, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-legacy") {
+		t.Errorf("error = %v, want -gang/-legacy conflict", err)
+	}
+}
+
+// TestPredictorMatrixFlag: -predictor widens the matrix with suffixed
+// configuration cells (visible through -stats-json), and a bad list
+// fails with a one-line error before the suite runs.
+func TestPredictorMatrixFlag(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "suite.json")
+	capture(t, "-bench", "wc", "-predictor", "btb,gshare", "-stats-json", path)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Cells []struct {
+			Config string `json:"config"`
+		} `json:"cells"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	configs := map[string]bool{}
+	for _, c := range doc.Cells {
+		configs[c.Config] = true
+	}
+	if !configs["issue8-br1"] || !configs["issue8-br1+gshare"] {
+		t.Errorf("predictor matrix cells missing (have %v)", configs)
+	}
+	var sb strings.Builder
+	err = run([]string{"-bench", "wc", "-predictor", "ttage"}, &sb, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "unknown predictor") {
+		t.Errorf("error = %v, want unknown predictor", err)
+	}
+}

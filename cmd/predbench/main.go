@@ -8,19 +8,31 @@
 // differential tests, so shared compilation changes nothing), the
 // reported speedup isolates exactly the dynamic-execution path this
 // optimization work rebuilt; the one-time compilation cost is reported
-// separately as compile_seconds.  The JSON report (BENCH_PR3.json)
-// records wall clock and steps/second per arm, the fast/legacy speedup,
-// and the fast path's steady-state allocations per emulated step.
+// separately as compile_seconds.
+//
+// With -gang (the default) the harness additionally times the
+// full-matrix sweep — every artifact measured on every machine
+// configuration — on both multi-config data paths: the fast per-config
+// arm (one simulator per configuration fanned out over one emulation)
+// and the gang arm (one sim.Gang stepping all configurations through
+// the same event batches in a single pass).  gang_speedup is the
+// wall-clock ratio of those two arms: the speedup over the fast arm,
+// reported alongside the fast/legacy speedup so BENCH_PR6.json is
+// directly comparable to BENCH_PR3.json.
+//
+// The JSON report records wall clock and steps/second per arm, both
+// speedups, and the steady-state allocations per emulated step of the
+// fast path and of the gang sweep loop.
 //
 // Usage:
 //
-//	predbench                               # full suite, fast vs legacy
-//	predbench -kernels wc,sort -compare=false
-//	predbench -out BENCH_PR3.json -parallel 1
+//	predbench                               # full suite, all arms
+//	predbench -kernels wc,cmp -compare=false
+//	predbench -out BENCH_PR6.json -parallel 1 -predictor btb,gshare
 //
-// The exit status is non-zero when any suite cell fails or the measured
-// allocations per step exceed -max-allocs-per-step (the zero-allocation
-// regression gate used by CI).
+// The exit status is non-zero when any suite cell fails or either
+// measured allocations-per-step figure exceeds -max-allocs-per-step
+// (the zero-allocation regression gate used by CI).
 package main
 
 import (
@@ -84,12 +96,28 @@ type report struct {
 	Fast           armResult  `json:"fast"`
 	Legacy         *armResult `json:"legacy,omitempty"`
 	Speedup        float64    `json:"speedup,omitempty"`
-	AllocsPerStep  float64    `json:"allocs_per_step"`
-	AllocKernel    string     `json:"alloc_kernel"`
-	AllocSteps     int64      `json:"alloc_steps"`
+	// The full-matrix sweep arms (-gang): every artifact measured on
+	// every machine configuration, once per configuration on the fast
+	// per-config path and once through the single-pass gang simulator.
+	// GangSpeedup = SweepPerConfig.WallSeconds / SweepGang.WallSeconds —
+	// the gang arm's speedup over the fast arm.
+	SweepPredictors []string   `json:"sweep_predictors,omitempty"`
+	SweepPerConfig  *armResult `json:"sweep_per_config,omitempty"`
+	SweepGang       *armResult `json:"sweep_gang,omitempty"`
+	GangSpeedup     float64    `json:"gang_speedup,omitempty"`
+	AllocsPerStep   float64    `json:"allocs_per_step"`
+	AllocKernel     string     `json:"alloc_kernel"`
+	AllocSteps      int64      `json:"alloc_steps"`
+	// GangAllocsPerStep is the same steady-state gate over the gang
+	// sweep loop: one emulation of AllocKernel driving a gang of every
+	// stock machine configuration.
+	GangAllocsPerStep float64 `json:"gang_allocs_per_step,omitempty"`
 	// Machines describes every simulator configuration the suite matrix
 	// exercises, so the committed artifact records what it measured.
 	Machines []obs.MachineMeta `json:"machines"`
+	// SweepMachines describes every simulator configuration the sweep
+	// arms measure (the stock matrix crossed with -predictor).
+	SweepMachines []obs.MachineMeta `json:"sweep_machines,omitempty"`
 	// Breakdowns (with -breakdown) aggregates each model's stall-cycle
 	// decomposition over the 8-issue 1-branch cells, measured on an
 	// instrumented extra pass outside the timed region.
@@ -102,9 +130,11 @@ func run(args []string, out, errw io.Writer) error {
 	fs := flag.NewFlagSet("predbench", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	kernelList := fs.String("kernels", "", "comma-separated kernel names (default: all)")
-	outPath := fs.String("out", "BENCH_PR3.json", "path of the JSON report (empty = stdout only)")
+	outPath := fs.String("out", "BENCH_PR6.json", "path of the JSON report (empty = stdout only)")
 	parallel := fs.Int("parallel", 0, "worker pool size for the suite matrix (0 = GOMAXPROCS, 1 = sequential)")
 	compare := fs.Bool("compare", true, "also time the legacy interpreter + map-based simulator baseline")
+	gang := fs.Bool("gang", true, "also time the full-matrix sweep arms: single-pass gang simulator vs fast per-config fanout")
+	predictor := fs.String("predictor", "", "comma-separated branch predictors the sweep arms cross the matrix with (btb, gshare; default btb)")
 	trials := fs.Int("trials", 3, "timed repetitions per arm; the fastest is reported (noise only ever adds time)")
 	maxAllocs := fs.Float64("max-allocs-per-step", 0.001,
 		"fail when the fast path's steady-state allocations per emulated step exceed this")
@@ -120,6 +150,17 @@ func run(args []string, out, errw io.Writer) error {
 	}
 	if *trials < 1 {
 		return fmt.Errorf("-trials %d: need at least one timed repetition", *trials)
+	}
+	if *predictor != "" && !*gang {
+		return fmt.Errorf("-predictor applies to the sweep arms and cannot be combined with -gang=false")
+	}
+	var preds []string
+	if *predictor != "" {
+		preds = strings.Split(*predictor, ",")
+	}
+	// Fail on a bad predictor list before the matrix compiles.
+	if _, err := experiments.SimConfigNames(preds); err != nil {
+		return err
 	}
 
 	var kernels []string
@@ -237,6 +278,60 @@ func run(args []string, out, errw io.Writer) error {
 		}
 	}
 
+	if *gang {
+		// The full-matrix sweep arms.  Same precompiled artifacts, same
+		// emulations, same trial/minimum discipline as the arms above; the
+		// two multi-config data paths interleave so ambient noise cannot
+		// bias one side.
+		sweepTrial := func(label string, gangArm bool) (armResult, error) {
+			fmt.Fprintf(errw, "timing %s sweep arm (full matrix, %d kernels)...\n", label, len(kernels))
+			runtime.GC()
+			start := time.Now()
+			steps, err := pre.RunSweepArm(gangArm, *parallel, preds)
+			wall := time.Since(start).Seconds()
+			if err != nil {
+				return armResult{}, fmt.Errorf("%s sweep arm: %w", label, err)
+			}
+			res := armResult{WallSeconds: wall, Steps: steps}
+			if wall > 0 {
+				res.StepsPerSec = float64(steps) / wall
+			}
+			fmt.Fprintf(errw, "%s sweep: %.2fs wall, %d steps, %.1f Msteps/s\n",
+				label, wall, steps, res.StepsPerSec/1e6)
+			return res, nil
+		}
+		var perCfg, gangRes *armResult
+		for t := 0; t < *trials; t++ {
+			p, err := sweepTrial("per-config", false)
+			if err != nil {
+				return err
+			}
+			if perCfg == nil || p.WallSeconds < perCfg.WallSeconds {
+				perCfg = &p
+			}
+			g, err := sweepTrial("gang", true)
+			if err != nil {
+				return err
+			}
+			if gangRes == nil || g.WallSeconds < gangRes.WallSeconds {
+				gangRes = &g
+			}
+		}
+		rep.SweepPerConfig, rep.SweepGang = perCfg, gangRes
+		if gangRes.WallSeconds > 0 {
+			rep.GangSpeedup = perCfg.WallSeconds / gangRes.WallSeconds
+		}
+		rep.SweepPredictors = preds
+		if len(preds) == 0 {
+			rep.SweepPredictors = experiments.Predictors[:1]
+		}
+		sm, err := pre.SweepMachines(preds)
+		if err != nil {
+			return err
+		}
+		rep.SweepMachines = sm
+	}
+
 	rep.Machines = pre.Machines()
 	if *breakdown {
 		// Instrumented pass after the timed arms: the accounting hooks live
@@ -256,6 +351,13 @@ func run(args []string, out, errw io.Writer) error {
 	rep.AllocsPerStep = allocs
 	rep.AllocSteps = steps
 	rep.AllocKernel = kname
+	if *gang {
+		gAllocs, err := gangAllocsPerStep(kernels)
+		if err != nil {
+			return err
+		}
+		rep.GangAllocsPerStep = gAllocs
+	}
 
 	js, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {
@@ -273,6 +375,10 @@ func run(args []string, out, errw io.Writer) error {
 	if rep.AllocsPerStep > *maxAllocs {
 		return fmt.Errorf("allocation regression: %.6f allocs/step on %s exceeds the %.6f gate",
 			rep.AllocsPerStep, kname, *maxAllocs)
+	}
+	if rep.GangAllocsPerStep > *maxAllocs {
+		return fmt.Errorf("allocation regression: %.6f allocs/step in the gang sweep loop on %s exceeds the %.6f gate",
+			rep.GangAllocsPerStep, kname, *maxAllocs)
 	}
 	return nil
 }
@@ -307,6 +413,39 @@ func allocsPerStep(kernels []string) (allocs float64, steps int64, kernel string
 		return 0, 0, kernel, fmt.Errorf("alloc gate: emulate %s: %w", kernel, err)
 	}
 	return float64(after.Mallocs-before.Mallocs) / float64(res.Steps), res.Steps, kernel, nil
+}
+
+// gangAllocsPerStep is the same steady-state gate over the gang sweep
+// loop: one emulation of the first requested kernel's full-predication
+// build driving a sim.Gang with one lane per stock machine configuration
+// (the exact hot loop of the gang sweep arm).
+func gangAllocsPerStep(kernels []string) (float64, error) {
+	kernel := kernels[0]
+	k, err := bench.ByName(kernel)
+	if err != nil {
+		return 0, err
+	}
+	c, err := core.Compile(k.Build(), core.FullPred, core.DefaultOptions(machine.Issue8Br1()))
+	if err != nil {
+		return 0, fmt.Errorf("gang alloc gate: compile %s: %w", kernel, err)
+	}
+	code, err := emu.Decode(c.Prog)
+	if err != nil {
+		return 0, fmt.Errorf("gang alloc gate: decode %s: %w", kernel, err)
+	}
+	g := sim.NewGang(c.Prog, []machine.Config{
+		machine.Issue1(), machine.Issue1Cache(), machine.Issue4Br1(),
+		machine.Issue8Br1(), machine.Issue8Br2(), machine.Issue8Br1Cache(),
+	})
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res, err := code.Run(emu.Options{Sink: g})
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return 0, fmt.Errorf("gang alloc gate: emulate %s: %w", kernel, err)
+	}
+	return float64(after.Mallocs-before.Mallocs) / float64(res.Steps), nil
 }
 
 // cpuModel reports the host CPU model when /proc/cpuinfo exposes it

@@ -167,3 +167,85 @@ func TestNoBreakdownByDefault(t *testing.T) {
 		t.Error("machine metadata missing from default report")
 	}
 }
+
+// TestGangSweepFields: the default run times the full-matrix sweep on
+// both multi-config data paths and reports the gang arm's speedup over
+// the fast per-config arm.  The per-config arm emulates each artifact
+// once per machine configuration (the pre-gang Measure pattern), so its
+// step count is exactly 6x the gang arm's single emulation.
+func TestGangSweepFields(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var sb, eb strings.Builder
+	if err := run([]string{"-kernels", "wc", "-compare=false", "-trials", "1", "-out", out}, &sb, &eb); err != nil {
+		t.Fatalf("predbench: %v\nstderr:\n%s", err, eb.String())
+	}
+	data, _ := os.ReadFile(out)
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.SweepGang == nil || rep.SweepPerConfig == nil {
+		t.Fatalf("sweep arms missing: gang %+v, per-config %+v", rep.SweepGang, rep.SweepPerConfig)
+	}
+	if rep.SweepGang.Steps <= 0 || rep.SweepPerConfig.Steps != 6*rep.SweepGang.Steps {
+		t.Errorf("sweep steps: gang %d, per-config %d (want exactly 6x gang)",
+			rep.SweepGang.Steps, rep.SweepPerConfig.Steps)
+	}
+	if rep.GangSpeedup <= 0 {
+		t.Errorf("gang speedup not computed: %f", rep.GangSpeedup)
+	}
+	if len(rep.SweepPredictors) != 1 || rep.SweepPredictors[0] != "btb" {
+		t.Errorf("sweep predictors = %v, want [btb]", rep.SweepPredictors)
+	}
+	if len(rep.SweepMachines) != 6 {
+		t.Errorf("%d sweep machines, want 6", len(rep.SweepMachines))
+	}
+	if rep.GangAllocsPerStep > 0.001 {
+		t.Errorf("gang allocs/step = %f, gang hot loop is allocating", rep.GangAllocsPerStep)
+	}
+}
+
+// TestGangFalseOmitsSweep: -gang=false skips the sweep arms entirely,
+// and -predictor (a sweep-arm axis) cannot be combined with it.
+func TestGangFalseOmitsSweep(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var sb, eb strings.Builder
+	if err := run([]string{"-kernels", "wc", "-compare=false", "-trials", "1", "-gang=false", "-out", out}, &sb, &eb); err != nil {
+		t.Fatalf("predbench: %v", err)
+	}
+	data, _ := os.ReadFile(out)
+	if strings.Contains(string(data), "\"sweep_gang\"") {
+		t.Error("sweep arm present despite -gang=false")
+	}
+	err := run([]string{"-kernels", "wc", "-gang=false", "-predictor", "gshare", "-out", ""}, &sb, &eb)
+	if err == nil || !strings.Contains(err.Error(), "cannot be combined") {
+		t.Errorf("error = %v, want -predictor/-gang=false conflict", err)
+	}
+}
+
+// TestSweepPredictorAxis: -predictor crosses the sweep matrix (12
+// machines for btb,gshare) and unknown predictors fail before anything
+// compiles.
+func TestSweepPredictorAxis(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "bench.json")
+	var sb, eb strings.Builder
+	if err := run([]string{"-kernels", "wc", "-compare=false", "-trials", "1",
+		"-predictor", "btb,gshare", "-out", out}, &sb, &eb); err != nil {
+		t.Fatalf("predbench: %v\nstderr:\n%s", err, eb.String())
+	}
+	data, _ := os.ReadFile(out)
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.SweepMachines) != 12 {
+		t.Errorf("%d sweep machines, want 12", len(rep.SweepMachines))
+	}
+	if len(rep.SweepPredictors) != 2 {
+		t.Errorf("sweep predictors = %v, want [btb gshare]", rep.SweepPredictors)
+	}
+	err := run([]string{"-kernels", "wc", "-predictor", "ttage", "-out", ""}, &sb, &eb)
+	if err == nil || !strings.Contains(err.Error(), "unknown predictor") {
+		t.Errorf("error = %v, want unknown predictor", err)
+	}
+}

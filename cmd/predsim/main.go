@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	predsim -bench wc -model full -machine issue8-br1 [-dump] [-stages]
+//	predsim -bench wc -model full -machine issue8-br1 [-dump] [-stages] [-gang=false]
 //	predsim -file prog.psasm -model cmov
 //	predsim -list
 package main
@@ -66,6 +66,7 @@ func run(args []string, out io.Writer) error {
 	stages := fs.Bool("stages", false, "dump the program after every pipeline stage")
 	schedule := fs.Bool("schedule", false, "print the hottest block with issue cycles (the paper's Figure 5/6 presentation)")
 	verify := fs.Bool("verify", false, "run the structural IR verifier after every pipeline stage")
+	gang := fs.Bool("gang", true, "simulate on the gang data path (a one-lane sim.Gang; -gang=false falls back to the per-config simulator)")
 	predictorName := fs.String("predictor", "btb", "branch direction predictor: btb | gshare")
 	breakdown := fs.Bool("breakdown", false, "print the stall-cycle breakdown and instruction mix (see docs/OBSERVABILITY.md)")
 	statsJSON := fs.String("stats-json", "", "write the full report as JSON to this file (- for stdout)")
@@ -175,14 +176,33 @@ func run(args []string, out io.Writer) error {
 
 	// Stream the emulation into the timing simulator — and, for -schedule,
 	// a per-instruction frequency counter; for -trace-out, the structured
-	// trace writer — without materializing the trace.
-	simulator := sim.New(c.Prog, mc)
+	// trace writer — without materializing the trace.  The simulator is a
+	// one-lane sim.Gang by default (the data path the suite and serving
+	// daemon run on); -gang=false falls back to the per-config reference
+	// simulator.  The two are pinned Stats-identical by the gang parity
+	// tests, so the flag changes the code path under test, not the report.
+	var (
+		simSink    emu.TraceSink
+		instrument func(*obs.CycleAccount)
+		stats      func() sim.Stats
+	)
+	if *gang {
+		g := sim.NewGang(c.Prog, []machine.Config{mc})
+		simSink = g
+		instrument = func(a *obs.CycleAccount) { g.Instrument(0, a) }
+		stats = func() sim.Stats { return g.Stats(0) }
+	} else {
+		s := sim.New(c.Prog, mc)
+		simSink = s
+		instrument = func(a *obs.CycleAccount) { s.Instrument(a) }
+		stats = s.Stats
+	}
 	var acct *obs.CycleAccount
 	if *breakdown || *statsJSON != "" {
 		acct = &obs.CycleAccount{}
-		simulator.Instrument(acct)
+		instrument(acct)
 	}
-	sinks := emu.FanoutSink{simulator}
+	sinks := emu.FanoutSink{simSink}
 	var counts countingSink
 	if *schedule {
 		counts = countingSink{}
@@ -205,7 +225,7 @@ func run(args []string, out io.Writer) error {
 		}
 		sinks = append(sinks, tracer)
 	}
-	var sink emu.TraceSink = simulator
+	sink := simSink
 	if len(sinks) > 1 {
 		sink = sinks
 	}
@@ -218,7 +238,7 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("trace: %w", err)
 		}
 	}
-	st := simulator.Stats()
+	st := stats()
 	if acct != nil {
 		if err := acct.Verify(st.Cycles, st.Instrs, st.Nullified); err != nil {
 			return err

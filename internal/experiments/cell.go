@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 
 	"predication/internal/bench"
 	"predication/internal/core"
@@ -19,9 +20,17 @@ import (
 // pins the served numbers to the ones the figures report.
 
 // SchedTarget maps a simulator configuration to the machine its code is
-// scheduled for.  The cache variants share the perfect-cache schedules:
-// caches change timing, not compilation (see schedTargets/simsFor).
+// scheduled for.  The cache variants share the perfect-cache schedules
+// (caches change timing, not compilation — see schedTargets/simsFor),
+// and predictor variants ("issue8-br1+gshare") schedule like their base
+// machine: the predictor is a front-end structure the scheduler never
+// sees.
 func SchedTarget(cfg machine.Config) machine.Config {
+	if i := strings.IndexByte(cfg.Name, '+'); i >= 0 {
+		if base, err := machine.ByName(cfg.Name[:i]); err == nil {
+			cfg = base
+		}
+	}
 	switch cfg.Name {
 	case "issue1-64k":
 		return machine.Issue1()
@@ -103,4 +112,52 @@ func (a *CellArtifact) Measure(cfg machine.Config, observe bool) (*Measurement, 
 		}
 	}
 	return &Measurement{Stats: st, Checksum: run.Word(bench.CheckAddr), Steps: run.Steps, Account: acct}, nil
+}
+
+// MeasureAll emulates the artifact once and measures every given
+// machine configuration in that single pass through a sim.Gang, one
+// lane per configuration — the single-pass multi-config form of
+// Measure.  The returned measurements parallel cfgs and share the run's
+// checksum and step count (there was exactly one emulation).  With
+// observe set every lane carries its own cycle account, each verified
+// against that lane's stats.  The serving daemon uses this to fill all
+// sibling cache entries of a cell from one emulation.
+func (a *CellArtifact) MeasureAll(cfgs []machine.Config, observe bool) ([]*Measurement, error) {
+	if len(cfgs) == 0 {
+		return nil, fmt.Errorf("%s %v: MeasureAll needs at least one configuration", a.Kernel, a.Model)
+	}
+	g := sim.NewGang(a.Compiled.Prog, cfgs)
+	var accts []*obs.CycleAccount
+	if observe {
+		accts = make([]*obs.CycleAccount, len(cfgs))
+		for i := range cfgs {
+			accts[i] = &obs.CycleAccount{}
+			g.Instrument(i, accts[i])
+		}
+	}
+	run, err := a.Code.Run(emu.Options{Sink: g})
+	if err != nil {
+		return nil, fmt.Errorf("%s %v: emulate: %w", a.Kernel, a.Model, err)
+	}
+	ms := make([]*Measurement, len(cfgs))
+	for i, cfg := range cfgs {
+		st := g.Stats(i)
+		m := &Measurement{Stats: st, Checksum: run.Word(bench.CheckAddr), Steps: run.Steps}
+		if observe {
+			if err := accts[i].Verify(st.Cycles, st.Instrs, st.Nullified); err != nil {
+				return nil, fmt.Errorf("%s %v @ %s: cycle accounting: %w", a.Kernel, a.Model, cfg.Name, err)
+			}
+			m.Account = accts[i]
+		}
+		ms[i] = m
+	}
+	return ms, nil
+}
+
+// SimsFor returns the simulator configurations whose measurements share
+// code scheduled for the given target — the sibling set MeasureAll can
+// fill from one emulation (the exported form of the harness's
+// simsFor).
+func SimsFor(target machine.Config) []machine.Config {
+	return simsFor(target)
 }

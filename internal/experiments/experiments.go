@@ -117,6 +117,19 @@ type Options struct {
 	// cells_failed, steps_total) and a per-cell dynamic-step histogram
 	// (cell_steps).  See obs.Registry for the JSON schema.
 	Registry *obs.Registry
+	// Predictors selects the branch predictors the matrix crosses with
+	// (nil = {"btb"}, the paper's machine).  The first listed predictor
+	// keeps the bare configuration names, so the default matrix is
+	// unchanged; each additional predictor re-measures every machine
+	// configuration under a suffixed name ("issue8-br1+gshare").  See
+	// predictors.go.
+	Predictors []string
+	// PerConfigSim opts out of the gang simulator: each matrix cell runs
+	// one sim.Simulator per machine configuration behind an
+	// emu.FanoutSink, the pre-gang data path.  Results are identical
+	// (the gang is pinned Stats-identical to the per-config simulator);
+	// only the wall clock differs.  The legacy path implies it.
+	PerConfigSim bool
 }
 
 // schedTargets are the machine configurations code is scheduled for.  The
@@ -183,19 +196,31 @@ type streamSim interface {
 	Stats() sim.Stats
 }
 
+// cellOpts is the per-cell slice of Options (predictors already
+// normalized).
+type cellOpts struct {
+	legacy     bool
+	observe    bool
+	perConfig  bool
+	predictors []string
+}
+
 // runCell compiles the kernel once for the cell's model and target,
-// emulates the compiled program once, and streams the dynamic trace
-// through an emu.FanoutSink into one simulator per simulator
-// configuration simultaneously — the compile-once / emulate-once /
-// simulate-many core of the harness.  The trace is never materialized.
-func runCell(k *bench.Kernel, cell cellSpec, legacy, observe bool) (*cellResult, error) {
+// emulates the compiled program once, and measures every simulator
+// configuration sharing the scheduled code in that single pass — the
+// compile-once / emulate-once / simulate-many core of the harness.  The
+// trace is never materialized.  The default data path streams the batch
+// into a sim.Gang, one lane per configuration; the per-config fallback
+// (and the legacy path, whose simulator has no gang form) fans the
+// stream out into one simulator per configuration instead.
+func runCell(k *bench.Kernel, cell cellSpec, o cellOpts) (*cellResult, error) {
 	if CellHook != nil {
 		CellHook(k.Name, cell.model, cell.target.Name)
 	}
 	copts := core.DefaultOptions(cell.target)
-	copts.LegacyEmu = legacy
+	copts.LegacyEmu = o.legacy
 	var pipe *obs.PipelineTrace
-	if observe {
+	if o.observe {
 		pipe = obs.NewPipelineTrace()
 		copts.Pipeline = pipe
 	}
@@ -203,15 +228,38 @@ func runCell(k *bench.Kernel, cell cellSpec, legacy, observe bool) (*cellResult,
 	if err != nil {
 		return nil, fmt.Errorf("%v @ %s: %w", cell.model, cell.target.Name, err)
 	}
-	cfgs := simsFor(cell.target)
+	cfgs := simConfigs(cell.target, o.predictors)
+
+	if !o.legacy && !o.perConfig {
+		g := sim.NewGang(c.Prog, cfgs)
+		var accounts []*obs.CycleAccount
+		if o.observe {
+			accounts = make([]*obs.CycleAccount, len(cfgs))
+			for i := range cfgs {
+				accounts[i] = &obs.CycleAccount{}
+				g.Instrument(i, accounts[i])
+			}
+		}
+		run, err := emu.Run(c.Prog, emu.Options{Sink: g})
+		if err != nil {
+			return nil, fmt.Errorf("%v @ %s: emulate: %w", cell.model, cell.target.Name, err)
+		}
+		res := &cellResult{checksum: run.Word(bench.CheckAddr), steps: run.Steps,
+			accounts: accounts, pipeline: pipe}
+		for i := range cfgs {
+			res.stats = append(res.stats, g.Stats(i))
+		}
+		return res, nil
+	}
+
 	sims := make([]streamSim, len(cfgs))
 	var accounts []*obs.CycleAccount
 	for i, sc := range cfgs {
-		if legacy {
+		if o.legacy {
 			sims[i] = sim.NewLegacy(c.Prog, sc)
 		} else {
 			s := sim.New(c.Prog, sc)
-			if observe {
+			if o.observe {
 				var a obs.CycleAccount
 				s.Instrument(&a)
 				accounts = append(accounts, &a)
@@ -227,7 +275,7 @@ func runCell(k *bench.Kernel, cell cellSpec, legacy, observe bool) (*cellResult,
 		}
 		sink = fan
 	}
-	run, err := emu.Run(c.Prog, emu.Options{Sink: sink, Legacy: legacy})
+	run, err := emu.Run(c.Prog, emu.Options{Sink: sink, Legacy: o.legacy})
 	if err != nil {
 		return nil, fmt.Errorf("%v @ %s: emulate: %w", cell.model, cell.target.Name, err)
 	}
@@ -254,6 +302,12 @@ func Run(opts Options) (*Suite, error) {
 	if opts.Observe && opts.LegacyEmu {
 		return nil, fmt.Errorf("experiments: Options.Observe is unsupported with Options.LegacyEmu: cycle accounting instruments the pre-decoded simulator only (run without LegacyEmu to observe)")
 	}
+	predictors, err := normalizePredictors(opts.Predictors)
+	if err != nil {
+		return nil, err
+	}
+	co := cellOpts{legacy: opts.LegacyEmu, observe: opts.Observe,
+		perConfig: opts.PerConfigSim, predictors: predictors}
 	kernels := bench.All()
 	if opts.Kernels != nil {
 		named := make([]*bench.Kernel, 0, len(opts.Kernels))
@@ -284,11 +338,11 @@ func Run(opts Options) (*Suite, error) {
 	}
 	nConfigs := 0
 	for _, cell := range cells {
-		nConfigs += len(simsFor(cell.target))
+		nConfigs += len(simConfigs(cell.target, predictors))
 	}
 	var progressMu sync.Mutex
 
-	err := runJobs(n, opts.Parallel, func(i int) error {
+	err = runJobs(n, opts.Parallel, func(i int) error {
 		ki := i / stride
 		k := kernels[ki]
 		var ce *CellError
@@ -310,7 +364,7 @@ func Run(opts Options) (*Suite, error) {
 		} else {
 			cell := cells[i%stride-1]
 			cr, err := guardCell(opts.CellTimeout, func() (*cellResult, error) {
-				return runCell(k, cell, opts.LegacyEmu, opts.Observe)
+				return runCell(k, cell, co)
 			})
 			if err != nil {
 				ce = &CellError{Kernel: k.Name, Model: cell.model, Target: cell.target.Name, Err: err}
@@ -391,7 +445,7 @@ func Run(opts Options) (*Suite, error) {
 						continue
 					}
 				}
-				for si, sc := range simsFor(cell.target) {
+				for si, sc := range simConfigs(cell.target, predictors) {
 					res.Stats[Key{cell.model, sc.Name}] = cr.stats[si]
 					if cr.accounts != nil {
 						res.Accounts[Key{cell.model, sc.Name}] = cr.accounts[si]
@@ -574,6 +628,104 @@ func (p *Precompiled) RunArm(legacy bool, parallel int) (int64, error) {
 	return total, nil
 }
 
+// RunSweepArm runs the full-matrix sweep workload: every precompiled
+// (kernel, model, sched-target) artifact measured on every machine
+// configuration, crossed with the predictor axis.  This is the workload
+// shape of the paper's headline figures, where one dynamic stream
+// prices many machines.  gang selects the data path:
+//
+//   - gang=true emulates each artifact once, streaming the batches into
+//     a sim.Gang that prices every configuration in that single pass.
+//
+//   - gang=false reproduces the pre-gang harness's cost model: one
+//     Measure-style pass — one emulation streamed into one Simulator —
+//     per configuration, which is exactly what CellArtifact.Measure
+//     (and the serving daemon, per cache miss) ran per configuration
+//     before MeasureAll existed.
+//
+// cmd/predbench times the two against each other in BENCH_PR6.json.
+// Checksums are validated across every run of each kernel; the return
+// value is the total dynamic instructions actually emulated by the arm
+// (the per-config arm emulates each artifact len(configs) times, and
+// its step count says so).
+func (p *Precompiled) RunSweepArm(gang bool, parallel int, predictors []string) (int64, error) {
+	preds, err := normalizePredictors(predictors)
+	if err != nil {
+		return 0, err
+	}
+	cfgs := sweepConfigs(preds)
+	steps := make([]int64, len(p.progs))
+	sums := make([]int64, len(p.progs))
+	var memPool sync.Pool
+	getBuf := func() []int64 { b, _ := memPool.Get().([]int64); return b }
+	err = runJobs(len(p.progs), parallel, func(i int) error {
+		k := p.kernels[i/len(p.cells)]
+		cell := p.cells[i%len(p.cells)]
+		if gang {
+			g := sim.NewGang(p.progs[i].Prog, cfgs)
+			r, err := p.codes[i].Run(emu.Options{Sink: g, MemBuf: getBuf()})
+			if err != nil {
+				return fmt.Errorf("%s %v @ %s: emulate: %w", k.Name, cell.model, cell.target.Name, err)
+			}
+			steps[i], sums[i] = r.Steps, r.Word(bench.CheckAddr)
+			memPool.Put(r.Mem)
+			return nil
+		}
+		for ci, sc := range cfgs {
+			s := sim.New(p.progs[i].Prog, sc)
+			r, err := p.codes[i].Run(emu.Options{Sink: s, MemBuf: getBuf()})
+			if err != nil {
+				return fmt.Errorf("%s %v @ %s on %s: emulate: %w", k.Name, cell.model, cell.target.Name, sc.Name, err)
+			}
+			sum := r.Word(bench.CheckAddr)
+			if ci == 0 {
+				sums[i] = sum
+			} else if sum != sums[i] {
+				return fmt.Errorf("%s %v @ %s on %s: checksum mismatch %#x != %#x",
+					k.Name, cell.model, cell.target.Name, sc.Name, sum, sums[i])
+			}
+			steps[i] += r.Steps
+			memPool.Put(r.Mem)
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Without reference runs in the timed region, the cells of one kernel
+	// validate against each other: every compilation model must compute
+	// the same checksum.
+	var total int64
+	for ki := range p.kernels {
+		ref := sums[ki*len(p.cells)]
+		for ci := range p.cells {
+			if got := sums[ki*len(p.cells)+ci]; got != ref {
+				return 0, fmt.Errorf("%s %v @ %s: checksum mismatch %#x != %#x",
+					p.kernels[ki].Name, p.cells[ci].model, p.cells[ci].target.Name, got, ref)
+			}
+		}
+	}
+	for _, s := range steps {
+		total += s
+	}
+	return total, nil
+}
+
+// SweepMachines enumerates the metadata of every simulator configuration
+// the full-matrix sweep (RunSweepArm) measures, in reporting order, for
+// the benchmark report's self-description.
+func (p *Precompiled) SweepMachines(predictors []string) ([]obs.MachineMeta, error) {
+	preds, err := normalizePredictors(predictors)
+	if err != nil {
+		return nil, err
+	}
+	var metas []obs.MachineMeta
+	for _, cfg := range sweepConfigs(preds) {
+		metas = append(metas, obs.MachineMetaOf(cfg))
+	}
+	return metas, nil
+}
+
 // Machines enumerates the metadata of every simulator configuration the
 // precompiled matrix exercises, deduplicated in first-seen matrix order.
 // cmd/predbench embeds the list in its JSON report so committed benchmark
@@ -659,7 +811,7 @@ func RunBenchmark(k *bench.Kernel) (*BenchResult, error) {
 			res.Checksum = ref.Word(bench.CheckAddr)
 			return nil
 		}
-		cr, err := runCell(k, cells[i-1], false, false)
+		cr, err := runCell(k, cells[i-1], cellOpts{predictors: Predictors[:1]})
 		if err != nil {
 			return err
 		}

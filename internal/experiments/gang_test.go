@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"predication/internal/core"
+	"predication/internal/machine"
+)
+
+// TestGangMatchesPerConfig pins the harness-level gang refactor: a suite
+// run on the default gang data path is Stats-identical, key for key, to
+// the per-config fallback (Options.PerConfigSim).
+func TestGangMatchesPerConfig(t *testing.T) {
+	kernels := []string{"wc", "grep", "qsort"}
+	gang, err := Run(Options{Kernels: kernels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, err := Run(Options{Kernels: kernels, PerConfigSim: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gang.Errors) != 0 || len(per.Errors) != 0 {
+		t.Fatalf("cell errors: gang %v, per-config %v", gang.Errors, per.Errors)
+	}
+	if gang.Steps != per.Steps {
+		t.Errorf("steps diverge: gang %d, per-config %d", gang.Steps, per.Steps)
+	}
+	for i, r := range gang.Results {
+		pr := per.Results[i]
+		if r.Name != pr.Name || r.Checksum != pr.Checksum {
+			t.Fatalf("merge order diverges at %d: %s/%s", i, r.Name, pr.Name)
+		}
+		if !reflect.DeepEqual(r.Stats, pr.Stats) {
+			t.Errorf("%s: stats diverge between gang and per-config paths", r.Name)
+		}
+	}
+}
+
+// TestPredictorAxis runs the matrix with the predictor axis enabled: the
+// default cells keep their bare configuration names (byte-identical to a
+// run without the axis), and every machine configuration gains a
+// "+gshare" twin that was actually measured.
+func TestPredictorAxis(t *testing.T) {
+	kernels := []string{"wc", "grep"}
+	base, err := Run(Options{Kernels: kernels})
+	if err != nil {
+		t.Fatal(err)
+	}
+	both, err := Run(Options{Kernels: kernels, Predictors: []string{"btb", "gshare"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(both.Errors) != 0 {
+		t.Fatalf("cell errors: %v", both.Errors)
+	}
+	for i, r := range both.Results {
+		br := base.Results[i]
+		for key, st := range br.Stats {
+			if got, ok := r.Stats[key]; !ok || got != st {
+				t.Errorf("%s %v/%s: primary-predictor cell changed under the axis", r.Name, key.Model, key.Config)
+			}
+		}
+		gsh := 0
+		for key := range r.Stats {
+			if key.Config == "issue8-br1+gshare" && key.Model == core.FullPred {
+				gsh++
+				a := r.Stats[Key{key.Model, "issue8-br1"}]
+				b := r.Stats[key]
+				// Same stream, different predictor: everything but the
+				// prediction-dependent fields matches.
+				if a.Instrs != b.Instrs || a.CondBranches != b.CondBranches {
+					t.Errorf("%s: gshare twin diverges in stream-pure stats", r.Name)
+				}
+			}
+		}
+		if gsh == 0 {
+			t.Errorf("%s: no issue8-br1+gshare cell measured", r.Name)
+		}
+	}
+}
+
+// TestPredictorValidation pins the one-line errors for a bad predictor
+// list.
+func TestPredictorValidation(t *testing.T) {
+	if _, err := Run(Options{Predictors: []string{"ttage"}}); err == nil {
+		t.Error("unknown predictor accepted")
+	}
+	if _, err := Run(Options{Predictors: []string{"btb", "btb"}}); err == nil {
+		t.Error("duplicate predictor accepted")
+	}
+	if _, err := SimConfigNames([]string{"nope"}); err == nil {
+		t.Error("SimConfigNames accepted unknown predictor")
+	}
+	names, err := SimConfigNames([]string{"btb", "gshare"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 12 || names[0] != "issue1" || names[6] != "issue1+gshare" {
+		t.Errorf("unexpected config name expansion: %v", names)
+	}
+}
+
+// TestMeasureAll pins the exported single-pass cell surface: one
+// emulation fills every sibling configuration with measurements
+// identical to per-config Measure.
+func TestMeasureAll(t *testing.T) {
+	art, err := CompileCell("wc", core.FullPred, machine.Issue8Br1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := SimsFor(art.Target)
+	if len(cfgs) != 2 {
+		t.Fatalf("expected 2 sibling configs for issue8-br1, got %d", len(cfgs))
+	}
+	ms, err := art.MeasureAll(cfgs, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range cfgs {
+		ref, err := art.Measure(cfg, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ms[i].Stats != ref.Stats || ms[i].Checksum != ref.Checksum || ms[i].Steps != ref.Steps {
+			t.Errorf("%s: MeasureAll diverges from Measure:\n  all %+v\n  one %+v", cfg.Name, ms[i], ref)
+		}
+		if *ms[i].Account != *ref.Account {
+			t.Errorf("%s: MeasureAll account diverges from Measure", cfg.Name)
+		}
+	}
+	if _, err := art.MeasureAll(nil, false); err == nil {
+		t.Error("MeasureAll accepted an empty configuration list")
+	}
+}
+
+// TestRunSweepArmPaths pins the benchmark sweep's cost model: the gang
+// arm emulates each artifact once, the per-config arm once per machine
+// configuration (the pre-gang Measure pattern), so its step count is
+// exactly len(sweep configs) times the gang arm's.  The gang path also
+// accepts the predictor axis.
+func TestRunSweepArmPaths(t *testing.T) {
+	p, err := Precompile([]string{"wc", "grep"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gangSteps, err := p.RunSweepArm(true, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSteps, err := p.RunSweepArm(false, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gangSteps == 0 || perSteps != 6*gangSteps {
+		t.Errorf("sweep steps: gang %d, per-config %d (want exactly 6x gang)", gangSteps, perSteps)
+	}
+	if _, err := p.RunSweepArm(true, 0, []string{"btb", "gshare"}); err != nil {
+		t.Errorf("gshare sweep: %v", err)
+	}
+	if _, err := p.RunSweepArm(true, 0, []string{"bad"}); err == nil {
+		t.Error("sweep accepted unknown predictor")
+	}
+	metas, err := p.SweepMachines([]string{"btb", "gshare"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) != 12 {
+		t.Errorf("want 12 sweep machines, got %d", len(metas))
+	}
+}

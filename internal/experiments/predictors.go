@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"predication/internal/machine"
+)
+
+// The predictor axis: the suite matrix is kernel × model × machine ×
+// predictor.  The paper's machine uses the BTB with 2-bit counters, so
+// "btb" is the default and the primary predictor keeps the bare machine
+// configuration names — the default matrix (cells, cache keys, merge
+// order, table lookups) is byte-for-byte what it was before the axis
+// existed.  Every additional predictor replays the full machine matrix
+// under suffixed configuration names ("issue8-br1+gshare"), which makes
+// the counterfactual a first-class set of matrix cells instead of the
+// bolted-on side table the extension report used to build.
+
+// Predictors lists the recognized predictor names in reporting order.
+var Predictors = []string{"btb", "gshare"}
+
+// normalizePredictors validates a predictor list: nil or empty defaults
+// to {"btb"}, names must be recognized, and duplicates are rejected
+// (they would create colliding matrix keys).
+func normalizePredictors(preds []string) ([]string, error) {
+	if len(preds) == 0 {
+		return Predictors[:1], nil
+	}
+	seen := map[string]bool{}
+	for _, p := range preds {
+		known := false
+		for _, n := range Predictors {
+			if p == n {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return nil, fmt.Errorf("experiments: unknown predictor %q (have %s)", p, strings.Join(Predictors, ", "))
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("experiments: duplicate predictor %q", p)
+		}
+		seen[p] = true
+	}
+	return preds, nil
+}
+
+// applyPredictor specializes a machine configuration for one predictor.
+// The primary predictor keeps the bare configuration name; secondary
+// predictors get a "+name" suffix, which flows through Key.Config, the
+// serving cache keys, and the table headings.
+func applyPredictor(cfg machine.Config, pred string, primary bool) machine.Config {
+	cfg.Gshare = pred == "gshare"
+	if !primary {
+		cfg.Name += "+" + pred
+	}
+	return cfg
+}
+
+// ApplyPredictor specializes a bare machine configuration for one named
+// predictor using the suite's naming convention: the default "btb" (or
+// an empty name) leaves the configuration bare, any other recognized
+// predictor sets its flag and suffixes the configuration name.  It is
+// the single-config form of the Options.Predictors axis, used by the
+// serving daemon's ?predictor= parameter.
+func ApplyPredictor(cfg machine.Config, pred string) (machine.Config, error) {
+	if pred == "" {
+		pred = Predictors[0]
+	}
+	if _, err := normalizePredictors([]string{pred}); err != nil {
+		return machine.Config{}, err
+	}
+	return applyPredictor(cfg, pred, pred == Predictors[0]), nil
+}
+
+// simConfigs expands simsFor(target) across the predictor axis: the
+// primary predictor's configurations first (in simsFor order, under
+// their bare names), then each additional predictor's suffixed
+// configurations.  Callers must pass an already-normalized list.
+func simConfigs(target machine.Config, predictors []string) []machine.Config {
+	base := simsFor(target)
+	if len(predictors) <= 1 && (len(predictors) == 0 || predictors[0] == "btb") {
+		return base
+	}
+	out := make([]machine.Config, 0, len(base)*len(predictors))
+	for pi, pred := range predictors {
+		for _, cfg := range base {
+			out = append(out, applyPredictor(cfg, pred, pi == 0))
+		}
+	}
+	return out
+}
+
+// reportConfigNames is the suite's configuration reporting order (the
+// order cmd/figures emits per-config stats in).
+var reportConfigNames = []string{
+	"issue1", "issue1-64k", "issue4-br1", "issue8-br1", "issue8-br2", "issue8-br1-64k",
+}
+
+// sweepConfigs expands the full machine matrix across the predictor
+// axis, in reporting order: every stock configuration under the primary
+// predictor's bare names, then the suffixed set per additional
+// predictor.  This is the simulator-configuration list of the full
+// sweep (Precompiled.RunSweepArm), where every artifact is measured on
+// every machine.
+func sweepConfigs(predictors []string) []machine.Config {
+	stock := []machine.Config{
+		machine.Issue1(), machine.Issue1Cache(), machine.Issue4Br1(),
+		machine.Issue8Br1(), machine.Issue8Br2(), machine.Issue8Br1Cache(),
+	}
+	out := make([]machine.Config, 0, len(stock)*len(predictors))
+	for pi, pred := range predictors {
+		for _, cfg := range stock {
+			out = append(out, applyPredictor(cfg, pred, pi == 0))
+		}
+	}
+	return out
+}
+
+// SimConfigNames returns every simulator configuration name the suite
+// measures for the given predictor list, in reporting order: the bare
+// names for the primary predictor, then the suffixed names of each
+// additional predictor.  An invalid predictor list is an error, matching
+// Run's validation.
+func SimConfigNames(predictors []string) ([]string, error) {
+	preds, err := normalizePredictors(predictors)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for pi, pred := range preds {
+		for _, n := range reportConfigNames {
+			if pi == 0 {
+				names = append(names, n)
+			} else {
+				names = append(names, n+"+"+pred)
+			}
+		}
+	}
+	return names, nil
+}

@@ -7,6 +7,10 @@
 // compiled artifacts shared across simulator configurations, and
 // rendered response bodies — plus singleflight request coalescing so N
 // concurrent identical requests cost one compile+simulate execution.
+// A cell miss computes through the gang simulator: the one emulation is
+// measured for every simulator configuration sharing the artifact's
+// scheduled code, and every sibling's rendered body enters the result
+// cache at once (docs/SERVING.md, "cache-fill semantics").
 // Compute is admission-controlled: a bounded worker pool with a bounded
 // waiting line; an overflowing queue is refused with 429 + Retry-After,
 // and every request runs under a deadline mapped onto the harness's
@@ -16,7 +20,7 @@
 //
 // Endpoints (all GET, all JSON):
 //
-//	/v1/cell?kernel=wc&model=full&machine=issue8-br1[&timeout=30s]
+//	/v1/cell?kernel=wc&model=full&machine=issue8-br1[&predictor=gshare][&timeout=30s]
 //	/v1/breakdown?...  — same cell, instrumented: adds the stall-cycle
 //	                     breakdown and instruction mix
 //	/v1/figures[?kernels=wc,grep]  — the paper's figure/table set
@@ -262,6 +266,12 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request, observe bool
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	pred := q.Get("predictor")
+	cfg, err = experiments.ApplyPredictor(cfg, pred)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	timeout, err := s.timeoutFor(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -279,7 +289,7 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request, observe bool
 			return nil, err
 		}
 		defer release()
-		return s.computeCell(key, kernel, model, cfg, observe, timeout)
+		return s.computeCell(key, kernel, model, cfg, pred, observe, timeout)
 	})
 	if err != nil {
 		s.writeComputeError(w, err)
@@ -294,21 +304,41 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request, observe bool
 }
 
 // computeCell is the cache-missing path of one cell request: compile (or
-// fetch) the artifact, measure it under the request deadline, render and
-// cache the body.  It runs inside the singleflight, so exactly one
-// execution happens per concurrent set of identical requests.
-func (s *Server) computeCell(key, kernel string, model core.Model, cfg machine.Config, observe bool, timeout time.Duration) ([]byte, error) {
+// fetch) the artifact, then gang-measure every simulator configuration
+// sharing that artifact's scheduled code in a single emulation
+// (experiments.MeasureAll) under the request deadline, rendering and
+// caching one body per sibling — one miss fills N result-cache entries
+// (the siblings count in serve_gang_fill).  It runs inside the
+// singleflight, so exactly one execution happens per concurrent set of
+// identical requests; concurrent requests for different siblings are
+// separate flights that may race, which is benign — both fill the same
+// deterministic bytes.
+func (s *Server) computeCell(key, kernel string, model core.Model, cfg machine.Config, pred string, observe bool, timeout time.Duration) ([]byte, error) {
 	if s.computeHook != nil {
 		s.computeHook(key)
 	}
 	s.reg.Counter("serve_executions").Inc()
 	start := time.Now()
-	m, err := experiments.Guard(timeout, func() (*experiments.Measurement, error) {
+	type gangRun struct {
+		cfgs []machine.Config
+		ms   []*experiments.Measurement
+	}
+	out, err := experiments.Guard(timeout, func() (*gangRun, error) {
 		art, err := s.artifact(kernel, model, cfg)
 		if err != nil {
 			return nil, err
 		}
-		return art.Measure(cfg, observe)
+		cfgs := experiments.SimsFor(art.Target)
+		for i := range cfgs {
+			if cfgs[i], err = experiments.ApplyPredictor(cfgs[i], pred); err != nil {
+				return nil, err
+			}
+		}
+		ms, err := art.MeasureAll(cfgs, observe)
+		if err != nil {
+			return nil, err
+		}
+		return &gangRun{cfgs: cfgs, ms: ms}, nil
 	})
 	if err != nil {
 		return nil, err
@@ -316,27 +346,40 @@ func (s *Server) computeCell(key, kernel string, model core.Model, cfg machine.C
 	s.reg.Histogram("serve_compute_ms", []int64{1, 10, 100, 1000, 10000}).
 		Observe(time.Since(start).Milliseconds())
 
-	resp := CellResponse{
-		Kernel:    kernel,
-		Model:     model.String(),
-		Machine:   obs.MachineMetaOf(cfg),
-		Key:       key,
-		Checksum:  m.Checksum,
-		Steps:     m.Steps,
-		Stats:     m.Stats,
-		IPC:       m.Stats.IPC(),
-		UsefulIPC: m.Stats.UsefulIPC(),
+	var body []byte
+	for i, c := range out.cfgs {
+		ckey := ResultKey(kernel, model, c, observe)
+		m := out.ms[i]
+		resp := CellResponse{
+			Kernel:    kernel,
+			Model:     model.String(),
+			Machine:   obs.MachineMetaOf(c),
+			Key:       ckey,
+			Checksum:  m.Checksum,
+			Steps:     m.Steps,
+			Stats:     m.Stats,
+			IPC:       m.Stats.IPC(),
+			UsefulIPC: m.Stats.UsefulIPC(),
+		}
+		if m.Account != nil {
+			resp.Breakdown = &m.Account.Breakdown
+			resp.Mix = m.Account.Mix()
+		}
+		b, err := json.MarshalIndent(&resp, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, '\n')
+		s.results.Add(ckey, b)
+		if ckey == key {
+			body = b
+		} else {
+			s.reg.Counter("serve_gang_fill").Inc()
+		}
 	}
-	if m.Account != nil {
-		resp.Breakdown = &m.Account.Breakdown
-		resp.Mix = m.Account.Mix()
+	if body == nil {
+		return nil, fmt.Errorf("serve: configuration %s missing from its own sibling set", cfg.Name)
 	}
-	body, err := json.MarshalIndent(&resp, "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	body = append(body, '\n')
-	s.results.Add(key, body)
 	return body, nil
 }
 

@@ -341,22 +341,60 @@ func TestBreakdownEndpoint(t *testing.T) {
 }
 
 // TestArtifactSharing: the cache variant of a machine shares the
-// compiled artifact with its perfect-cache scheduling target, so the
-// second cell costs a measurement but no compile.
+// compiled artifact with its perfect-cache scheduling target, and the
+// gang fill goes further — the first cell's one emulation measures and
+// caches every sibling configuration, so the second cell costs nothing
+// at all.
 func TestArtifactSharing(t *testing.T) {
 	s := New(Config{})
 	if rec := get(t, s, cellURL); rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
-	if rec := get(t, s, "/v1/cell?kernel=wc&model=full&machine=issue8-br1-64k"); rec.Code != http.StatusOK {
+	rec := get(t, s, "/v1/cell?kernel=wc&model=full&machine=issue8-br1-64k")
+	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
+	}
+	if h := rec.Header().Get("X-Cache"); h != "hit" {
+		t.Errorf("sibling cell X-Cache = %q, want \"hit\" (gang fill)", h)
 	}
 	if n := s.artifacts.Len(); n != 1 {
 		t.Errorf("artifact cache holds %d entries for two configs sharing one schedule, want 1", n)
 	}
 	snap := s.Registry().Snapshot()
-	if n := snap.Counters["serve_executions"]; n != 2 {
-		t.Errorf("executions = %d, want 2 (distinct machine = distinct measurement)", n)
+	if n := snap.Counters["serve_executions"]; n != 1 {
+		t.Errorf("executions = %d, want 1 (the gang fill covers the sibling)", n)
+	}
+	if n := snap.Counters["serve_gang_fill"]; n != 1 {
+		t.Errorf("serve_gang_fill = %d, want 1", n)
+	}
+}
+
+// TestPredictorParam: ?predictor=gshare is a distinct, gang-filled cell
+// set under suffixed machine names; an unknown predictor is a one-line
+// 400.
+func TestPredictorParam(t *testing.T) {
+	s := New(Config{})
+	rec := get(t, s, cellURL+"&predictor=gshare")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var doc CellResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Machine.Name != "issue8-br1+gshare" || doc.Machine.Predictor != "gshare" {
+		t.Errorf("machine meta %+v, want issue8-br1+gshare/gshare", doc.Machine)
+	}
+	// The gshare run is its own cache universe: the bare-name cell still
+	// misses, and the gshare sibling was gang-filled.
+	if rec := get(t, s, cellURL); rec.Header().Get("X-Cache") != "miss" {
+		t.Error("bare-predictor cell unexpectedly cached by the gshare run")
+	}
+	if rec := get(t, s, "/v1/cell?kernel=wc&model=full&machine=issue8-br1-64k&predictor=gshare"); rec.Header().Get("X-Cache") != "hit" {
+		t.Error("gshare sibling not gang-filled")
+	}
+	if rec := get(t, s, cellURL+"&predictor=ttage"); rec.Code != http.StatusBadRequest {
+		t.Errorf("unknown predictor: status %d, want 400", rec.Code)
 	}
 }
 

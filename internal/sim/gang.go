@@ -1,0 +1,547 @@
+package sim
+
+import (
+	"predication/internal/emu"
+	"predication/internal/ir"
+	"predication/internal/machine"
+	"predication/internal/obs"
+)
+
+// gang.go is the single-pass multi-configuration form of the timing
+// model: one Gang steps N machine configurations through the same dynamic
+// event batch in one pass, where the per-configuration harness would run
+// N full Simulator passes over one identical stream.
+//
+// The design splits the per-event work by what it actually depends on:
+//
+//   - The pre-decoded instruction table depends only on the program, so
+//     the gang builds it once and every lane indexes the same entries —
+//     a per-config Simulator fleet carries N private copies.
+//
+//   - Cache hit/miss and branch-direction outcomes depend only on the
+//     event stream and the structure's geometry, never on lane timing: a
+//     direct-mapped cache sees the same address sequence on every lane,
+//     and a predictor trains on the same (pc, taken) sequence.  Lanes
+//     sharing a geometry therefore share one tag array and one outcome,
+//     computed once per event per distinct structure (a "front-end
+//     class") instead of once per lane.
+//
+//   - Only the pipeline timing — scoreboard readiness, issue-slot
+//     allocation, fetch redirects — is truly per-lane, and that state is
+//     laid out struct-of-arrays: one flat config-major readiness array
+//     per kind, indexed [cfg][reg], with each lane holding its own
+//     stripe as a subslice view, and the same -1 sentinel-tag convention
+//     as the single-config structures.
+//
+// The same dependency analysis applies to the statistics: every Stats
+// field except Cycles is stream-pure (Instrs, Nullified, Loads, Stores,
+// Branches, CondBranches) or class-pure (ICacheMisses, DCacheMisses,
+// Mispredicts — functions of the shared cache or predictor outcome), so
+// the front end counts them once per chunk and each plain lane adds the
+// deltas at the chunk boundary.  The per-lane replay loop carries no
+// counters at all — it is pure timing.
+//
+// Each batch is processed in two phases over chunks of gangChunk events:
+// a shared front-end pass records per-class outcomes into reusable
+// scratch rows, then each lane replays the chunk against its own
+// scoreboard with the outcomes in hand.  The per-lane replay is the
+// pinned EventBatch timing model verbatim (TestGangParityMatrix holds
+// every lane bit-identical to sim.New); the chunk split only exists so
+// the scratch stays small and the decode-table entries the front end
+// touched are still hot in cache when the last lane replays them.
+//
+// Lanes are fully independent, so any subset of them may additionally be
+// instrumented with a per-lane obs.CycleAccount (see gang_observe.go);
+// uninstrumented lanes keep the plain loop.
+
+// gangChunk is the phase length of the two-phase batch walk.  It matches
+// the emulator's batch size, so in the steady state one EventBatch is
+// exactly one chunk.
+const gangChunk = 512
+
+// Shared front-end outcome encodings, one byte per event per class.
+const (
+	outNone uint8 = iota // no access / not a predicted branch
+	outHit               // cache hit / predicted not-taken
+	outMiss              // cache miss / predicted taken
+)
+
+// gangCache is one distinct cache geometry shared by every lane that
+// configures it: the tag state is identical across such lanes by
+// construction, so one array and one hit/miss outcome per event serve
+// them all.  Timing (the miss penalty) stays per-lane.
+type gangCache struct {
+	cache
+	sizeBytes int
+	blockSize int
+}
+
+// gangPredictor is one distinct branch-direction predictor configuration
+// (kind and size).  Direction outcomes depend only on the (pc, taken)
+// stream, so lanes sharing the configuration share the state and the
+// per-event prediction.
+type gangPredictor struct {
+	tbl     *btb    // nil for gshare lanes
+	gs      *gshare // nil for BTB lanes
+	entries int
+	isGsh   bool
+}
+
+// gangLane is the truly per-configuration state: timing scalars,
+// statistics, and subslice views into the gang's config-major readiness
+// arrays.  ic/dc/pr index the shared front-end classes (-1 = no cache
+// modeled).
+type gangLane struct {
+	cfg machine.Config
+	st  Stats
+
+	regReady, predReady []int64 // stripes of the gang's flat SoA arrays
+
+	ic, dc, pr int32
+
+	// Scalar machine parameters, hoisted exactly as in Simulator.
+	predDist    int64
+	icMiss      int64
+	dcMiss      int64
+	mispredict  int64
+	takenBubble int64
+	issueWidth  int
+	branchSlots int
+
+	fetchAvail int64
+	prevIssue  int64
+	curCycle   int64
+	slots      int
+	brSlots    int
+	lastIssue  int64
+
+	// Instrumentation state (gang_observe.go); nil acct = plain replay.
+	acct       *obs.CycleAccount
+	regMiss    []int64
+	fetchCause obs.Cause
+	acctPrev   int64
+}
+
+// Gang steps several machine configurations through one dynamic
+// instruction stream in a single pass.  It implements emu.BatchSink, so
+// the fast emulator's 512-event batches feed every lane at once and one
+// emulation serves N configurations.  Create it with NewGang, feed it as
+// the emulator's sink, then read each lane's totals with Stats.
+type Gang struct {
+	code  []simInstr
+	lanes []gangLane
+
+	ics, dcs []gangCache
+	preds    []gangPredictor
+
+	// Per-class per-event outcome rows, gangChunk bytes each, reused
+	// every chunk so the hot path never allocates.
+	icOut, dcOut, prOut [][]uint8
+
+	// Per-chunk statistics, filled by the front-end pass: chunkSt holds
+	// the stream-pure counters, the cnt slices the per-class miss and
+	// mispredict counts.  Plain lanes add their share at the chunk
+	// boundary; instrumented lanes count inline (their attribution loop
+	// walks every event anyway).
+	chunkSt   Stats
+	icMissCnt []int64
+	dcMissCnt []int64
+	misprdCnt []int64
+}
+
+// NewGang creates a gang with one lane per configuration, sharing the
+// program's pre-decoded instruction table across all of them.  Lane
+// order follows cfgs.  Like New, it requires assigned code addresses
+// (Program.AssignAddresses) and panics when any configuration fails
+// machine.Config.Validate.  A one-lane gang is valid and Stats-identical
+// to a Simulator for the same configuration; single-config callers
+// should still prefer New, whose fused loop skips the two-phase scratch.
+func NewGang(p *ir.Program, cfgs []machine.Config) *Gang {
+	if len(cfgs) == 0 {
+		panic("sim: NewGang needs at least one machine configuration")
+	}
+	for _, cfg := range cfgs {
+		if err := cfg.Validate(); err != nil {
+			panic(err)
+		}
+	}
+	regBase, predBase, nRegs, nPreds := regIndex(p)
+	g := &Gang{
+		code:  decodeInstrs(p, regBase, predBase, nPreds),
+		lanes: make([]gangLane, len(cfgs)),
+	}
+	// Config-major scoreboards: one flat backing array per kind, each
+	// lane viewing its own [cfg][reg] stripe (full-capacity slicing keeps
+	// a lane's appends — there are none — from ever crossing stripes).
+	regs := make([]int64, int(nRegs)*len(cfgs))
+	preds := make([]int64, int(nPreds)*len(cfgs))
+	for i := range g.lanes {
+		l := &g.lanes[i]
+		cfg := cfgs[i]
+		l.cfg = cfg
+		l.regReady = regs[i*int(nRegs) : (i+1)*int(nRegs) : (i+1)*int(nRegs)]
+		l.predReady = preds[i*int(nPreds) : (i+1)*int(nPreds) : (i+1)*int(nPreds)]
+		l.curCycle = -1
+		l.predDist = int64(cfg.PredDist())
+		l.icMiss = int64(cfg.ICache.MissCycles)
+		l.dcMiss = int64(cfg.DCache.MissCycles)
+		l.mispredict = int64(cfg.MispredictPenalty)
+		l.takenBubble = int64(cfg.TakenBranchBubble)
+		l.issueWidth = cfg.IssueWidth
+		l.branchSlots = cfg.BranchSlots
+		l.ic, l.dc = -1, -1
+		if !cfg.PerfectCache {
+			l.ic = cacheClass(&g.ics, cfg.ICache)
+			l.dc = cacheClass(&g.dcs, cfg.DCache)
+		}
+		l.pr = g.predictorClass(cfg)
+	}
+	g.icOut = outcomeRows(len(g.ics))
+	g.dcOut = outcomeRows(len(g.dcs))
+	g.prOut = outcomeRows(len(g.preds))
+	g.icMissCnt = make([]int64, len(g.ics))
+	g.dcMissCnt = make([]int64, len(g.dcs))
+	g.misprdCnt = make([]int64, len(g.preds))
+	return g
+}
+
+// cacheClass returns the index of the class matching the geometry,
+// creating it on first use.  The miss penalty is deliberately not part
+// of the key: it prices the outcome per-lane, it does not change it.
+func cacheClass(classes *[]gangCache, cc machine.CacheConfig) int32 {
+	for i := range *classes {
+		c := &(*classes)[i]
+		if c.sizeBytes == cc.SizeBytes && c.blockSize == cc.BlockSize {
+			return int32(i)
+		}
+	}
+	*classes = append(*classes, gangCache{
+		cache: *newCache(cc), sizeBytes: cc.SizeBytes, blockSize: cc.BlockSize,
+	})
+	return int32(len(*classes) - 1)
+}
+
+// predictorClass returns the index of the predictor class for cfg,
+// creating it on first use.  Sizing mirrors New: a BTB of BTBEntries, or
+// a gshare of 8× that many counters.
+func (g *Gang) predictorClass(cfg machine.Config) int32 {
+	for i := range g.preds {
+		p := &g.preds[i]
+		if p.isGsh == cfg.Gshare && p.entries == cfg.BTBEntries {
+			return int32(i)
+		}
+	}
+	p := gangPredictor{entries: cfg.BTBEntries, isGsh: cfg.Gshare}
+	if cfg.Gshare {
+		p.gs = newGshare(cfg.BTBEntries * 8)
+	} else {
+		p.tbl = newBTB(cfg.BTBEntries)
+	}
+	g.preds = append(g.preds, p)
+	return int32(len(g.preds) - 1)
+}
+
+func outcomeRows(n int) [][]uint8 {
+	rows := make([][]uint8, n)
+	for i := range rows {
+		rows[i] = make([]uint8, gangChunk)
+	}
+	return rows
+}
+
+// Lanes returns the number of configurations stepping together.
+func (g *Gang) Lanes() int { return len(g.lanes) }
+
+// Config returns lane i's machine configuration.
+func (g *Gang) Config(i int) machine.Config { return g.lanes[i].cfg }
+
+// Stats returns lane i's statistics accumulated so far, exactly as a
+// per-config Simulator for the same configuration would report them.
+func (g *Gang) Stats(i int) Stats {
+	l := &g.lanes[i]
+	st := l.st
+	st.Cycles = l.lastIssue + 1
+	return st
+}
+
+// Instrument attaches a cycle account to lane i; every event fed from
+// this point on is attributed on that lane (see gang_observe.go).  Other
+// lanes are unaffected and keep the plain replay loop.
+func (g *Gang) Instrument(i int, a *obs.CycleAccount) {
+	l := &g.lanes[i]
+	l.acct = a
+	if l.regMiss == nil {
+		l.regMiss = make([]int64, len(l.regReady))
+	}
+	l.acctPrev = -1
+}
+
+// Account returns lane i's attached cycle account (nil when the lane is
+// uninstrumented).
+func (g *Gang) Account(i int) *obs.CycleAccount { return g.lanes[i].acct }
+
+// Event advances every lane by one dynamic instruction.  It implements
+// emu.TraceSink; the model logic lives in the batch path.
+func (g *Gang) Event(ev emu.Event) {
+	evs := [1]emu.Event{ev}
+	g.EventBatch(evs[:])
+}
+
+// EventBatch implements emu.BatchSink: the whole batch advances every
+// lane before the call returns, in chunks of gangChunk events.
+func (g *Gang) EventBatch(evs []emu.Event) {
+	for start := 0; start < len(evs); start += gangChunk {
+		end := start + gangChunk
+		if end > len(evs) {
+			end = len(evs)
+		}
+		g.chunk(evs[start:end])
+	}
+}
+
+// chunk runs the two phases over at most gangChunk events: the shared
+// front end fills one outcome row per class, then every lane replays the
+// events against its own timing state.
+func (g *Gang) chunk(evs []emu.Event) {
+	code := g.code
+
+	// Phase 1: shared front end.  Access order within each class is the
+	// stream order, exactly the sequence a per-lane structure would see,
+	// so the outcomes are bit-identical to the per-config Simulator's.
+	// The stream- and class-pure statistics are counted here once; the
+	// gating (nullified skips the memory access and the Branches count,
+	// CondBranches and the prediction happen regardless) mirrors
+	// Simulator.EventBatch exactly.
+	cs := Stats{}
+	clear(g.icMissCnt)
+	clear(g.dcMissCnt)
+	clear(g.misprdCnt)
+	for k := range g.dcOut {
+		clear(g.dcOut[k][:len(evs)])
+	}
+	for k := range g.prOut {
+		clear(g.prOut[k][:len(evs)])
+	}
+	for i := range evs {
+		ev := &evs[i]
+		d := &code[ev.ID]
+		cs.Instrs++
+		for k := range g.ics {
+			out := outMiss
+			if g.ics[k].access(int64(d.addr), true) {
+				out = outHit
+			} else {
+				g.icMissCnt[k]++
+			}
+			g.icOut[k][i] = out
+		}
+		if ev.Flags&emu.FlagNullified != 0 {
+			cs.Nullified++
+		} else if d.flags&(sfLoad|sfStore) != 0 {
+			// Loads allocate on miss; stores are write-through no-allocate
+			// (see Simulator.EventBatch).
+			allocate := d.flags&sfLoad != 0
+			if allocate {
+				cs.Loads++
+			} else {
+				cs.Stores++
+			}
+			for k := range g.dcs {
+				out := outMiss
+				if g.dcs[k].access(int64(ev.Addr)*8, allocate) {
+					out = outHit
+				} else {
+					g.dcMissCnt[k]++
+				}
+				g.dcOut[k][i] = out
+			}
+		}
+		if d.flags&sfBranch != 0 && ev.Flags&emu.FlagNullified == 0 {
+			cs.Branches++
+		}
+		if d.flags&sfCond != 0 {
+			cs.CondBranches++
+			taken := ev.Flags&emu.FlagTaken != 0
+			for k := range g.preds {
+				p := &g.preds[k]
+				var predicted bool
+				if p.isGsh {
+					predicted = p.gs.predict(d.addr)
+					p.gs.update(d.addr, taken)
+				} else {
+					predicted = p.tbl.predict(d.addr)
+					p.tbl.update(d.addr, taken)
+				}
+				out := outHit
+				if predicted {
+					out = outMiss
+				}
+				if predicted != taken {
+					g.misprdCnt[k]++
+				}
+				g.prOut[k][i] = out
+			}
+		}
+	}
+	g.chunkSt = cs
+
+	// Phase 2: per-lane timing replay over the same events.  Plain lanes
+	// run the counter-free timing loop and add the shared chunk deltas;
+	// instrumented lanes attribute (and count) inline.
+	for li := range g.lanes {
+		l := &g.lanes[li]
+		var icOut, dcOut []uint8
+		if l.ic >= 0 {
+			icOut = g.icOut[l.ic]
+			dcOut = g.dcOut[l.dc]
+		}
+		if l.acct != nil {
+			laneReplayObserved(l, code, evs, icOut, dcOut, g.prOut[l.pr])
+			continue
+		}
+		laneReplay(l, code, evs, icOut, dcOut, g.prOut[l.pr])
+		l.st.Instrs += cs.Instrs
+		l.st.Nullified += cs.Nullified
+		l.st.Loads += cs.Loads
+		l.st.Stores += cs.Stores
+		l.st.Branches += cs.Branches
+		l.st.CondBranches += cs.CondBranches
+		l.st.Mispredicts += g.misprdCnt[l.pr]
+		if l.ic >= 0 {
+			l.st.ICacheMisses += g.icMissCnt[l.ic]
+			l.st.DCacheMisses += g.dcMissCnt[l.dc]
+		}
+	}
+}
+
+// laneReplay advances one lane through the chunk.  It is the pinned
+// Simulator.EventBatch timing model with the cache and predictor
+// structures replaced by the pre-computed outcome rows and every
+// statistics counter hoisted into the shared front-end pass (the chunk
+// deltas are applied by the caller); any change to the timing model must
+// be made in both (and in the two observed twins).  TestGangParityMatrix
+// fails on divergence.
+func laneReplay(l *gangLane, code []simInstr, evs []emu.Event, icOut, dcOut, prOut []uint8) {
+	fetchAvail, prevIssue := l.fetchAvail, l.prevIssue
+	curCycle, lastIssue := l.curCycle, l.lastIssue
+	slots, brSlots := l.slots, l.brSlots
+	regReady, predReady := l.regReady, l.predReady
+	icMiss, dcMiss, predDist := l.icMiss, l.dcMiss, l.predDist
+	mispredict, takenBubble := l.mispredict, l.takenBubble
+	issueWidth, branchSlots := l.issueWidth, l.branchSlots
+
+	for i := range evs {
+		ev := &evs[i]
+		d := &code[ev.ID]
+
+		// Front end: instruction cache (shared outcome, per-lane penalty).
+		t := fetchAvail
+		if t < prevIssue {
+			t = prevIssue
+		}
+		if icOut != nil && icOut[i] == outMiss {
+			t += icMiss
+			fetchAvail = t
+		}
+
+		// Operand readiness.
+		if d.guard >= 0 {
+			if r := predReady[d.guard]; r > t {
+				t = r
+			}
+		}
+		nullified := ev.Flags&emu.FlagNullified != 0
+		var loadLat int64
+		if !nullified {
+			if d.nsrc > 0 {
+				if r := regReady[d.srcs[0]]; r > t {
+					t = r
+				}
+				if d.nsrc > 1 {
+					if r := regReady[d.srcs[1]]; r > t {
+						t = r
+					}
+					if d.nsrc > 2 {
+						if r := regReady[d.srcs[2]]; r > t {
+							t = r
+						}
+					}
+				}
+			}
+			if d.flags&sfLoad != 0 {
+				loadLat = d.lat
+				if dcOut != nil && dcOut[i] == outMiss {
+					loadLat += dcMiss
+				}
+			}
+		}
+
+		// Issue slot allocation (in-order: never before the previous
+		// instruction's issue cycle).  A guard-suppressed branch is
+		// squashed at decode and does not occupy the branch unit.
+		isBranch := d.flags&sfBranch != 0 && !nullified
+		for {
+			if t > curCycle {
+				curCycle = t
+				slots, brSlots = 0, 0
+			}
+			if slots < issueWidth && (!isBranch || brSlots < branchSlots) {
+				break
+			}
+			t = curCycle + 1
+		}
+		slots++
+		if isBranch {
+			brSlots++
+		}
+		issue := t
+		prevIssue = issue
+		lastIssue = issue
+
+		// Destination updates.
+		if !nullified {
+			if d.dst >= 0 {
+				lat := d.lat
+				if d.flags&sfLoad != 0 {
+					lat = loadLat
+				}
+				regReady[d.dst] = issue + lat
+			}
+			if d.flags&sfPredDef != 0 {
+				if d.npd > 0 {
+					predReady[d.pd[0]] = issue + predDist
+					if d.npd > 1 {
+						predReady[d.pd[1]] = issue + predDist
+					}
+				}
+			} else if d.flags&sfPredAll != 0 {
+				for p := d.predLo; p < d.predHi; p++ {
+					predReady[p] = issue + predDist
+				}
+			}
+		}
+
+		// Branch resolution: the direction came from the shared predictor
+		// class; only the redirect cost is lane-local.
+		if d.flags&sfBranch != 0 {
+			taken := ev.Flags&emu.FlagTaken != 0
+			if d.flags&sfCond != 0 {
+				predicted := prOut[i] == outMiss
+				if predicted != taken {
+					fetchAvail = issue + 1 + mispredict
+				} else if taken {
+					fetchAvail = issue + takenBubble
+				}
+			} else if taken && !nullified {
+				// Unguarded Jump, JSR, Ret: static or stack-predicted
+				// targets are assumed correctly predicted; only the
+				// configured taken redirect bubble applies.
+				fetchAvail = issue + takenBubble
+			}
+		}
+	}
+
+	l.fetchAvail, l.prevIssue = fetchAvail, prevIssue
+	l.curCycle, l.lastIssue = curCycle, lastIssue
+	l.slots, l.brSlots = slots, brSlots
+}

@@ -1,0 +1,234 @@
+package sim
+
+import (
+	"predication/internal/emu"
+	"predication/internal/obs"
+)
+
+// gang_observe.go is the cycle-accounting twin of the gang's per-lane
+// replay, mirroring observe.go exactly: laneReplayObserved is
+// laneReplay with per-cycle cause attribution, preserving the
+//
+//	sum(Breakdown) == Stats.Cycles
+//
+// invariant at every chunk boundary.  The attribution rules — binding
+// constraint tracking, the issue-cycle donation, the bandwidth-limit
+// special case, the register/data-cache split via regMiss — are the
+// same as observedBatch's; see observe.go for the full commentary.
+// Instrumentation is per-lane (Gang.Instrument): an instrumented lane
+// takes this loop while its gang-mates keep the plain one, since the
+// shared front end already produced identical outcomes for both.
+
+// laneReplayObserved advances one instrumented lane through the chunk.
+// It is observedBatch with the cache and predictor structures replaced
+// by the pre-computed outcome rows; any change to the timing model must
+// be made in laneReplay, EventBatch, observedBatch, and here.  The
+// gang parity and invariant tests fail on divergence.
+func laneReplayObserved(l *gangLane, code []simInstr, evs []emu.Event, icOut, dcOut, prOut []uint8) {
+	st := l.st
+	a := l.acct
+	fetchAvail, prevIssue := l.fetchAvail, l.prevIssue
+	curCycle, lastIssue := l.curCycle, l.lastIssue
+	slots, brSlots := l.slots, l.brSlots
+	regReady, predReady := l.regReady, l.predReady
+	regMiss := l.regMiss
+	icMiss, dcMiss, predDist := l.icMiss, l.dcMiss, l.predDist
+	mispredict, takenBubble := l.mispredict, l.takenBubble
+	issueWidth, branchSlots := l.issueWidth, l.branchSlots
+	acctPrev, fetchCause := l.acctPrev, l.fetchCause
+
+	for i := range evs {
+		ev := &evs[i]
+		d := &code[ev.ID]
+		st.Instrs++
+		a.Fetched[d.class]++
+
+		// Per-event attribution: inc collects the cycles each constraint
+		// added beyond the in-order floor; last remembers the binding
+		// constraint (CauseIssued doubles as "none yet" — every real
+		// attribution overwrites it).
+		var inc [obs.NumCauses]int64
+		last := obs.CauseIssued
+		floor := prevIssue
+
+		// Front end: redirect floor, then instruction cache.
+		t := fetchAvail
+		if t < prevIssue {
+			t = prevIssue
+		} else if t > prevIssue {
+			inc[fetchCause] += t - prevIssue
+			last = fetchCause
+		}
+		if icOut != nil && icOut[i] == outMiss {
+			st.ICacheMisses++
+			t += icMiss
+			fetchAvail = t
+			fetchCause = obs.CauseICache
+			inc[obs.CauseICache] += icMiss
+			last = obs.CauseICache
+		}
+
+		// Operand readiness.
+		if d.guard >= 0 {
+			if r := predReady[d.guard]; r > t {
+				inc[obs.CausePredInterlock] += r - t
+				last = obs.CausePredInterlock
+				t = r
+			}
+		}
+		nullified := ev.Flags&emu.FlagNullified != 0
+		var loadLat, loadMiss int64
+		if nullified {
+			st.Nullified++
+			a.Nullified[d.class]++
+		} else {
+			// Source readiness, split between the register interlock and
+			// the data-cache-miss share (see observe.go).
+			if d.nsrc > 0 {
+				ready, base := int64(-1), int64(-1)
+				for k := uint8(0); k < d.nsrc; k++ {
+					src := d.srcs[k]
+					r := regReady[src]
+					if r > ready {
+						ready = r
+					}
+					if b := r - regMiss[src]; b > base {
+						base = b
+					}
+				}
+				if ready > t {
+					if base < t {
+						base = t
+					}
+					if il := base - t; il > 0 {
+						inc[obs.CauseRegInterlock] += il
+						last = obs.CauseRegInterlock
+					}
+					if miss := ready - base; miss > 0 {
+						inc[obs.CauseDCache] += miss
+						last = obs.CauseDCache
+					}
+					t = ready
+				}
+			}
+			switch {
+			case d.flags&sfLoad != 0:
+				st.Loads++
+				loadLat = d.lat
+				if dcOut != nil && dcOut[i] == outMiss {
+					st.DCacheMisses++
+					loadLat += dcMiss
+					loadMiss = dcMiss
+				}
+			case d.flags&sfStore != 0:
+				st.Stores++
+				if dcOut != nil && dcOut[i] == outMiss {
+					st.DCacheMisses++
+				}
+			}
+		}
+
+		// Issue slot allocation; each deferred cycle is charged to the
+		// limit that was full.
+		isBranch := d.flags&sfBranch != 0 && !nullified
+		for {
+			if t > curCycle {
+				curCycle = t
+				slots, brSlots = 0, 0
+			}
+			if slots < issueWidth && (!isBranch || brSlots < branchSlots) {
+				break
+			}
+			if slots >= issueWidth {
+				inc[obs.CauseIssueWidth]++
+				last = obs.CauseIssueWidth
+			} else {
+				inc[obs.CauseBranchLimit]++
+				last = obs.CauseBranchLimit
+			}
+			t = curCycle + 1
+		}
+		slots++
+		if isBranch {
+			brSlots++
+		}
+		issue := t
+		prevIssue = issue
+		lastIssue = issue
+
+		// Flush the attribution (see observe.go for the derivation).
+		if issue > acctPrev {
+			if last == obs.CauseIssueWidth || last == obs.CauseBranchLimit {
+				// Bandwidth saturation never empties a cycle; inc holds
+				// exactly the one deferral cycle, charged to the limit.
+			} else {
+				if over := acctPrev + 1 - floor; over > 0 && last != obs.CauseIssued {
+					inc[last] -= over
+				}
+				inc[obs.CauseIssued]++
+			}
+			for c, n := range inc {
+				if n != 0 {
+					a.Breakdown[c] += n
+				}
+			}
+			acctPrev = issue
+		}
+
+		// Destination updates.
+		if !nullified {
+			if d.dst >= 0 {
+				lat := d.lat
+				var lm int64
+				if d.flags&sfLoad != 0 {
+					lat = loadLat
+					lm = loadMiss
+				}
+				regReady[d.dst] = issue + lat
+				regMiss[d.dst] = lm
+			}
+			if d.flags&sfPredDef != 0 {
+				if d.npd > 0 {
+					predReady[d.pd[0]] = issue + predDist
+					if d.npd > 1 {
+						predReady[d.pd[1]] = issue + predDist
+					}
+				}
+			} else if d.flags&sfPredAll != 0 {
+				for p := d.predLo; p < d.predHi; p++ {
+					predReady[p] = issue + predDist
+				}
+			}
+		}
+
+		// Branch resolution; redirects record the cause the next fetch
+		// stall belongs to.
+		if d.flags&sfBranch != 0 {
+			if !nullified {
+				st.Branches++
+			}
+			taken := ev.Flags&emu.FlagTaken != 0
+			if d.flags&sfCond != 0 {
+				st.CondBranches++
+				predicted := prOut[i] == outMiss
+				if predicted != taken {
+					st.Mispredicts++
+					fetchAvail = issue + 1 + mispredict
+					fetchCause = obs.CauseMispredict
+				} else if taken {
+					fetchAvail = issue + takenBubble
+					fetchCause = obs.CauseTakenRedirect
+				}
+			} else if taken && !nullified {
+				fetchAvail = issue + takenBubble
+				fetchCause = obs.CauseTakenRedirect
+			}
+		}
+	}
+
+	l.st = st
+	l.fetchAvail, l.prevIssue = fetchAvail, prevIssue
+	l.curCycle, l.lastIssue = curCycle, lastIssue
+	l.slots, l.brSlots = slots, brSlots
+	l.acctPrev, l.fetchCause = acctPrev, fetchCause
+}
