@@ -46,11 +46,16 @@ func parseConfig(args []string, errw io.Writer) (cfg serve.Config, addr string, 
 	results := fs.Int("result-cache", 0, "rendered-result cache entries (0 = default 1024)")
 	reqTimeout := fs.Duration("request-timeout", 0, "per-request compute deadline (0 = default 60s)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight requests")
+	submitBytes := fs.Int64("max-submit-bytes", 0, "POST /v1/submit body cap in bytes (0 = default 512 KiB)")
+	submitInstrs := fs.Int("max-submit-instrs", 0, "submitted-program instruction cap (0 = default 16384)")
+	submitRate := fs.Float64("submit-rate", 0, "per-client submissions per second (0 = default 5)")
+	submitWorkers := fs.Int("submit-workers", 0, "submission compute pool size (0 = half of -workers)")
 	if err := fs.Parse(args); err != nil {
 		return serve.Config{}, "", 0, err
 	}
 	for name, v := range map[string]int{"-workers": *workers, "-queue": *queue,
-		"-artifact-cache": *artifacts, "-result-cache": *results} {
+		"-artifact-cache": *artifacts, "-result-cache": *results,
+		"-max-submit-instrs": *submitInstrs, "-submit-workers": *submitWorkers} {
 		if v < 0 {
 			return serve.Config{}, "", 0, fmt.Errorf("%s %d: cannot be negative (0 = default)", name, v)
 		}
@@ -61,12 +66,22 @@ func parseConfig(args []string, errw io.Writer) (cfg serve.Config, addr string, 
 	if *drainTimeout <= 0 {
 		return serve.Config{}, "", 0, fmt.Errorf("-drain-timeout %v: must be positive", *drainTimeout)
 	}
+	if *submitBytes < 0 {
+		return serve.Config{}, "", 0, fmt.Errorf("-max-submit-bytes %d: cannot be negative (0 = default)", *submitBytes)
+	}
+	if *submitRate < 0 {
+		return serve.Config{}, "", 0, fmt.Errorf("-submit-rate %v: cannot be negative (0 = default)", *submitRate)
+	}
 	cfg = serve.Config{
 		Workers:           *workers,
 		QueueDepth:        *queue,
 		ArtifactCacheSize: *artifacts,
 		ResultCacheSize:   *results,
 		RequestTimeout:    *reqTimeout,
+		MaxSubmitBytes:    *submitBytes,
+		MaxSubmitInstrs:   *submitInstrs,
+		SubmitRate:        *submitRate,
+		SubmitWorkers:     *submitWorkers,
 	}
 	return cfg, *addrFlag, *drainTimeout, nil
 }

@@ -18,6 +18,10 @@ func TestFlagValidation(t *testing.T) {
 		{"-request-timeout", "-5s"},
 		{"-drain-timeout", "0s"},
 		{"-drain-timeout", "-1s"},
+		{"-max-submit-bytes", "-1"},
+		{"-max-submit-instrs", "-1"},
+		{"-submit-rate", "-0.5"},
+		{"-submit-workers", "-1"},
 	}
 	for _, args := range cases {
 		_, _, _, err := parseConfig(args, io.Discard)
@@ -44,7 +48,9 @@ func TestFlagDefaults(t *testing.T) {
 	if drain != 30*time.Second {
 		t.Errorf("default drain budget = %v, want 30s", drain)
 	}
-	if cfg.Workers != 0 || cfg.QueueDepth != 0 || cfg.RequestTimeout != 0 {
+	if cfg.Workers != 0 || cfg.QueueDepth != 0 || cfg.RequestTimeout != 0 ||
+		cfg.MaxSubmitBytes != 0 || cfg.MaxSubmitInstrs != 0 ||
+		cfg.SubmitRate != 0 || cfg.SubmitWorkers != 0 {
 		t.Errorf("zero flags should leave config fields zero for serve.New defaults: %+v", cfg)
 	}
 }
@@ -53,7 +59,9 @@ func TestFlagDefaults(t *testing.T) {
 func TestFlagMapping(t *testing.T) {
 	cfg, addr, _, err := parseConfig([]string{
 		"-addr", ":9000", "-workers", "3", "-queue", "7",
-		"-artifact-cache", "11", "-result-cache", "13", "-request-timeout", "5s"}, io.Discard)
+		"-artifact-cache", "11", "-result-cache", "13", "-request-timeout", "5s",
+		"-max-submit-bytes", "65536", "-max-submit-instrs", "2048",
+		"-submit-rate", "2.5", "-submit-workers", "2"}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,5 +69,9 @@ func TestFlagMapping(t *testing.T) {
 		cfg.ArtifactCacheSize != 11 || cfg.ResultCacheSize != 13 ||
 		cfg.RequestTimeout != 5*time.Second {
 		t.Errorf("flags not mapped: addr=%q cfg=%+v", addr, cfg)
+	}
+	if cfg.MaxSubmitBytes != 65536 || cfg.MaxSubmitInstrs != 2048 ||
+		cfg.SubmitRate != 2.5 || cfg.SubmitWorkers != 2 {
+		t.Errorf("submission flags not mapped: %+v", cfg)
 	}
 }

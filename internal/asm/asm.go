@@ -115,6 +115,8 @@ type parser struct {
 	f       *ir.Func
 	b       *ir.Block
 	line    int
+	lim     Limits
+	instrs  int
 	maxReg  map[*ir.Func]ir.Reg
 	maxPReg map[*ir.Func]ir.PReg
 }
@@ -123,9 +125,38 @@ func (ps *parser) errf(format string, args ...any) error {
 	return fmt.Errorf("asm: line %d: %s", ps.line, fmt.Sprintf(format, args...))
 }
 
-// Parse reads a program from its textual form.
+// Parse reads a program from its textual form under the trusted-input
+// sanity bounds of DefaultLimits.
 func Parse(src string) (*ir.Program, error) {
-	ps := &parser{maxReg: map[*ir.Func]ir.Reg{}, maxPReg: map[*ir.Func]ir.PReg{}}
+	return ParseLimited(src, DefaultLimits())
+}
+
+// ParseLimited reads a program from its textual form, refusing input
+// that exceeds lim while reading it (a refused bound surfaces as a
+// *LimitError; malformed input surfaces as a plain error).  Zero or
+// negative fields of lim fall back to the DefaultLimits value, so
+// callers only set the bounds they meter.
+func ParseLimited(src string, lim Limits) (*ir.Program, error) {
+	def := DefaultLimits()
+	if lim.MaxMemWords <= 0 {
+		lim.MaxMemWords = def.MaxMemWords
+	}
+	if lim.MaxFuncs <= 0 {
+		lim.MaxFuncs = def.MaxFuncs
+	}
+	if lim.MaxBlocks <= 0 {
+		lim.MaxBlocks = def.MaxBlocks
+	}
+	if lim.MaxInstrs <= 0 {
+		lim.MaxInstrs = def.MaxInstrs
+	}
+	if lim.MaxRegs <= 0 {
+		lim.MaxRegs = def.MaxRegs
+	}
+	if lim.MaxPRegs <= 0 {
+		lim.MaxPRegs = def.MaxPRegs
+	}
+	ps := &parser{lim: lim, maxReg: map[*ir.Func]ir.Reg{}, maxPReg: map[*ir.Func]ir.PReg{}}
 	for _, raw := range strings.Split(src, "\n") {
 		ps.line++
 		line := strings.TrimSpace(raw)
@@ -163,6 +194,9 @@ func (ps *parser) parseLine(line string) error {
 		if err != nil || n <= 0 {
 			return ps.errf("bad .mem")
 		}
+		if n > ps.lim.MaxMemWords {
+			return ps.limitErr("mem words", int64(ps.lim.MaxMemWords), int64(n))
+		}
 		ps.p = ir.NewProgram(n)
 		return nil
 	case strings.HasPrefix(line, ".entry "):
@@ -194,6 +228,13 @@ func (ps *parser) parseLine(line string) error {
 			if err != nil {
 				return ps.errf("bad .data value %q", tok)
 			}
+			// Initialized data must fit the declared memory: the emulator
+			// copies Data into a MemWords-sized image, so words past the
+			// end would be silently dropped — and an unchecked address
+			// would let one short line materialize gigabytes of zeros.
+			if addr >= int64(ps.p.MemWords) {
+				return ps.errf(".data address %d outside .mem %d", addr, ps.p.MemWords)
+			}
 			for int64(len(ps.p.Data)) <= addr {
 				ps.p.Data = append(ps.p.Data, 0)
 			}
@@ -215,6 +256,9 @@ func (ps *parser) parseLine(line string) error {
 		if ps.p == nil {
 			return ps.errf("func before .mem directive")
 		}
+		if len(ps.p.Funcs) >= ps.lim.MaxFuncs {
+			return ps.limitErr("function count", int64(ps.lim.MaxFuncs), int64(len(ps.p.Funcs)+1))
+		}
 		ps.f = ir.NewFunc(name)
 		ps.p.AddFunc(ps.f)
 		ps.b = nil
@@ -225,7 +269,11 @@ func (ps *parser) parseLine(line string) error {
 		if err != nil || ps.f == nil {
 			return ps.errf("bad block label")
 		}
-		ps.b = ps.block(id)
+		b, err := ps.block(id)
+		if err != nil {
+			return err
+		}
+		ps.b = b
 		ps.b.Dead = false
 		if c := strings.Index(line, "; "); c > colon {
 			ps.b.Name = strings.TrimSpace(line[c+2:])
@@ -236,7 +284,11 @@ func (ps *parser) parseLine(line string) error {
 		if err != nil || ps.b == nil {
 			return ps.errf("bad fall comment")
 		}
-		ps.b.Fall = ps.block(id).ID
+		b, err := ps.block(id)
+		if err != nil {
+			return err
+		}
+		ps.b.Fall = b.ID
 		return nil
 	case strings.HasPrefix(line, ";"):
 		return nil // comment
@@ -244,24 +296,33 @@ func (ps *parser) parseLine(line string) error {
 	if ps.b == nil {
 		return ps.errf("instruction outside a block: %q", line)
 	}
+	if ps.instrs >= ps.lim.MaxInstrs {
+		return ps.limitErr("instruction count", int64(ps.lim.MaxInstrs), int64(ps.instrs+1))
+	}
 	in, err := ps.parseInstr(line)
 	if err != nil {
 		return err
 	}
 	ps.b.Append(in)
+	ps.instrs++
 	return nil
 }
 
 // block returns the function's block with the given ID, materializing dead
-// placeholders for gaps so IDs round-trip.
-func (ps *parser) block(id int) *ir.Block {
+// placeholders for gaps so IDs round-trip.  IDs are bounded before any
+// placeholder is created: materialization is linear in the ID, so an
+// unbounded label would be an allocation amplifier.
+func (ps *parser) block(id int) (*ir.Block, error) {
+	if id >= ps.lim.MaxBlocks {
+		return nil, ps.limitErr("block id", int64(ps.lim.MaxBlocks-1), int64(id))
+	}
 	for len(ps.f.Blocks) <= id {
 		nb := ps.f.NewBlock()
 		if nb.ID != ps.f.Entry {
 			nb.Dead = true
 		}
 	}
-	return ps.f.Blocks[id]
+	return ps.f.Blocks[id], nil
 }
 
 // parseInstr parses one instruction line.
@@ -467,6 +528,11 @@ func (ps *parser) reg(tok string) (ir.Reg, error) {
 	if err != nil || n < 1 {
 		return 0, ps.errf("bad register %q", tok)
 	}
+	// The emulator sizes every call frame's register file by the highest
+	// number used, so register numbers are a memory bound, not just names.
+	if n > ps.lim.MaxRegs {
+		return 0, ps.limitErr("register number", int64(ps.lim.MaxRegs), int64(n))
+	}
 	r := ir.Reg(n)
 	if r > ps.maxReg[ps.f] {
 		ps.maxReg[ps.f] = r
@@ -484,6 +550,9 @@ func (ps *parser) preg(tok string) (ir.PReg, error) {
 	n, err := strconv.Atoi(tok[1:])
 	if err != nil || n < 1 {
 		return 0, ps.errf("bad predicate register %q", tok)
+	}
+	if n > ps.lim.MaxPRegs {
+		return 0, ps.limitErr("predicate register number", int64(ps.lim.MaxPRegs), int64(n))
 	}
 	r := ir.PReg(n)
 	if r > ps.maxPReg[ps.f] {
@@ -520,7 +589,9 @@ func (ps *parser) target(tok string, isFunc bool) (int, error) {
 		return 0, ps.errf("bad target %q", tok)
 	}
 	if !isFunc {
-		ps.block(n) // materialize so verification sees it
+		if _, err := ps.block(n); err != nil { // materialize so verification sees it
+			return 0, err
+		}
 	}
 	return n, nil
 }

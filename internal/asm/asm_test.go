@@ -1,6 +1,7 @@
 package asm
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -214,5 +215,88 @@ func TestRoundTripEveryOpcode(t *testing.T) {
 	}
 	if again := Format(parsed); again != text {
 		t.Errorf("not a fixed point:\n--- first\n%s\n--- second\n%s", text, again)
+	}
+}
+
+// TestParseCorruption is the hostile-input audit table (mirroring
+// irverify's corruption tests): every entry is adversarial text that must
+// come back as a one-line error — never a panic, and never a large
+// allocation on the way to the error.  Entries marked limit must surface
+// as *LimitError so the untrusted submission path can meter them as
+// quota rejections rather than syntax errors.
+func TestParseCorruption(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		want  string // substring of the error
+		limit bool   // must be a *LimitError
+	}{
+		{"huge mem", ".mem 999999999999\n", "mem words", true},
+		{"mem overflow", ".mem 99999999999999999999\n", "bad .mem", false},
+		{"negative mem", ".mem -4\n", "bad .mem", false},
+		{"huge data addr", ".mem 64\n.data 9000000000000000000: 1\n", "outside .mem", false},
+		{"data past mem", ".mem 64\n.data 63: 1 2\n", "outside .mem", false},
+		{"negative data addr", ".mem 64\n.data -1: 5\n", "bad .data address", false},
+		{"data no colon", ".mem 64\n.data 5 5\n", "missing colon", false},
+		{"data bad value", ".mem 64\n.data 5: x\n", "bad .data value", false},
+		{"huge block label", ".mem 64\nfunc F0 m:\nB99999999:\n\thalt\n", "block id", true},
+		{"huge branch target", ".mem 64\nfunc F0 m:\nB0:\n\tjump B99999999\n", "block id", true},
+		{"huge fall target", ".mem 64\nfunc F0 m:\nB0:\n\thalt\n\t; fall B99999999\n", "block id", true},
+		{"huge register", ".mem 64\nfunc F0 m:\nB0:\n\tmov r2000000000, 1\n\thalt\n", "register number", true},
+		{"huge predicate", ".mem 64\nfunc F0 m:\nB0:\n\tpred_eq p2000000000_U, r1, 0\n\thalt\n", "predicate register number", true},
+		{"register overflow", ".mem 64\nfunc F0 m:\nB0:\n\tmov r99999999999999999999, 1\n\thalt\n", "bad register", false},
+		{"block id overflow", ".mem 64\nfunc F0 m:\nB99999999999999999999:\n\thalt\n", "bad block label", false},
+		{"truncated instr", ".mem 64\nfunc F0 m:\nB0:\n\tadd r1,\n", "takes dest", false},
+		{"guard garbage", ".mem 64\nfunc F0 m:\nB0:\n\tadd r1, r2, r3 (q9)\n\thalt\n", "expected predicate register", false},
+		{"bare paren", ".mem 64\nfunc F0 m:\nB0:\n\t(p1)\n", "unknown mnemonic", false},
+		{"entry out of range", ".mem 64\n.entry 9\nfunc F0 m:\nB0:\n\thalt\n", "out of range", false},
+		{"fentry out of range", ".mem 64\nfunc F0 m:\n.fentry 7\nB0:\n\thalt\n", "entry block", false},
+		{"fall before block", ".mem 64\nfunc F0 m:\n; fall B1\n", "bad fall comment", false},
+		{"stray fentry", ".mem 64\n.fentry 1\n", "bad .fentry", false},
+		{"jsr bad func", ".mem 64\nfunc F0 m:\nB0:\n\tjsr F9\n\thalt\n", "missing function", false},
+		{"nul bytes", ".mem 64\nfunc F0 m:\nB0:\n\tmov r1, \x00\n\thalt\n", "bad operand", false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatalf("hostile input parsed cleanly:\n%s", c.src)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q, want containing %q", err, c.want)
+			}
+			var le *LimitError
+			if got := errors.As(err, &le); got != c.limit {
+				t.Errorf("LimitError = %v, want %v (err %q)", got, c.limit, err)
+			}
+			if strings.ContainsRune(err.Error(), '\n') {
+				t.Errorf("error is not one line: %q", err)
+			}
+		})
+	}
+}
+
+// TestParseLimitedTightBounds: operator-tightened bounds refuse programs
+// the default bounds accept, and zero fields fall back to defaults.
+func TestParseLimitedTightBounds(t *testing.T) {
+	src := ".mem 64\nfunc F0 m:\nB0:\n\tmov r1, 1\n\tmov r2, 2\n\tmov r3, 3\n\thalt\n"
+	if _, err := Parse(src); err != nil {
+		t.Fatalf("default limits must accept the program: %v", err)
+	}
+	var le *LimitError
+	if _, err := ParseLimited(src, Limits{MaxInstrs: 2}); !errors.As(err, &le) {
+		t.Fatalf("tight MaxInstrs: got %v, want LimitError", err)
+	}
+	if le.Limit != "instruction count" {
+		t.Errorf("limit %q, want instruction count", le.Limit)
+	}
+	if _, err := ParseLimited(src, Limits{MaxRegs: 2}); !errors.As(err, &le) {
+		t.Fatalf("tight MaxRegs: got %v, want LimitError", err)
+	}
+	if _, err := ParseLimited(src, Limits{MaxMemWords: 32}); !errors.As(err, &le) {
+		t.Fatalf("tight MaxMemWords: got %v, want LimitError", err)
+	}
+	if _, err := ParseLimited(src, Limits{MaxFuncs: 1}); err != nil {
+		t.Errorf("one function within MaxFuncs 1: %v", err)
 	}
 }

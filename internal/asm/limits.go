@@ -1,0 +1,65 @@
+package asm
+
+import "fmt"
+
+// Limits bounds the resources a parsed program may claim.  The parser
+// enforces them while reading, so a short hostile line (".data
+// 9000000000: 1", "B99999999:", "r2000000000") is refused before it can
+// materialize gigabytes of zero words, placeholder blocks, or register
+// file — the allocation happens after the bound check, never before.
+//
+// Parse uses DefaultLimits, which are generous sanity caps for trusted
+// inputs (hand-written predsim -file programs, fuzzer repros).  The
+// untrusted submission path (internal/submit) calls ParseLimited with
+// much tighter, operator-configured bounds.
+type Limits struct {
+	// MaxMemWords caps the .mem directive.  .data addresses are
+	// additionally required to stay inside the declared memory, so this
+	// also bounds the parse-time data image.
+	MaxMemWords int
+	// MaxFuncs caps the number of func directives.
+	MaxFuncs int
+	// MaxBlocks caps block IDs per function (labels, fall comments, and
+	// branch targets all materialize placeholder blocks up to the ID).
+	MaxBlocks int
+	// MaxInstrs caps the program-wide instruction count.
+	MaxInstrs int
+	// MaxRegs and MaxPRegs cap register numbers per function; the
+	// emulator sizes each call frame's register and predicate files by
+	// the highest number seen.
+	MaxRegs  int
+	MaxPRegs int
+}
+
+// DefaultLimits returns the trusted-input sanity caps used by Parse.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxMemWords: 1 << 26, // 512 MiB of words
+		MaxFuncs:    4096,
+		MaxBlocks:   1 << 16,
+		MaxInstrs:   1 << 21,
+		MaxRegs:     1 << 16,
+		MaxPRegs:    1 << 16,
+	}
+}
+
+// LimitError reports input refused because it exceeds a Limits bound
+// (as opposed to input that is malformed).  Callers that meter untrusted
+// submissions use errors.As to map it to a quota rejection rather than a
+// syntax error.
+type LimitError struct {
+	Line  int    // 1-based source line
+	Limit string // which bound, e.g. "mem words", "block id"
+	Max   int64
+	Got   int64
+}
+
+// Error formats the exceeded bound as one line.
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("asm: line %d: %s %d exceeds limit %d", e.Line, e.Limit, e.Got, e.Max)
+}
+
+// limitErr builds a LimitError at the parser's current line.
+func (ps *parser) limitErr(limit string, max, got int64) error {
+	return &LimitError{Line: ps.line, Limit: limit, Max: max, Got: got}
+}

@@ -157,6 +157,20 @@ type Result struct {
 // Word returns the final contents of a memory word.
 func (r *Result) Word(addr int64) int64 { return r.Mem[addr] }
 
+// StepLimitError reports a run refused for exceeding Options.MaxSteps.
+// It is a typed error (rather than the historical fmt.Errorf) so callers
+// metering untrusted programs — the submission gate maps it to a quota
+// rejection — can classify it without string matching; the message is
+// unchanged.
+type StepLimitError struct {
+	Limit int64
+}
+
+// Error keeps the historical one-line message.
+func (e *StepLimitError) Error() string {
+	return fmt.Sprintf("emu: exceeded step limit %d", e.Limit)
+}
+
 // ExecError is a program-terminating exception raised during emulation
 // (illegal memory address or divide by zero on a non-silent instruction).
 type ExecError struct {

@@ -1,6 +1,7 @@
 package emu
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -282,8 +283,20 @@ func TestStepLimit(t *testing.T) {
 	loop := f.Block("spin")
 	b.Fall(loop)
 	loop.Jmp(loop)
-	if _, err := Run(p.Program(), Options{MaxSteps: 1000}); err == nil {
-		t.Fatal("infinite loop must hit the step limit")
+	for _, legacy := range []bool{false, true} {
+		_, err := Run(p.Program(), Options{MaxSteps: 1000, Legacy: legacy})
+		if err == nil {
+			t.Fatal("infinite loop must hit the step limit")
+		}
+		// The quota error is typed on both interpreter paths: the
+		// submission gate classifies it without string matching.
+		var sl *StepLimitError
+		if !errors.As(err, &sl) {
+			t.Fatalf("legacy=%v: error %v is not a StepLimitError", legacy, err)
+		}
+		if sl.Limit != 1000 || !strings.Contains(err.Error(), "step limit 1000") {
+			t.Errorf("legacy=%v: limit=%d msg=%q", legacy, sl.Limit, err)
+		}
 	}
 }
 

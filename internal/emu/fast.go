@@ -160,7 +160,7 @@ func (c *Code) Run(opts Options) (*Result, error) {
 		u := &uops[pc]
 		steps++
 		if steps > maxSteps {
-			return nil, fmt.Errorf("emu: exceeded step limit %d", maxSteps)
+			return nil, &StepLimitError{Limit: maxSteps}
 		}
 		var evAddr int32
 

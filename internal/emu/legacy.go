@@ -93,7 +93,7 @@ func runLegacy(p *ir.Program, opts Options) (*Result, error) {
 		in := blk.Instrs[idx]
 		steps++
 		if steps > maxSteps {
-			return nil, fmt.Errorf("emu: exceeded step limit %d", maxSteps)
+			return nil, &StepLimitError{Limit: maxSteps}
 		}
 		excErr := func(msg string) error {
 			return &ExecError{Fn: cur.f.Name, Block: blk.ID, Index: idx, In: in, Msg: msg}

@@ -7,6 +7,7 @@ import (
 	"predication/internal/bench"
 	"predication/internal/core"
 	"predication/internal/emu"
+	"predication/internal/ir"
 	"predication/internal/machine"
 	"predication/internal/obs"
 	"predication/internal/sim"
@@ -53,6 +54,11 @@ type CellArtifact struct {
 	Target   machine.Config
 	Compiled *core.Compiled
 	Code     *emu.Code
+	// MaxSteps, when positive, bounds every Measure/MeasureAll emulation
+	// of this artifact (0 keeps the emulator's default cap).  The
+	// submission path sets it so an untrusted program cannot run longer
+	// than its step quota.
+	MaxSteps int64
 }
 
 // CompileCell compiles the named kernel under the model for the
@@ -63,16 +69,28 @@ func CompileCell(kernel string, model core.Model, cfg machine.Config) (*CellArti
 	if err != nil {
 		return nil, err
 	}
+	return CompileProgram(kernel, k.Build(), model, cfg, core.DefaultOptions(SchedTarget(cfg)))
+}
+
+// CompileProgram is CompileCell for an arbitrary source program — the
+// entry point for user-submitted code, where the program comes from a
+// parsed listing rather than a kernel generator and the caller supplies
+// the pipeline options (per-stage verification on, bounded profiling run).
+// name labels errors; cfg picks the scheduling target exactly as
+// CompileCell does.  The source program is never modified (core.Compile
+// clones it).
+func CompileProgram(name string, src *ir.Program, model core.Model, cfg machine.Config, opts core.Options) (*CellArtifact, error) {
 	target := SchedTarget(cfg)
-	c, err := core.Compile(k.Build(), model, core.DefaultOptions(target))
+	opts.Machine = target
+	c, err := core.Compile(src, model, opts)
 	if err != nil {
-		return nil, fmt.Errorf("%s %v @ %s: %w", kernel, model, target.Name, err)
+		return nil, fmt.Errorf("%s %v @ %s: %w", name, model, target.Name, err)
 	}
 	code, err := emu.Decode(c.Prog)
 	if err != nil {
-		return nil, fmt.Errorf("%s %v @ %s: decode: %w", kernel, model, target.Name, err)
+		return nil, fmt.Errorf("%s %v @ %s: decode: %w", name, model, target.Name, err)
 	}
-	return &CellArtifact{Kernel: kernel, Model: model, Target: target, Compiled: c, Code: code}, nil
+	return &CellArtifact{Kernel: name, Model: model, Target: target, Compiled: c, Code: code}, nil
 }
 
 // Measurement is one simulated cell: the timing statistics of a single
@@ -101,7 +119,7 @@ func (a *CellArtifact) Measure(cfg machine.Config, observe bool) (*Measurement, 
 		acct = &obs.CycleAccount{}
 		s.Instrument(acct)
 	}
-	run, err := a.Code.Run(emu.Options{Sink: s})
+	run, err := a.Code.Run(emu.Options{Sink: s, MaxSteps: a.MaxSteps})
 	if err != nil {
 		return nil, fmt.Errorf("%s %v @ %s: emulate: %w", a.Kernel, a.Model, cfg.Name, err)
 	}
@@ -111,7 +129,17 @@ func (a *CellArtifact) Measure(cfg machine.Config, observe bool) (*Measurement, 
 			return nil, fmt.Errorf("%s %v @ %s: cycle accounting: %w", a.Kernel, a.Model, cfg.Name, err)
 		}
 	}
-	return &Measurement{Stats: st, Checksum: run.Word(bench.CheckAddr), Steps: run.Steps, Account: acct}, nil
+	return &Measurement{Stats: st, Checksum: checksumOf(run), Steps: run.Steps, Account: acct}, nil
+}
+
+// checksumOf reads the conventional checksum word.  Kernels always
+// allocate it, but a submitted program may declare a memory too small to
+// hold one — that is a zero checksum, not an out-of-range panic.
+func checksumOf(run *emu.Result) int64 {
+	if bench.CheckAddr < int64(len(run.Mem)) {
+		return run.Word(bench.CheckAddr)
+	}
+	return 0
 }
 
 // MeasureAll emulates the artifact once and measures every given
@@ -135,14 +163,14 @@ func (a *CellArtifact) MeasureAll(cfgs []machine.Config, observe bool) ([]*Measu
 			g.Instrument(i, accts[i])
 		}
 	}
-	run, err := a.Code.Run(emu.Options{Sink: g})
+	run, err := a.Code.Run(emu.Options{Sink: g, MaxSteps: a.MaxSteps})
 	if err != nil {
 		return nil, fmt.Errorf("%s %v: emulate: %w", a.Kernel, a.Model, err)
 	}
 	ms := make([]*Measurement, len(cfgs))
 	for i, cfg := range cfgs {
 		st := g.Stats(i)
-		m := &Measurement{Stats: st, Checksum: run.Word(bench.CheckAddr), Steps: run.Steps}
+		m := &Measurement{Stats: st, Checksum: checksumOf(run), Steps: run.Steps}
 		if observe {
 			if err := accts[i].Verify(st.Cycles, st.Instrs, st.Nullified); err != nil {
 				return nil, fmt.Errorf("%s %v @ %s: cycle accounting: %w", a.Kernel, a.Model, cfg.Name, err)

@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// maxRateClients bounds the limiter's client table so a spoofed-address
+// flood cannot grow it without bound; when full, stale (refilled)
+// buckets are pruned, and if every bucket is active the newcomer is
+// refused — under that much concurrent hostile traffic, refusing is the
+// correct degradation.
+const maxRateClients = 8192
+
+// rateLimiter is a per-client token bucket: each client key accrues
+// rate tokens per second up to burst, and one submission spends one
+// token.  It is the first gate of /v1/submit, so hostile traffic is
+// refused before any parsing or compute.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens per second
+	burst   float64
+	now     func() time.Time // test hook
+	buckets map[string]*rateBucket
+}
+
+type rateBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// newRateLimiter creates a limiter granting rate tokens/second with the
+// given burst capacity (values < 1 are raised to 1 token of burst).
+func newRateLimiter(rate float64, burst int) *rateLimiter {
+	b := float64(burst)
+	if b < 1 {
+		b = 1
+	}
+	return &rateLimiter{
+		rate:    rate,
+		burst:   b,
+		now:     time.Now,
+		buckets: map[string]*rateBucket{},
+	}
+}
+
+// allow reports whether the client may submit now, spending one token
+// if so.
+func (l *rateLimiter) allow(client string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	now := l.now()
+	b, ok := l.buckets[client]
+	if !ok {
+		if len(l.buckets) >= maxRateClients && !l.prune(now) {
+			return false
+		}
+		b = &rateBucket{tokens: l.burst, last: now}
+		l.buckets[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// prune drops buckets that have refilled to capacity (idle clients),
+// reporting whether any room was made.  Called with the lock held.
+func (l *rateLimiter) prune(now time.Time) bool {
+	freed := false
+	for key, b := range l.buckets {
+		if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+			delete(l.buckets, key)
+			freed = true
+		}
+	}
+	return freed
+}

@@ -1,0 +1,89 @@
+package serve
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the limiter deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+
+func testLimiter(rate float64, burst int) (*rateLimiter, *fakeClock) {
+	clock := &fakeClock{t: time.Unix(1000, 0)}
+	l := newRateLimiter(rate, burst)
+	l.now = clock.now
+	return l, clock
+}
+
+// TestRateLimiterBurstAndRefill: a client spends its burst, is refused,
+// and earns tokens back at the configured rate.
+func TestRateLimiterBurstAndRefill(t *testing.T) {
+	l, clock := testLimiter(1, 3)
+	for i := 0; i < 3; i++ {
+		if !l.allow("a") {
+			t.Fatalf("burst request %d refused", i)
+		}
+	}
+	if l.allow("a") {
+		t.Error("allowed past burst")
+	}
+	clock.advance(999 * time.Millisecond)
+	if l.allow("a") {
+		t.Error("allowed before a full token accrued")
+	}
+	clock.advance(2 * time.Millisecond)
+	if !l.allow("a") {
+		t.Error("refused after refill")
+	}
+	// Clients are independent.
+	if !l.allow("b") {
+		t.Error("fresh client refused")
+	}
+}
+
+// TestRateLimiterCapsRefill: idle time never accrues past the burst.
+func TestRateLimiterCapsRefill(t *testing.T) {
+	l, clock := testLimiter(100, 2)
+	if !l.allow("a") {
+		t.Fatal("first request refused")
+	}
+	clock.advance(time.Hour)
+	for i := 0; i < 2; i++ {
+		if !l.allow("a") {
+			t.Fatalf("request %d refused after long idle", i)
+		}
+	}
+	if l.allow("a") {
+		t.Error("idle time accrued past burst")
+	}
+}
+
+// TestRateLimiterPrune: a full client table sheds idle buckets to admit
+// newcomers, and refuses only when every bucket is active.
+func TestRateLimiterPrune(t *testing.T) {
+	l, clock := testLimiter(1000, 1)
+	for i := 0; i < maxRateClients; i++ {
+		if !l.allow(fmt.Sprintf("client-%d", i)) {
+			t.Fatalf("client %d refused while filling", i)
+		}
+	}
+	if len(l.buckets) != maxRateClients {
+		t.Fatalf("table holds %d buckets, want %d", len(l.buckets), maxRateClients)
+	}
+	// Everyone is mid-refill: the newcomer is refused.
+	if l.allow("newcomer") {
+		t.Error("admitted newcomer while every bucket was active")
+	}
+	// After the table refills, pruning makes room.
+	clock.advance(time.Second)
+	if !l.allow("newcomer") {
+		t.Error("refused newcomer after idle buckets became prunable")
+	}
+	if len(l.buckets) > 1 {
+		t.Errorf("prune left %d buckets", len(l.buckets))
+	}
+}

@@ -18,14 +18,17 @@
 // SIGTERM handling is a graceful drain: in-flight requests complete,
 // new ones are refused with 503.
 //
-// Endpoints (all GET, all JSON):
+// Endpoints (JSON):
 //
-//	/v1/cell?kernel=wc&model=full&machine=issue8-br1[&predictor=gshare][&timeout=30s]
-//	/v1/breakdown?...  — same cell, instrumented: adds the stall-cycle
-//	                     breakdown and instruction mix
-//	/v1/figures[?kernels=wc,grep]  — the paper's figure/table set
-//	/healthz   — liveness and drain state
-//	/metrics   — the obs.Registry in Prometheus text format
+//	GET  /v1/cell?kernel=wc&model=full&machine=issue8-br1[&predictor=gshare][&timeout=30s]
+//	GET  /v1/breakdown?...  — same cell, instrumented: adds the stall-cycle
+//	                          breakdown and instruction mix
+//	GET  /v1/figures[?kernels=wc,grep]  — the paper's figure/table set
+//	POST /v1/submit  — run an untrusted .psasm program through the
+//	                   admission gate (internal/submit) and measure it
+//	                   under all four models; see submit.go
+//	GET  /healthz   — liveness and drain state
+//	GET  /metrics   — the obs.Registry in Prometheus text format
 //
 // The full schema and capacity knobs are documented in docs/SERVING.md.
 package serve
@@ -48,6 +51,7 @@ import (
 	"predication/internal/machine"
 	"predication/internal/obs"
 	"predication/internal/sim"
+	"predication/internal/submit"
 )
 
 // Config sizes the daemon.  The zero value of every field selects a
@@ -76,6 +80,26 @@ type Config struct {
 	// Registry receives the daemon's counters and histograms and backs
 	// /metrics.  A fresh registry is created when nil.
 	Registry *obs.Registry
+
+	// MaxSubmitBytes caps POST /v1/submit request bodies (enforced
+	// before the body is read).  Default 512 KiB.
+	MaxSubmitBytes int64
+	// MaxSubmitInstrs caps a submitted program's static instruction
+	// count.  Default 16384.
+	MaxSubmitInstrs int
+	// MaxSubmitSteps is the per-submission emulation step quota (the
+	// profiling run and every measurement).  Default 2M steps.
+	MaxSubmitSteps int64
+	// SubmitRate is the per-client token-bucket refill in submissions
+	// per second; SubmitBurst is its capacity.  Defaults 5/s, burst 10.
+	SubmitRate  float64
+	SubmitBurst int
+	// SubmitWorkers and SubmitQueueDepth size the submission-scoped
+	// compute pool — separate from Workers/QueueDepth so hostile
+	// submission traffic cannot starve the kernel endpoints.  Defaults:
+	// half of Workers (at least 1) and 32.
+	SubmitWorkers    int
+	SubmitQueueDepth int
 }
 
 // Server is the simulation service.  Create it with New; it implements
@@ -89,6 +113,16 @@ type Server struct {
 	queue     chan struct{} // admission tokens: executing + waiting
 	workers   chan struct{} // execution tokens
 	mux       *http.ServeMux
+
+	// The submission path has its own caches, worker pool, and rate
+	// limiter: untrusted programs never evict kernel artifacts, fill the
+	// kernel queue, or hold kernel workers (see submit.go).
+	submitArtifacts *Cache
+	submitResults   *Cache
+	submitQueue     chan struct{}
+	submitWorkers   chan struct{}
+	limiter         *rateLimiter
+	submitLimits    submit.Limits
 
 	mu       sync.Mutex
 	draining bool
@@ -124,6 +158,27 @@ func New(cfg Config) *Server {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
+	if cfg.MaxSubmitBytes <= 0 {
+		cfg.MaxSubmitBytes = submit.DefaultLimits().MaxBytes
+	}
+	if cfg.MaxSubmitInstrs <= 0 {
+		cfg.MaxSubmitInstrs = submit.DefaultLimits().MaxInstrs
+	}
+	if cfg.MaxSubmitSteps <= 0 {
+		cfg.MaxSubmitSteps = submit.DefaultLimits().MaxSteps
+	}
+	if cfg.SubmitRate <= 0 {
+		cfg.SubmitRate = 5
+	}
+	if cfg.SubmitBurst <= 0 {
+		cfg.SubmitBurst = 10
+	}
+	if cfg.SubmitWorkers <= 0 {
+		cfg.SubmitWorkers = max(1, cfg.Workers/2)
+	}
+	if cfg.SubmitQueueDepth <= 0 {
+		cfg.SubmitQueueDepth = 32
+	}
 	s := &Server{
 		cfg:       cfg,
 		reg:       cfg.Registry,
@@ -132,6 +187,17 @@ func New(cfg Config) *Server {
 		queue:     make(chan struct{}, cfg.Workers+cfg.QueueDepth),
 		workers:   make(chan struct{}, cfg.Workers),
 		mux:       http.NewServeMux(),
+
+		submitArtifacts: NewCache("serve_submit_artifact_cache", cfg.ArtifactCacheSize, cfg.Registry),
+		submitResults:   NewCache("serve_submit_result_cache", cfg.ResultCacheSize, cfg.Registry),
+		submitQueue:     make(chan struct{}, cfg.SubmitWorkers+cfg.SubmitQueueDepth),
+		submitWorkers:   make(chan struct{}, cfg.SubmitWorkers),
+		limiter:         newRateLimiter(cfg.SubmitRate, cfg.SubmitBurst),
+		submitLimits: submit.Limits{
+			MaxBytes:  cfg.MaxSubmitBytes,
+			MaxInstrs: cfg.MaxSubmitInstrs,
+			MaxSteps:  cfg.MaxSubmitSteps,
+		}.WithDefaults(),
 	}
 	s.mux.HandleFunc("GET /v1/cell", func(w http.ResponseWriter, r *http.Request) {
 		s.handleCell(w, r, false)
@@ -140,6 +206,7 @@ func New(cfg Config) *Server {
 		s.handleCell(w, r, true)
 	})
 	s.mux.HandleFunc("GET /v1/figures", s.handleFigures)
+	s.mux.HandleFunc("POST /v1/submit", s.handleSubmit)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s

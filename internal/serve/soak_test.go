@@ -1,0 +1,154 @@
+package serve
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"predication/internal/asm"
+	"predication/internal/progen"
+)
+
+// TestSubmitSoak is the multi-tenant abuse drill: hundreds of concurrent
+// submissions — a mix of valid generated programs and adversarial
+// inputs — against one server while the kernel endpoints keep serving.
+// The invariants are the hardening contract end to end:
+//
+//   - no submission ever yields a 500 or a panic (the race detector and
+//     the drain barrier cover the concurrency half);
+//   - every non-200 is layer-tagged;
+//   - /v1/cell and /healthz stay available throughout.
+func TestSubmitSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped in -short mode")
+	}
+	s := New(Config{
+		SubmitRate:     1e6,
+		SubmitBurst:    1 << 20,
+		MaxSubmitSteps: 200_000,
+		// Small caches force eviction and recompilation under load.
+		ArtifactCacheSize: 16,
+		ResultCacheSize:   64,
+	})
+
+	// 32 distinct valid programs: flat and nested control flow over a
+	// range of shapes, exactly what a legitimate tenant would submit.
+	var valid []string
+	for seed := uint64(0); seed < 16; seed++ {
+		p := progen.Params{
+			Diamonds:   2 + int(seed%3),
+			BlockOps:   2 + int(seed%4),
+			Iterations: 4 + int(seed%8),
+			Regs:       4 + int(seed%4),
+		}
+		valid = append(valid, asm.Format(progen.Generate(seed, p)))
+		valid = append(valid, asm.Format(progen.GenerateNested(seed, p)))
+	}
+	adversarial := []string{
+		"",
+		"not a program at all",
+		strings.Repeat("garbage\n", 1000),
+		".mem 64\n.entry 0\nfunc F0 main:\nB0:\n\tjump B0\n",                             // step-quota buster
+		".mem 64\n.entry 0\nfunc F0 main:\nB0:\n\tmov r1, 0\n\tdiv r2, r1, r1\n\thalt\n", // trap
+		".mem 999999999999\nfunc F0 m:\nB0:\n\thalt\n",                                   // memory quota
+		".mem 64\nfunc F0 m:\nB99999999:\n\thalt\n",                                      // block-id bomb
+		".mem 64\nfunc F0 m:\nB0:\n\tmov r99999999, 1\n\thalt\n",                         // register bomb
+		".mem 64\n.data 99999999999 1\nfunc F0 m:\nB0:\n\thalt\n",                        // data outside .mem
+		strings.Repeat(";", 1<<20),                                                       // oversized body
+		"\x00\x01\x02\xff",
+		".mem 64\nfunc F0 m:\nB0:\n\thalt", // no trailing newline
+	}
+
+	const (
+		goroutines = 8
+		perWorker  = 64 // 512 submissions total
+	)
+	var (
+		served500 atomic.Int64
+		untagged  atomic.Int64
+		ok200     atomic.Int64
+		rejected  atomic.Int64
+	)
+	done := make(chan struct{})
+	var kernelWG sync.WaitGroup
+	kernelWG.Add(1)
+	go func() {
+		// Kernel traffic and health checks run for the whole soak.
+		defer kernelWG.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if rec := get(t, s, cellURL); rec.Code != http.StatusOK {
+				t.Errorf("/v1/cell degraded under submission load: %d", rec.Code)
+				return
+			}
+			if rec := get(t, s, "/healthz"); rec.Code != http.StatusOK {
+				t.Errorf("/healthz degraded under submission load: %d", rec.Code)
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				n := g*perWorker + i
+				var body, url string
+				if n%3 == 0 {
+					body = adversarial[n/3%len(adversarial)]
+					url = "/v1/submit"
+				} else {
+					body = valid[n%len(valid)]
+					// Mostly single-model (cheap); every eighth request
+					// measures all four models.
+					url = "/v1/submit?model=full"
+					if n%8 == 0 {
+						url = "/v1/submit"
+					}
+				}
+				rec := post(t, s, url, body)
+				switch {
+				case rec.Code == http.StatusOK:
+					ok200.Add(1)
+				case rec.Code >= 500 && rec.Code != http.StatusServiceUnavailable:
+					served500.Add(1)
+					t.Errorf("request %d: %d: %s", n, rec.Code, rec.Body.String())
+				default:
+					rejected.Add(1)
+					if _, layer := rejectionBody(t, rec); layer == "" {
+						untagged.Add(1)
+						t.Errorf("request %d: untagged rejection %d: %s", n, rec.Code, rec.Body.String())
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(done)
+	kernelWG.Wait()
+
+	if got := s.reg.Counter("submit_requests").Value(); got != goroutines*perWorker {
+		t.Errorf("submit_requests = %d, want %d", got, goroutines*perWorker)
+	}
+	if ok200.Load() == 0 || rejected.Load() == 0 {
+		t.Errorf("degenerate soak: %d oks, %d rejections", ok200.Load(), rejected.Load())
+	}
+	if served500.Load() != 0 || untagged.Load() != 0 {
+		t.Errorf("%d five-hundreds, %d untagged rejections", served500.Load(), untagged.Load())
+	}
+	if rec := get(t, s, "/healthz"); rec.Code != http.StatusOK {
+		t.Errorf("unhealthy after soak: %d", rec.Code)
+	}
+	t.Logf("soak: %d ok, %d rejected (gang fills %d, coalesced %d)",
+		ok200.Load(), rejected.Load(),
+		s.reg.Counter("submit_gang_fill").Value(),
+		s.reg.Counter("serve_coalesced").Value())
+}

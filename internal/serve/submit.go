@@ -1,0 +1,346 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"predication/internal/core"
+	"predication/internal/experiments"
+	"predication/internal/machine"
+	"predication/internal/obs"
+	"predication/internal/sim"
+	"predication/internal/submit"
+)
+
+// POST /v1/submit runs an untrusted .psasm program through the admission
+// gate (internal/submit) and measures the admitted program under the
+// requested models.  The handler is ordered so the cheapest refusals
+// come first and nothing below a layer runs once that layer refuses:
+//
+//	drain barrier → rate limit (429) → query validation (400) →
+//	body cap (413) → parse/limits/verify gate → result cache →
+//	singleflight → submission pool (429) → compile+measure under
+//	deadline, every failure layer-tagged (submit.Classify)
+//
+// Submissions run on their own worker pool and fill their own caches,
+// keyed by the canonical program's SHA-256 — two submissions differing
+// only in whitespace or comments share one compile and one cache entry.
+// A computed cell gang-fills the sibling simulator configurations of its
+// scheduling target exactly like /v1/cell.  Every rejection increments
+// submit_rejected_<layer>; rejections are never cached (the rate limiter
+// is the flood backstop, and a cached rejection could mask a raised
+// limit).
+
+// Serve-local rejection layers: refusals issued above the admission gate.
+const (
+	layerRate  = "rate"  // per-client token bucket
+	layerQueue = "queue" // submission pool full
+)
+
+// SubmitResponse is the /v1/submit body (schema documented in
+// docs/SERVING.md; keep the two in sync).
+type SubmitResponse struct {
+	// Program is the canonical form's SHA-256 — the submission's content
+	// address.  Resubmitting any equivalent source returns this digest.
+	Program string              `json:"program"`
+	Key     string              `json:"key"`
+	Machine obs.MachineMeta     `json:"machine"`
+	Instrs  int                 `json:"instrs"`
+	Models  []SubmitModelResult `json:"models"`
+}
+
+// SubmitModelResult is one model's measurement of the submitted program:
+// the same shape as a /v1/breakdown cell.
+type SubmitModelResult struct {
+	Model     string         `json:"model"`
+	Checksum  int64          `json:"checksum"`
+	Steps     int64          `json:"steps"`
+	Stats     sim.Stats      `json:"stats"`
+	IPC       float64        `json:"ipc"`
+	UsefulIPC float64        `json:"useful_ipc"`
+	Breakdown *obs.Breakdown `json:"breakdown,omitempty"`
+	Mix       []obs.MixEntry `json:"mix,omitempty"`
+}
+
+// allModels is the default measurement set: the paper's four execution
+// models.
+var allModels = []core.Model{core.Superblock, core.CondMove, core.FullPred, core.GuardInstr}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if !s.enter(w) {
+		return
+	}
+	defer s.inflight.Done()
+	s.reg.Counter("submit_requests").Inc()
+
+	if !s.limiter.allow(clientKey(r)) {
+		s.writeSubmitReject(w, layerRate, http.StatusTooManyRequests,
+			"submission rate limit exceeded, retry later")
+		return
+	}
+
+	q := r.URL.Query()
+	machineName := q.Get("machine")
+	if machineName == "" {
+		machineName = "issue8-br1"
+	}
+	cfg, err := machine.ByName(machineName)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	pred := q.Get("predictor")
+	cfg, err = experiments.ApplyPredictor(cfg, pred)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	models := allModels
+	if v := q.Get("model"); v != "" {
+		m, err := core.ParseModel(v)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		models = []core.Model{m}
+	}
+	timeout, err := s.timeoutFor(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.submitLimits.MaxBytes))
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.writeSubmitReject(w, submit.LayerBody, submit.StatusFor(submit.LayerBody),
+				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
+			return
+		}
+		httpError(w, http.StatusBadRequest, "reading request body: "+firstLine(err.Error()))
+		return
+	}
+
+	prog, rej := submit.Admit(string(body), s.submitLimits)
+	if rej != nil {
+		s.writeSubmitReject(w, rej.Layer, rej.Status(), rej.Error())
+		return
+	}
+
+	key := submitResultKey(prog.Digest, models, cfg)
+	if cached, ok := s.submitResults.Get(key); ok {
+		writeCached(w, cached.([]byte), "hit")
+		return
+	}
+	v, shared, err := s.flight.Do(key, func() (any, error) {
+		release, err := s.admitSubmit(r.Context())
+		if err != nil {
+			return nil, err
+		}
+		defer release()
+		return s.computeSubmit(key, prog, models, cfg, pred, timeout)
+	})
+	if err != nil {
+		s.writeSubmitError(w, err)
+		return
+	}
+	label := "miss"
+	if shared {
+		s.reg.Counter("serve_coalesced").Inc()
+		label = "coalesced"
+	}
+	writeCached(w, v.([]byte), label)
+}
+
+// errSubmitQueueFull is the submission pool's refusal.
+var errSubmitQueueFull = errors.New("serve: submission queue full")
+
+// admitSubmit is admit for the submission-scoped pool: kernel-endpoint
+// traffic and submissions hold separate tokens, so neither can starve
+// the other.
+func (s *Server) admitSubmit(ctx context.Context) (release func(), err error) {
+	select {
+	case s.submitQueue <- struct{}{}:
+	default:
+		return nil, errSubmitQueueFull
+	}
+	select {
+	case s.submitWorkers <- struct{}{}:
+		return func() { <-s.submitWorkers; <-s.submitQueue }, nil
+	case <-ctx.Done():
+		<-s.submitQueue
+		return nil, ctx.Err()
+	}
+}
+
+// computeSubmit is the cache-missing path of one submission: compile the
+// program under every requested model (artifacts content-addressed by
+// the canonical digest), gang-measure each across the simulator
+// configurations sharing the scheduling target, and render one body per
+// sibling configuration — all under the request deadline with panic
+// isolation, every failure funneled through submit.Classify so it
+// surfaces layer-tagged, never as a 500.
+func (s *Server) computeSubmit(key string, prog *submit.Program, models []core.Model, cfg machine.Config, pred string, timeout time.Duration) ([]byte, error) {
+	if s.computeHook != nil {
+		s.computeHook(key)
+	}
+	s.reg.Counter("submit_executions").Inc()
+	start := time.Now()
+	type gangRun struct {
+		cfgs []machine.Config
+		ms   [][]*experiments.Measurement // [model][sibling]
+	}
+	out, err := experiments.Guard(timeout, func() (*gangRun, error) {
+		cfgs := experiments.SimsFor(experiments.SchedTarget(cfg))
+		for i := range cfgs {
+			var err error
+			if cfgs[i], err = experiments.ApplyPredictor(cfgs[i], pred); err != nil {
+				return nil, err
+			}
+		}
+		ms := make([][]*experiments.Measurement, len(models))
+		for i, m := range models {
+			art, err := s.submitArtifact(prog, m, cfg)
+			if err != nil {
+				return nil, err
+			}
+			if ms[i], err = art.MeasureAll(cfgs, true); err != nil {
+				return nil, err
+			}
+		}
+		return &gangRun{cfgs: cfgs, ms: ms}, nil
+	})
+	if err != nil {
+		var rej *submit.Reject
+		if !errors.As(err, &rej) {
+			rej = submit.Classify(err)
+		}
+		return nil, rej
+	}
+	s.reg.Histogram("submit_compute_ms", []int64{1, 10, 100, 1000, 10000}).
+		Observe(time.Since(start).Milliseconds())
+
+	var body []byte
+	for ci, c := range out.cfgs {
+		ckey := submitResultKey(prog.Digest, models, c)
+		resp := SubmitResponse{
+			Program: prog.Digest,
+			Key:     ckey,
+			Machine: obs.MachineMetaOf(c),
+			Instrs:  prog.Instrs,
+		}
+		for mi, m := range models {
+			meas := out.ms[mi][ci]
+			mr := SubmitModelResult{
+				Model:     m.String(),
+				Checksum:  meas.Checksum,
+				Steps:     meas.Steps,
+				Stats:     meas.Stats,
+				IPC:       meas.Stats.IPC(),
+				UsefulIPC: meas.Stats.UsefulIPC(),
+			}
+			if meas.Account != nil {
+				mr.Breakdown = &meas.Account.Breakdown
+				mr.Mix = meas.Account.Mix()
+			}
+			resp.Models = append(resp.Models, mr)
+		}
+		b, err := json.MarshalIndent(&resp, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		b = append(b, '\n')
+		s.submitResults.Add(ckey, b)
+		if ckey == key {
+			body = b
+		} else {
+			s.reg.Counter("submit_gang_fill").Inc()
+		}
+	}
+	if body == nil {
+		return nil, fmt.Errorf("serve: configuration %s missing from its own sibling set", cfg.Name)
+	}
+	return body, nil
+}
+
+// submitArtifact compiles the admitted program under one model through
+// the submission artifact cache, singleflighted like the kernel path.
+// The returned error is a *submit.Reject when the gate refused it.
+func (s *Server) submitArtifact(prog *submit.Program, model core.Model, cfg machine.Config) (*experiments.CellArtifact, error) {
+	target := experiments.SchedTarget(cfg)
+	akey := digest(fmt.Sprintf("submitart|program=%s|model=%d|target=%s|steps=%d",
+		prog.Digest, model, target.Name, s.submitLimits.MaxSteps))
+	if v, ok := s.submitArtifacts.Get(akey); ok {
+		return v.(*experiments.CellArtifact), nil
+	}
+	v, _, err := s.flight.Do("compile:"+akey, func() (any, error) {
+		if v, ok := s.submitArtifacts.Get(akey); ok {
+			return v, nil
+		}
+		art, rej := prog.Artifact(model, cfg, s.submitLimits)
+		if rej != nil {
+			return nil, rej
+		}
+		s.submitArtifacts.Add(akey, art)
+		return art, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*experiments.CellArtifact), nil
+}
+
+// submitResultKey addresses one rendered submission response: the
+// canonical program digest, the measured model set in request order, and
+// the simulator configuration.  The step quota is deliberately excluded —
+// it is per-process configuration, and the submission caches do not
+// outlive the process.
+func submitResultKey(progDigest string, models []core.Model, cfg machine.Config) string {
+	return digest(fmt.Sprintf("submit|program=%s|models=%v|sim=%#v", progDigest, models, cfg))
+}
+
+// writeSubmitError maps a submission compute failure onto its response.
+// computeSubmit funnels everything through submit.Classify, so by here
+// every failure is a layer-tagged Reject except the pool's own refusals.
+func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+	var rej *submit.Reject
+	switch {
+	case errors.Is(err, errSubmitQueueFull):
+		s.writeSubmitReject(w, layerQueue, http.StatusTooManyRequests,
+			"submission queue full, retry later")
+	case errors.As(err, &rej):
+		s.writeSubmitReject(w, rej.Layer, rej.Status(), rej.Error())
+	default:
+		// Client went away while queued, or a marshalling failure.
+		s.writeComputeError(w, err)
+	}
+}
+
+// writeSubmitReject writes a layer-tagged JSON refusal and counts it.
+// 429 layers carry the Retry-After hint.
+func (s *Server) writeSubmitReject(w http.ResponseWriter, layer string, code int, msg string) {
+	s.reg.Counter("submit_rejected_" + layer).Inc()
+	if code == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	fmt.Fprintf(w, "{\"error\":%q,\"layer\":%q}\n", msg, layer)
+}
+
+// clientKey identifies the submitting client for rate limiting: the
+// remote address without its ephemeral port.
+func clientKey(r *http.Request) string {
+	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		return host
+	}
+	return r.RemoteAddr
+}

@@ -1,0 +1,105 @@
+package submit
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"predication/internal/asm"
+	"predication/internal/bench"
+	"predication/internal/core"
+	"predication/internal/machine"
+)
+
+// FuzzParseSubmit drives arbitrary bytes through the whole admission
+// gate — parse, static limits, structural verification, canonicalization,
+// and a bounded compile — asserting the gate's contract rather than any
+// particular outcome:
+//
+//   - the gate never panics (the fuzzer itself catches that);
+//   - every refusal carries a known layer that maps to a non-500 status
+//     and renders as one line;
+//   - an admitted program's canonical form is a fixpoint: it re-admits
+//     with the same digest;
+//   - whatever compilation does with an admitted program, a failure is
+//     still a layer-tagged rejection.
+//
+// Limits are deliberately tight so the fuzzer spends its budget on the
+// parser and verifier, not on emulating large programs.  Seeds cover the
+// grammar (directives, every operand shape, predicates, calls) plus any
+// minimized divergence artifacts in testdata/repros.
+func FuzzParseSubmit(f *testing.F) {
+	seeds := []string{
+		"",
+		"not a program at all",
+		minimal,
+		spinner,
+		".mem 64\n.entry 0\nfunc F0 main:\nB0:\n\tmov r1, 0\n\tdiv r2, r1, r1\n\thalt\n",
+		".mem 4\nfunc F0 m:\nB0:\n\thalt\n",
+		".mem 99999999999999999999\nfunc F0 m:\nB0:\n\thalt\n",
+		".mem 64\n.data 0 1 2 3\n.entry 0\nfunc F0 m:\nB0:\n\thalt\n",
+		".mem 64\n.data 9999999999 1\nfunc F0 m:\nB0:\n\thalt\n",
+		".mem 64\nfunc F0 m:\nB9999999:\n\thalt\n",
+		".mem 64\nfunc F0 m:\nB0:\n\tmov r99999999, 1\n\thalt\n",
+		".mem 64\nfunc F0 m:\nB0:\n\tcmp.lt p1, r1, r2\n\t(p1) mov r3, 1\n\thalt\n",
+		".mem 64\n.entry 0\nfunc F0 main:\nB0:\n\tcall F1\n\thalt\nfunc F1 leaf:\nB0:\n\tret\n",
+		".mem 64\nfunc F0 m:\nB0:\n\tload r1, 0, r2\n\tstore 0, r1, r2\n\tbr.eq r1, r2, B1\nB1:\n\thalt\n",
+		"; comment only\n",
+		".mem 64\nfunc F0 m:\nB0:\n\tmov r1, -9223372036854775808\n\thalt\n",
+		strings.Repeat(".mem 64\n", 100),
+		".mem 64\nfunc F0 m:\nB0:\n\tjump B1\nB1:\n\tjump B0\n",
+	}
+	// The smallest kernel exercises the full grammar as real code does.
+	seeds = append(seeds, asm.Format(bench.All()[0].Build()))
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	// Minimized divergence artifacts, when the differential fuzzer has
+	// left any (testdata/repros is empty in a clean tree).
+	if paths, err := filepath.Glob("../../testdata/repros/*.psasm"); err == nil {
+		for _, p := range paths {
+			if b, err := os.ReadFile(p); err == nil {
+				f.Add(string(b))
+			}
+		}
+	}
+
+	lim := Limits{
+		MaxBytes:    1 << 16,
+		MaxInstrs:   1 << 10,
+		MaxFuncs:    8,
+		MaxBlocks:   1 << 8,
+		MaxRegs:     1 << 8,
+		MaxPRegs:    1 << 8,
+		MaxMemWords: 1 << 12,
+		MaxSteps:    5_000,
+	}
+	checkReject := func(t *testing.T, rej *Reject) {
+		if rej.Layer == "" || StatusFor(rej.Layer) == 500 {
+			t.Errorf("rejection with unmapped layer %q: %v", rej.Layer, rej)
+		}
+		if strings.ContainsRune(rej.Error(), '\n') {
+			t.Errorf("rejection is not one line: %q", rej.Error())
+		}
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, rej := Admit(src, lim)
+		if rej != nil {
+			checkReject(t, rej)
+			return
+		}
+		p2, rej := Admit(p.Canonical, lim)
+		if rej != nil {
+			t.Fatalf("canonical form of an admitted program refused: %v\n%s", rej, p.Canonical)
+		}
+		if p2.Digest != p.Digest {
+			t.Fatalf("canonicalization is not a fixpoint:\n%q\n%q", p.Canonical, p2.Canonical)
+		}
+		for _, m := range []core.Model{core.Superblock, core.FullPred} {
+			if _, rej := p.Artifact(m, machine.Issue8Br1(), lim); rej != nil {
+				checkReject(t, rej)
+			}
+		}
+	})
+}

@@ -1,0 +1,273 @@
+// Package submit is the admission gate for untrusted user programs: the
+// layered defense between a raw HTTP body and the compile/simulate
+// machinery the daemon shares with the paper's own kernels.
+//
+// A submission passes through the layers in order, and every refusal is
+// tagged with the layer that refused it (the daemon maps layers onto
+// HTTP statuses and per-layer rejection counters):
+//
+//	body     413  request larger than the byte cap
+//	parse    400  text that is not a well-formed program
+//	limits   413  well-formed text exceeding a static resource bound
+//	verify   422  parsed program failing structural IR verification
+//	compile  422  program the pipelines refuse (including per-stage
+//	              verification failures)
+//	execute  422  program that traps while running (illegal address,
+//	              divide by zero, call-stack overflow)
+//	quota    413  program exceeding its emulation step quota
+//	deadline 504  submission exceeding its wall-clock deadline
+//	panic    422  a recovered panic anywhere below the gate — reported
+//	              as a rejection, never as a 500
+//
+// Admitted programs are canonicalized (parse → format) so submissions
+// differing only in whitespace, comments, or label spelling share one
+// SHA-256 digest — the content address that joins the daemon's artifact
+// and result cache keys.
+package submit
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+
+	"predication/internal/asm"
+	"predication/internal/core"
+	"predication/internal/emu"
+	"predication/internal/experiments"
+	"predication/internal/ir"
+	"predication/internal/irverify"
+	"predication/internal/machine"
+)
+
+// Rejection layers, in gate order.
+const (
+	LayerBody     = "body"
+	LayerParse    = "parse"
+	LayerLimits   = "limits"
+	LayerVerify   = "verify"
+	LayerCompile  = "compile"
+	LayerExecute  = "execute"
+	LayerQuota    = "quota"
+	LayerDeadline = "deadline"
+	LayerPanic    = "panic"
+)
+
+// StatusFor maps a rejection layer to its HTTP status.
+func StatusFor(layer string) int {
+	switch layer {
+	case LayerParse:
+		return http.StatusBadRequest // 400
+	case LayerVerify, LayerCompile, LayerExecute, LayerPanic:
+		return http.StatusUnprocessableEntity // 422
+	case LayerBody, LayerLimits, LayerQuota:
+		return http.StatusRequestEntityTooLarge // 413
+	case LayerDeadline:
+		return http.StatusGatewayTimeout // 504
+	}
+	return http.StatusInternalServerError
+}
+
+// Reject is a layer-tagged refusal.  It implements error so gate helpers
+// can return it in either position.
+type Reject struct {
+	Layer string
+	Err   error
+}
+
+// Error formats the refusal as one line with its layer tag.
+func (r *Reject) Error() string { return fmt.Sprintf("%s: %s", r.Layer, firstLine(r.Err.Error())) }
+
+// Status is the HTTP status of the layer.
+func (r *Reject) Status() int { return StatusFor(r.Layer) }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (r *Reject) Unwrap() error { return r.Err }
+
+// reject builds a Reject.
+func reject(layer string, err error) *Reject { return &Reject{Layer: layer, Err: err} }
+
+// firstLine truncates multi-line diagnostics (irverify reports can span
+// many lines; the served message is always one).
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+// Limits bounds what one submission may claim at every layer of the
+// gate.  The zero value of any field selects the DefaultLimits value.
+type Limits struct {
+	// MaxBytes caps the submitted source text (enforced by the server
+	// before the body is read; Admit re-checks it for direct callers).
+	MaxBytes int64
+	// MaxInstrs caps the static instruction count.
+	MaxInstrs int
+	// MaxFuncs, MaxBlocks, MaxRegs, MaxPRegs bound program shape: the
+	// function count, block IDs per function (label count and CFG
+	// nesting), and register-file sizes per function.
+	MaxFuncs  int
+	MaxBlocks int
+	MaxRegs   int
+	MaxPRegs  int
+	// MaxMemWords caps the declared memory image — the submission's
+	// memory quota (one word is 8 bytes; emulation and data parsing
+	// never allocate past it).
+	MaxMemWords int
+	// MaxSteps is the emulation step quota, applied to the compiler's
+	// profiling run and to every measured emulation.  Call depth is
+	// separately capped by the emulator (1024 frames).
+	MaxSteps int64
+}
+
+// DefaultLimits returns the serving defaults: roomy enough for every
+// built-in kernel's source form, small enough that one hostile
+// submission cannot hold a worker for more than a few tens of
+// milliseconds or a few megabytes.
+func DefaultLimits() Limits {
+	return Limits{
+		MaxBytes:    512 << 10, // 512 KiB of text (eqn's data-heavy source is 333 KiB)
+		MaxInstrs:   1 << 14,
+		MaxFuncs:    64,
+		MaxBlocks:   1 << 12,
+		MaxRegs:     1 << 10,
+		MaxPRegs:    1 << 10,
+		MaxMemWords: 1 << 20, // 8 MiB image
+		MaxSteps:    2_000_000,
+	}
+}
+
+// WithDefaults fills zero fields from DefaultLimits — how the daemon
+// turns its three configured knobs into a full limit set.
+func (l Limits) WithDefaults() Limits {
+	d := DefaultLimits()
+	if l.MaxBytes <= 0 {
+		l.MaxBytes = d.MaxBytes
+	}
+	if l.MaxInstrs <= 0 {
+		l.MaxInstrs = d.MaxInstrs
+	}
+	if l.MaxFuncs <= 0 {
+		l.MaxFuncs = d.MaxFuncs
+	}
+	if l.MaxBlocks <= 0 {
+		l.MaxBlocks = d.MaxBlocks
+	}
+	if l.MaxRegs <= 0 {
+		l.MaxRegs = d.MaxRegs
+	}
+	if l.MaxPRegs <= 0 {
+		l.MaxPRegs = d.MaxPRegs
+	}
+	if l.MaxMemWords <= 0 {
+		l.MaxMemWords = d.MaxMemWords
+	}
+	if l.MaxSteps <= 0 {
+		l.MaxSteps = d.MaxSteps
+	}
+	return l
+}
+
+// Program is an admitted submission: parsed, statically bounded,
+// structurally verified, and canonicalized.
+type Program struct {
+	// Canonical is the normalized source (parse → format): comments and
+	// whitespace dropped, directives and instructions in canonical
+	// spelling.  Equal programs have equal Canonical text.
+	Canonical string
+	// Digest is the SHA-256 of Canonical — the submission's content
+	// address in the daemon's caches.
+	Digest string
+	// Prog is the parsed program.  Callers must treat it as immutable
+	// (core.Compile clones before transforming).
+	Prog *ir.Program
+	// Instrs is the static instruction count.
+	Instrs int
+}
+
+// Admit runs the front half of the gate on raw source text: byte cap,
+// bounded parse, static limits, and structural verification.  It never
+// panics on any input; a refusal is layer-tagged.
+func Admit(src string, lim Limits) (*Program, *Reject) {
+	lim = lim.WithDefaults()
+	if int64(len(src)) > lim.MaxBytes {
+		return nil, reject(LayerBody,
+			fmt.Errorf("program is %d bytes, cap is %d", len(src), lim.MaxBytes))
+	}
+	p, err := asm.ParseLimited(src, asm.Limits{
+		MaxMemWords: lim.MaxMemWords,
+		MaxFuncs:    lim.MaxFuncs,
+		MaxBlocks:   lim.MaxBlocks,
+		MaxInstrs:   lim.MaxInstrs,
+		MaxRegs:     lim.MaxRegs,
+		MaxPRegs:    lim.MaxPRegs,
+	})
+	if err != nil {
+		var le *asm.LimitError
+		if errors.As(err, &le) {
+			return nil, reject(LayerLimits, err)
+		}
+		return nil, reject(LayerParse, err)
+	}
+	// asm.Parse has run ir.Verify; add the deeper structural pass the
+	// compiler trusts (operand ranges, terminator invariants,
+	// def-before-use, define typing) so nothing malformed reaches it.
+	if diags := irverify.Verify(p, irverify.Options{Pass: "submit", MaxDiags: 1}); len(diags) > 0 {
+		return nil, reject(LayerVerify, irverify.Error(diags))
+	}
+	canonical := asm.Format(p)
+	sum := sha256.Sum256([]byte(canonical))
+	return &Program{
+		Canonical: canonical,
+		Digest:    hex.EncodeToString(sum[:]),
+		Prog:      p,
+		Instrs:    p.NumInstrs(),
+	}, nil
+}
+
+// Classify maps an error from the compile/measure half of the gate onto
+// its rejection layer.  Everything below the gate funnels through it, so
+// a step-quota overrun surfaces as 413, a trap as 422, a guarded panic
+// as a tagged 422 — never an untyped 500.
+func Classify(err error) *Reject {
+	var (
+		sl *emu.StepLimitError
+		ee *emu.ExecError
+		te *experiments.TimeoutError
+		pe *experiments.PanicError
+	)
+	switch {
+	case errors.As(err, &sl):
+		return reject(LayerQuota, err)
+	case errors.As(err, &ee):
+		return reject(LayerExecute, err)
+	case errors.As(err, &te):
+		return reject(LayerDeadline, err)
+	case errors.As(err, &pe):
+		// The one-line PanicError message (no stack) is what serves.
+		return reject(LayerPanic, pe)
+	default:
+		return reject(LayerCompile, err)
+	}
+}
+
+// Artifact compiles the admitted program under one model for cfg's
+// scheduling target with the full defensive configuration: per-stage
+// structural verification on, the profiling emulation and every later
+// measurement bounded by the step quota.  The returned artifact carries
+// the quota into Measure/MeasureAll.
+func (p *Program) Artifact(model core.Model, cfg machine.Config, lim Limits) (*experiments.CellArtifact, *Reject) {
+	lim = lim.WithDefaults()
+	opts := core.DefaultOptions(experiments.SchedTarget(cfg))
+	opts.VerifyStages = true
+	opts.ProfileSteps = lim.MaxSteps
+	art, err := experiments.CompileProgram("submit:"+p.Digest[:12], p.Prog, model, cfg, opts)
+	if err != nil {
+		return nil, Classify(err)
+	}
+	art.MaxSteps = lim.MaxSteps
+	return art, nil
+}
