@@ -1,0 +1,285 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// endpoint is one entry of the request mix.
+type endpoint struct {
+	name   string // "cell", "breakdown", or "submit"
+	weight int
+}
+
+// loadConfig is the parsed command line.
+type loadConfig struct {
+	addr        string
+	duration    time.Duration
+	concurrency int
+	timeout     time.Duration
+	mix         []endpoint
+	kernels     []string
+	models      []string
+	machines    []string
+	label       string
+	out         string
+	seed        int64
+}
+
+// submitProgram is the body posted by the "submit" mix entry: a small
+// valid program, constant so every submission is one cache key (the
+// point of the submit entry is to exercise the submission cache path,
+// not to flood the compile pool with distinct programs).
+const submitProgram = `.mem 64
+.entry 0
+func F0 main:
+B0:
+	mov r1, 37
+	store 0, 8, r1
+	halt
+`
+
+// parseMix parses "cell=8,breakdown=1,submit=1" into weighted entries.
+func parseMix(s string) ([]endpoint, error) {
+	var mix []endpoint
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		name, w, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return nil, fmt.Errorf("mix entry %q: want name=weight", part)
+		}
+		switch name {
+		case "cell", "breakdown", "submit":
+		default:
+			return nil, fmt.Errorf("mix entry %q: unknown endpoint (cell, breakdown, submit)", name)
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("mix entry %q: duplicate endpoint", name)
+		}
+		seen[name] = true
+		n, err := strconv.Atoi(w)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("mix entry %q: weight must be a positive integer", part)
+		}
+		mix = append(mix, endpoint{name, n})
+	}
+	if len(mix) == 0 {
+		return nil, fmt.Errorf("empty mix")
+	}
+	return mix, nil
+}
+
+// splitList splits a comma-separated flag, trimming whitespace and
+// refusing empty elements.
+func splitList(flagName, s string) ([]string, error) {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		v = strings.TrimSpace(v)
+		if v == "" {
+			return nil, fmt.Errorf("%s: empty element in %q", flagName, s)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseLoadConfig(args []string, errw io.Writer) (loadConfig, error) {
+	fs := flag.NewFlagSet("predload", flag.ContinueOnError)
+	fs.SetOutput(errw)
+	addr := fs.String("addr", "http://127.0.0.1:8097", "base URL of the predserved daemon")
+	duration := fs.Duration("duration", 10*time.Second, "how long to drive load")
+	concurrency := fs.Int("concurrency", 4, "closed-loop workers (in-flight requests)")
+	timeout := fs.Duration("timeout", 60*time.Second, "per-request client timeout")
+	mixFlag := fs.String("mix", "cell=9,breakdown=1", "weighted endpoint mix, name=weight comma-separated (cell, breakdown, submit)")
+	kernels := fs.String("kernels", "wc,grep,cmp,qsort", "kernels to request, comma-separated")
+	models := fs.String("models", "superblock,cmov,full,guard", "models to request, comma-separated")
+	machines := fs.String("machines", "issue8-br1,issue8-br1-64k", "machines to request, comma-separated")
+	label := fs.String("label", "run", "phase label in the report (e.g. cold, warm_restart)")
+	out := fs.String("out", "", "report file; an existing report gains this phase (empty = stdout only)")
+	seed := fs.Int64("seed", 1, "seed for the deterministic request sequence")
+	if err := fs.Parse(args); err != nil {
+		return loadConfig{}, err
+	}
+	if *duration <= 0 {
+		return loadConfig{}, fmt.Errorf("-duration %v: must be positive", *duration)
+	}
+	if *concurrency <= 0 {
+		return loadConfig{}, fmt.Errorf("-concurrency %d: must be positive", *concurrency)
+	}
+	if *timeout <= 0 {
+		return loadConfig{}, fmt.Errorf("-timeout %v: must be positive", *timeout)
+	}
+	if *label == "" {
+		return loadConfig{}, fmt.Errorf("-label: must not be empty")
+	}
+	if !strings.HasPrefix(*addr, "http://") && !strings.HasPrefix(*addr, "https://") {
+		return loadConfig{}, fmt.Errorf("-addr %q: want an http(s) base URL", *addr)
+	}
+	mix, err := parseMix(*mixFlag)
+	if err != nil {
+		return loadConfig{}, fmt.Errorf("-mix: %w", err)
+	}
+	cfg := loadConfig{
+		addr:        strings.TrimSuffix(*addr, "/"),
+		duration:    *duration,
+		concurrency: *concurrency,
+		timeout:     *timeout,
+		mix:         mix,
+		label:       *label,
+		out:         *out,
+		seed:        *seed,
+	}
+	if cfg.kernels, err = splitList("-kernels", *kernels); err != nil {
+		return loadConfig{}, err
+	}
+	if cfg.models, err = splitList("-models", *models); err != nil {
+		return loadConfig{}, err
+	}
+	if cfg.machines, err = splitList("-machines", *machines); err != nil {
+		return loadConfig{}, err
+	}
+	return cfg, nil
+}
+
+// sample is one completed request.
+type sample struct {
+	latency time.Duration
+	status  int // 0 = transport error
+	xcache  string
+	xshard  string
+}
+
+// worker drives one closed-loop request stream until deadline.  Each
+// worker owns a deterministic RNG (seed + index), so the request
+// sequence is reproducible run to run.
+func worker(cfg loadConfig, client *http.Client, rng *rand.Rand, deadline time.Time) []sample {
+	var samples []sample
+	total := 0
+	for _, e := range cfg.mix {
+		total += e.weight
+	}
+	for time.Now().Before(deadline) {
+		pick := rng.Intn(total)
+		var ep endpoint
+		for _, e := range cfg.mix {
+			if pick < e.weight {
+				ep = e
+				break
+			}
+			pick -= e.weight
+		}
+		samples = append(samples, issue(cfg, client, rng, ep.name))
+	}
+	return samples
+}
+
+// issue performs one request and records its disposition.
+func issue(cfg loadConfig, client *http.Client, rng *rand.Rand, name string) sample {
+	var (
+		resp  *http.Response
+		err   error
+		start = time.Now()
+	)
+	switch name {
+	case "submit":
+		resp, err = client.Post(cfg.addr+"/v1/submit", "text/plain", strings.NewReader(submitProgram))
+	default:
+		kernel := cfg.kernels[rng.Intn(len(cfg.kernels))]
+		model := cfg.models[rng.Intn(len(cfg.models))]
+		mach := cfg.machines[rng.Intn(len(cfg.machines))]
+		url := fmt.Sprintf("%s/v1/%s?kernel=%s&model=%s&machine=%s", cfg.addr, name, kernel, model, mach)
+		resp, err = client.Get(url)
+	}
+	s := sample{latency: time.Since(start)}
+	if err != nil {
+		return s
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	s.status = resp.StatusCode
+	s.xcache = resp.Header.Get("X-Cache")
+	s.xshard = resp.Header.Get("X-Shard")
+	return s
+}
+
+func run(args []string, stdout, errw io.Writer) error {
+	cfg, err := parseLoadConfig(args, errw)
+	if err != nil {
+		return err
+	}
+	client := &http.Client{
+		Timeout: cfg.timeout,
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: cfg.concurrency,
+		},
+	}
+
+	deadline := time.Now().Add(cfg.duration)
+	results := make([][]sample, cfg.concurrency)
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.concurrency; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = worker(cfg, client, rand.New(rand.NewSource(cfg.seed+int64(i))), deadline)
+		}(i)
+	}
+	wg.Wait()
+
+	var all []sample
+	for _, r := range results {
+		all = append(all, r...)
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("no requests completed within %v", cfg.duration)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].latency < all[j].latency })
+	phase := summarize(cfg, all)
+
+	report, err := loadReport(cfg.out)
+	if err != nil {
+		return err
+	}
+	report.Phases[cfg.label] = phase
+	report.derive()
+	if cfg.out != "" {
+		if err := report.write(cfg.out); err != nil {
+			return err
+		}
+	}
+	b := report.render()
+	if _, err := stdout.Write(b); err != nil {
+		return err
+	}
+	return nil
+}
+
+// loadReport reads an existing report to merge into, or starts a fresh
+// one (a missing file or empty path is a fresh report; any other read
+// or parse failure is an error, never a silent overwrite).
+func loadReport(path string) (*Report, error) {
+	r := &Report{GeneratedBy: "predload", Phases: map[string]*Phase{}}
+	if path == "" {
+		return r, nil
+	}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return r, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := r.parse(data); err != nil {
+		return nil, fmt.Errorf("existing report %s: %w", path, err)
+	}
+	return r, nil
+}

@@ -1,0 +1,33 @@
+// Command predload is a closed-loop HTTP load generator for the
+// predserved daemon: a fixed number of workers each issue one request
+// at a time (no open-loop arrival process, so the measured latency is
+// the service's, not a coordinated-omission artifact), over a weighted
+// mix of the serving endpoints, for a fixed duration.  It records the
+// latency distribution (p50/p95/p99), throughput, error rate, and the
+// X-Cache/X-Shard disposition mix, and writes one labeled phase into a
+// JSON report.
+//
+// Phases accumulate: running twice with different -label values against
+// the same -out file merges both phases into one document and derives
+// the warm-restart speedup (the committed BENCH_PR8.json pairs a "cold"
+// phase against an empty daemon with a "warm_restart" phase against a
+// restarted one whose disk store carries over).
+//
+// Usage:
+//
+//	predload -addr http://127.0.0.1:8097 -duration 10s -concurrency 4 \
+//	         -label cold -out BENCH_PR8.json
+//	predload -addr ... -mix cell=8,breakdown=1,submit=1 -seed 7
+package main
+
+import (
+	"fmt"
+	"os"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintln(os.Stderr, "predload:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestParseMix: the weighted-mix grammar and its refusals.
+func TestParseMix(t *testing.T) {
+	mix, err := parseMix("cell=8,breakdown=1,submit=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 3 || mix[0] != (endpoint{"cell", 8}) || mix[2] != (endpoint{"submit", 1}) {
+		t.Errorf("mix = %+v", mix)
+	}
+	for _, bad := range []string{"", "cell", "cell=0", "cell=-1", "cell=x", "figures=1", "cell=1,cell=2"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("parseMix(%q) accepted", bad)
+		}
+	}
+}
+
+// TestFlagValidation: every malformed knob is a one-line startup error.
+func TestFlagValidation(t *testing.T) {
+	cases := [][]string{
+		{"-duration", "0s"},
+		{"-concurrency", "0"},
+		{"-timeout", "-1s"},
+		{"-label", ""},
+		{"-addr", "127.0.0.1:8097"},
+		{"-mix", "cell=0"},
+		{"-kernels", "wc,,grep"},
+		{"-models", ""},
+		{"-machines", " , "},
+	}
+	for _, args := range cases {
+		if _, err := parseLoadConfig(args, io.Discard); err == nil {
+			t.Errorf("predload %v: expected error", args)
+		}
+	}
+}
+
+// TestPercentile: nearest-rank percentiles on small samples.
+func TestPercentile(t *testing.T) {
+	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(lat, 50); p != 5 {
+		t.Errorf("p50 = %v, want 5", p)
+	}
+	if p := percentile(lat, 99); p != 10 {
+		t.Errorf("p99 = %v, want 10", p)
+	}
+	if p := percentile(lat[:1], 50); p != 1 {
+		t.Errorf("p50 of singleton = %v, want 1", p)
+	}
+	if p := percentile(nil, 50); p != 0 {
+		t.Errorf("p50 of empty = %v, want 0", p)
+	}
+}
+
+// TestDerive: the warm-restart speedup appears exactly when both phases
+// carry the data it needs.
+func TestDerive(t *testing.T) {
+	r := &Report{Phases: map[string]*Phase{}}
+	r.derive()
+	if r.Derived != nil {
+		t.Error("derived figures from no phases")
+	}
+	r.Phases["cold"] = &Phase{StateP50US: map[string]int64{"miss": 30000}}
+	r.Phases["warm_restart"] = &Phase{LatencyUS: Latency{P50: 300}}
+	r.derive()
+	if r.Derived == nil || r.Derived.WarmRestartSpeedupP50 != 100 {
+		t.Errorf("derived = %+v, want speedup 100", r.Derived)
+	}
+}
+
+// TestLoadAgainstFakeDaemon: the full loop against a stub daemon — the
+// report counts requests, splits the X-Cache mix, and merges two phases
+// into one file with the derived speedup.
+func TestLoadAgainstFakeDaemon(t *testing.T) {
+	var computed atomic.Bool
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		state := "hit"
+		if computed.CompareAndSwap(false, true) {
+			state = "miss"
+			time.Sleep(20 * time.Millisecond) // the one compute
+		}
+		w.Header().Set("X-Cache", state)
+		w.Header().Set("X-Shard", "local")
+		w.Write([]byte("{}\n"))
+	}))
+	defer ts.Close()
+
+	out := filepath.Join(t.TempDir(), "bench.json")
+	for _, label := range []string{"cold", "warm_restart"} {
+		var stdout strings.Builder
+		err := run([]string{
+			"-addr", ts.URL, "-duration", "300ms", "-concurrency", "2",
+			"-label", label, "-out", out}, &stdout, io.Discard)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+	}
+
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		t.Fatalf("report does not parse: %v\n%s", err, data)
+	}
+	if len(r.Phases) != 2 {
+		t.Fatalf("phases = %v, want cold and warm_restart", len(r.Phases))
+	}
+	cold := r.Phases["cold"]
+	if cold == nil || cold.Requests == 0 {
+		t.Fatalf("cold phase empty: %+v", cold)
+	}
+	if cold.Errors != 0 || cold.ErrorRate != 0 {
+		t.Errorf("cold errors = %d (%v), want 0", cold.Errors, cold.ErrorRate)
+	}
+	if cold.XCache["miss"] != 1 || cold.XCache["hit"] == 0 {
+		t.Errorf("cold xcache mix = %v, want one miss and many hits", cold.XCache)
+	}
+	if cold.XShard["local"] != cold.Requests {
+		t.Errorf("xshard mix = %v over %d requests", cold.XShard, cold.Requests)
+	}
+	if cold.StateP50US["miss"] < 20000 {
+		t.Errorf("miss p50 = %dus, want >= the 20ms stub compute", cold.StateP50US["miss"])
+	}
+	if r.Derived == nil || r.Derived.WarmRestartSpeedupP50 <= 1 {
+		t.Errorf("derived = %+v, want a speedup > 1", r.Derived)
+	}
+}
+
+// TestLoadTransportErrors: a dead daemon yields counted errors, not a
+// crash — and an unreadable existing report refuses to be overwritten.
+func TestLoadTransportErrors(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	ts.Close() // nothing listens
+
+	var stdout strings.Builder
+	err := run([]string{"-addr", ts.URL, "-duration", "100ms", "-concurrency", "1",
+		"-label", "dead"}, &stdout, io.Discard)
+	if err != nil {
+		t.Fatalf("run against a dead daemon: %v", err)
+	}
+	var r Report
+	if err := json.Unmarshal([]byte(stdout.String()), &r); err != nil {
+		t.Fatalf("stdout report does not parse: %v", err)
+	}
+	p := r.Phases["dead"]
+	if p == nil || p.Errors != p.Requests || p.ErrorRate != 1 {
+		t.Errorf("phase = %+v, want all-error", p)
+	}
+
+	corrupt := filepath.Join(t.TempDir(), "bench.json")
+	if err := os.WriteFile(corrupt, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-addr", ts.URL, "-duration", "50ms", "-concurrency", "1",
+		"-label", "x", "-out", corrupt}, io.Discard, io.Discard)
+	if err == nil {
+		t.Error("run overwrote an unparseable report")
+	}
+}

@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// Report is the merged benchmark document (the committed BENCH_PR8.json
+// schema).  Each predload invocation contributes one Phase under its
+// -label; Derived is recomputed from whatever phases are present.
+type Report struct {
+	GeneratedBy string            `json:"generated_by"`
+	Phases      map[string]*Phase `json:"phases"`
+	Derived     *Derived          `json:"derived,omitempty"`
+}
+
+// Phase is one labeled load run.
+type Phase struct {
+	Addr            string           `json:"addr"`
+	DurationSeconds float64          `json:"duration_seconds"`
+	Concurrency     int              `json:"concurrency"`
+	Mix             string           `json:"mix"`
+	Requests        int              `json:"requests"`
+	Errors          int              `json:"errors"`
+	ErrorRate       float64          `json:"error_rate"`
+	ThroughputRPS   float64          `json:"throughput_rps"`
+	LatencyUS       Latency          `json:"latency_us"`
+	XCache          map[string]int   `json:"xcache"`
+	XShard          map[string]int   `json:"xshard,omitempty"`
+	StateP50US      map[string]int64 `json:"state_p50_us"`
+}
+
+// Latency is the phase's latency distribution in microseconds.
+type Latency struct {
+	P50  int64 `json:"p50"`
+	P95  int64 `json:"p95"`
+	P99  int64 `json:"p99"`
+	Mean int64 `json:"mean"`
+	Max  int64 `json:"max"`
+}
+
+// Derived holds cross-phase figures.  WarmRestartSpeedupP50 is the
+// acceptance-criterion number: the cold phase's compute (X-Cache: miss)
+// median divided by the warm-restart phase's overall median — how much
+// faster a restarted daemon answers because its disk store carried over.
+type Derived struct {
+	WarmRestartSpeedupP50 float64 `json:"warm_restart_speedup_p50"`
+}
+
+// percentile returns the p-th percentile (0 < p <= 100) of the sorted
+// latency slice, nearest-rank.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted)*p + 99) / 100
+	if i < 1 {
+		i = 1
+	}
+	return sorted[i-1]
+}
+
+// summarize aggregates one phase from its samples (sorted by latency).
+func summarize(cfg loadConfig, sorted []sample) *Phase {
+	p := &Phase{
+		Addr:            cfg.addr,
+		DurationSeconds: cfg.duration.Seconds(),
+		Concurrency:     cfg.concurrency,
+		Requests:        len(sorted),
+		XCache:          map[string]int{},
+		XShard:          map[string]int{},
+		StateP50US:      map[string]int64{},
+	}
+	for i, e := range cfg.mix {
+		if i > 0 {
+			p.Mix += ","
+		}
+		p.Mix += fmt.Sprintf("%s=%d", e.name, e.weight)
+	}
+	lat := make([]time.Duration, 0, len(sorted))
+	byState := map[string][]time.Duration{}
+	var sum time.Duration
+	for _, s := range sorted {
+		lat = append(lat, s.latency)
+		sum += s.latency
+		if s.status < 200 || s.status > 299 {
+			p.Errors++
+			continue
+		}
+		if s.xcache != "" {
+			p.XCache[s.xcache]++
+			byState[s.xcache] = append(byState[s.xcache], s.latency)
+		}
+		if s.xshard != "" {
+			p.XShard[s.xshard]++
+		}
+	}
+	p.ErrorRate = float64(p.Errors) / float64(p.Requests)
+	p.ThroughputRPS = float64(p.Requests) / cfg.duration.Seconds()
+	p.LatencyUS = Latency{
+		P50:  percentile(lat, 50).Microseconds(),
+		P95:  percentile(lat, 95).Microseconds(),
+		P99:  percentile(lat, 99).Microseconds(),
+		Mean: (sum / time.Duration(len(lat))).Microseconds(),
+		Max:  lat[len(lat)-1].Microseconds(),
+	}
+	for state, ls := range byState {
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		p.StateP50US[state] = percentile(ls, 50).Microseconds()
+	}
+	return p
+}
+
+// derive recomputes the cross-phase figures from the present phases.
+func (r *Report) derive() {
+	r.Derived = nil
+	cold, warm := r.Phases["cold"], r.Phases["warm_restart"]
+	if cold == nil || warm == nil {
+		return
+	}
+	coldMiss := cold.StateP50US["miss"]
+	if coldMiss <= 0 || warm.LatencyUS.P50 <= 0 {
+		return
+	}
+	r.Derived = &Derived{
+		WarmRestartSpeedupP50: float64(coldMiss) / float64(warm.LatencyUS.P50),
+	}
+}
+
+func (r *Report) parse(data []byte) error {
+	if err := json.Unmarshal(data, r); err != nil {
+		return err
+	}
+	if r.Phases == nil {
+		r.Phases = map[string]*Phase{}
+	}
+	return nil
+}
+
+func (r *Report) render() []byte {
+	b, _ := json.MarshalIndent(r, "", "  ")
+	return append(b, '\n')
+}
+
+func (r *Report) write(path string) error {
+	return os.WriteFile(path, r.render(), 0o644)
+}

@@ -20,6 +20,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,6 +51,11 @@ func parseConfig(args []string, errw io.Writer) (cfg serve.Config, addr string, 
 	submitInstrs := fs.Int("max-submit-instrs", 0, "submitted-program instruction cap (0 = default 16384)")
 	submitRate := fs.Float64("submit-rate", 0, "per-client submissions per second (0 = default 5)")
 	submitWorkers := fs.Int("submit-workers", 0, "submission compute pool size (0 = half of -workers)")
+	storeDir := fs.String("store-dir", "", "root of the disk-backed content-addressed store (empty = no persistence)")
+	storeMax := fs.Int64("store-max-bytes", 0, "byte budget for the kernel store namespaces (0 = default 1 GiB)")
+	submitStoreMax := fs.Int64("submit-store-max-bytes", 0, "byte budget for the submission store namespaces (0 = default 256 MiB)")
+	peers := fs.String("peers", "", "comma-separated replica base URLs forming the shard ring (empty = no sharding)")
+	self := fs.String("self", "", "this replica's base URL; required with -peers and must be one of them")
 	if err := fs.Parse(args); err != nil {
 		return serve.Config{}, "", 0, err
 	}
@@ -72,16 +78,41 @@ func parseConfig(args []string, errw io.Writer) (cfg serve.Config, addr string, 
 	if *submitRate < 0 {
 		return serve.Config{}, "", 0, fmt.Errorf("-submit-rate %v: cannot be negative (0 = default)", *submitRate)
 	}
+	if *storeMax < 0 {
+		return serve.Config{}, "", 0, fmt.Errorf("-store-max-bytes %d: cannot be negative (0 = default)", *storeMax)
+	}
+	if *submitStoreMax < 0 {
+		return serve.Config{}, "", 0, fmt.Errorf("-submit-store-max-bytes %d: cannot be negative (0 = default)", *submitStoreMax)
+	}
+	if *storeDir == "" && (*storeMax > 0 || *submitStoreMax > 0) {
+		return serve.Config{}, "", 0, fmt.Errorf("-store-max-bytes/-submit-store-max-bytes need -store-dir")
+	}
+	var peerList []string
+	if *peers != "" {
+		for _, p := range strings.Split(*peers, ",") {
+			peerList = append(peerList, strings.TrimSpace(p))
+		}
+		if *self == "" {
+			return serve.Config{}, "", 0, fmt.Errorf("-peers requires -self (this replica's base URL)")
+		}
+	} else if *self != "" {
+		return serve.Config{}, "", 0, fmt.Errorf("-self %q without -peers", *self)
+	}
 	cfg = serve.Config{
-		Workers:           *workers,
-		QueueDepth:        *queue,
-		ArtifactCacheSize: *artifacts,
-		ResultCacheSize:   *results,
-		RequestTimeout:    *reqTimeout,
-		MaxSubmitBytes:    *submitBytes,
-		MaxSubmitInstrs:   *submitInstrs,
-		SubmitRate:        *submitRate,
-		SubmitWorkers:     *submitWorkers,
+		Workers:             *workers,
+		QueueDepth:          *queue,
+		ArtifactCacheSize:   *artifacts,
+		ResultCacheSize:     *results,
+		RequestTimeout:      *reqTimeout,
+		MaxSubmitBytes:      *submitBytes,
+		MaxSubmitInstrs:     *submitInstrs,
+		SubmitRate:          *submitRate,
+		SubmitWorkers:       *submitWorkers,
+		StoreDir:            *storeDir,
+		StoreMaxBytes:       *storeMax,
+		SubmitStoreMaxBytes: *submitStoreMax,
+		Peers:               peerList,
+		Self:                *self,
 	}
 	return cfg, *addrFlag, *drainTimeout, nil
 }
@@ -91,7 +122,10 @@ func run(args []string, errw io.Writer) error {
 	if err != nil {
 		return err
 	}
-	srv := serve.New(cfg)
+	srv, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
 	httpSrv := &http.Server{Addr: addr, Handler: srv}
 
 	sigs := make(chan os.Signal, 1)

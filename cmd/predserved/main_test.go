@@ -22,6 +22,14 @@ func TestFlagValidation(t *testing.T) {
 		{"-max-submit-instrs", "-1"},
 		{"-submit-rate", "-0.5"},
 		{"-submit-workers", "-1"},
+		{"-store-max-bytes", "-1"},
+		{"-submit-store-max-bytes", "-1"},
+		// Budgets without a store, and half a ring, are configuration
+		// mistakes worth refusing at startup.
+		{"-store-max-bytes", "1048576"},
+		{"-submit-store-max-bytes", "1048576"},
+		{"-peers", "http://a:1,http://b:2"},
+		{"-self", "http://a:1"},
 	}
 	for _, args := range cases {
 		_, _, _, err := parseConfig(args, io.Discard)
@@ -73,5 +81,34 @@ func TestFlagMapping(t *testing.T) {
 	if cfg.MaxSubmitBytes != 65536 || cfg.MaxSubmitInstrs != 2048 ||
 		cfg.SubmitRate != 2.5 || cfg.SubmitWorkers != 2 {
 		t.Errorf("submission flags not mapped: %+v", cfg)
+	}
+}
+
+// TestStoreAndShardFlags: the persistence and sharding knobs map into
+// the config, with -peers split on commas and whitespace trimmed.
+func TestStoreAndShardFlags(t *testing.T) {
+	cfg, _, _, err := parseConfig([]string{
+		"-store-dir", "/tmp/predstore", "-store-max-bytes", "1048576",
+		"-submit-store-max-bytes", "524288",
+		"-peers", "http://a:1, http://b:2", "-self", "http://a:1"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.StoreDir != "/tmp/predstore" || cfg.StoreMaxBytes != 1048576 ||
+		cfg.SubmitStoreMaxBytes != 524288 {
+		t.Errorf("store flags not mapped: %+v", cfg)
+	}
+	if len(cfg.Peers) != 2 || cfg.Peers[0] != "http://a:1" || cfg.Peers[1] != "http://b:2" ||
+		cfg.Self != "http://a:1" {
+		t.Errorf("shard flags not mapped: peers=%v self=%q", cfg.Peers, cfg.Self)
+	}
+}
+
+// TestRunRejectsBadRing: a bad replica set surfaces through run as a
+// startup error (serve.New refuses it) before any socket is bound.
+func TestRunRejectsBadRing(t *testing.T) {
+	err := run([]string{"-peers", "http://a:1,http://b:2", "-self", "http://c:3"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-self") {
+		t.Errorf("run accepted a self outside the ring: %v", err)
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -51,6 +52,7 @@ import (
 	"predication/internal/machine"
 	"predication/internal/obs"
 	"predication/internal/sim"
+	"predication/internal/store"
 	"predication/internal/submit"
 )
 
@@ -100,6 +102,26 @@ type Config struct {
 	// half of Workers (at least 1) and 32.
 	SubmitWorkers    int
 	SubmitQueueDepth int
+
+	// StoreDir roots the disk-backed content-addressed store — the
+	// third cache layer (memory → disk → compute), persisted across
+	// restarts and shareable between replicas on one filesystem.  Empty
+	// disables persistence (the daemon behaves exactly as before).
+	StoreDir string
+	// StoreMaxBytes is the byte budget for the kernel namespaces
+	// (compiled artifacts + rendered results, half each).  Default 1 GiB.
+	StoreMaxBytes int64
+	// SubmitStoreMaxBytes is the byte budget for the submission
+	// namespaces — separate from StoreMaxBytes so hostile submissions
+	// cannot evict kernel artifacts on disk either.  Default 256 MiB.
+	SubmitStoreMaxBytes int64
+
+	// Peers is the full replica list (base URLs, every replica gets the
+	// same list) of a consistent-hash ring sharding the /v1/cell-family
+	// keyspace; Self is this replica's entry in it.  Empty disables
+	// sharding.  See shard.go for the routing rules.
+	Peers []string
+	Self  string
 }
 
 // Server is the simulation service.  Create it with New; it implements
@@ -124,6 +146,19 @@ type Server struct {
 	limiter         *rateLimiter
 	submitLimits    submit.Limits
 
+	// The disk layer: four write-once namespaces under cfg.StoreDir
+	// (nil when persistence is disabled).  Keys are the same SHA-256
+	// digests the in-memory caches use.
+	resultStore         *store.Store
+	artifactStore       *store.Store
+	submitResultStore   *store.Store
+	submitArtifactStore *store.Store
+
+	// The shard ring (nil when -peers is unset) and the client used to
+	// forward requests to their owners.
+	ring        *ring
+	shardClient *http.Client
+
 	mu       sync.Mutex
 	draining bool
 	inflight sync.WaitGroup
@@ -135,8 +170,9 @@ type Server struct {
 }
 
 // New creates a server with cfg's capacity knobs (zero fields take the
-// documented defaults).
-func New(cfg Config) *Server {
+// documented defaults).  It fails only on configuration that cannot be
+// defaulted: an unusable StoreDir or an invalid Peers/Self replica set.
+func New(cfg Config) (*Server, error) {
 	if cfg.ArtifactCacheSize <= 0 {
 		cfg.ArtifactCacheSize = 64
 	}
@@ -179,6 +215,12 @@ func New(cfg Config) *Server {
 	if cfg.SubmitQueueDepth <= 0 {
 		cfg.SubmitQueueDepth = 32
 	}
+	if cfg.StoreMaxBytes <= 0 {
+		cfg.StoreMaxBytes = 1 << 30
+	}
+	if cfg.SubmitStoreMaxBytes <= 0 {
+		cfg.SubmitStoreMaxBytes = 256 << 20
+	}
 	s := &Server{
 		cfg:       cfg,
 		reg:       cfg.Registry,
@@ -199,6 +241,38 @@ func New(cfg Config) *Server {
 			MaxSteps:  cfg.MaxSubmitSteps,
 		}.WithDefaults(),
 	}
+	if cfg.StoreDir != "" {
+		// Four write-once namespaces: kernel artifacts/results budgeted
+		// together, submission artifacts/results budgeted separately so
+		// hostile traffic cannot evict kernel records on disk.
+		for _, ns := range []struct {
+			dst  **store.Store
+			sub  string
+			name string
+			max  int64
+		}{
+			{&s.resultStore, "results", "store_results", cfg.StoreMaxBytes / 2},
+			{&s.artifactStore, "artifacts", "store_artifacts", cfg.StoreMaxBytes / 2},
+			{&s.submitResultStore, filepath.Join("submit", "results"), "store_submit_results", cfg.SubmitStoreMaxBytes / 2},
+			{&s.submitArtifactStore, filepath.Join("submit", "artifacts"), "store_submit_artifacts", cfg.SubmitStoreMaxBytes / 2},
+		} {
+			st, err := store.Open(filepath.Join(cfg.StoreDir, ns.sub), store.Options{
+				MaxBytes: ns.max, Name: ns.name, Registry: cfg.Registry,
+			})
+			if err != nil {
+				return nil, err
+			}
+			*ns.dst = st
+		}
+	}
+	if len(cfg.Peers) > 0 {
+		r, err := newRing(cfg.Self, cfg.Peers)
+		if err != nil {
+			return nil, err
+		}
+		s.ring = r
+		s.shardClient = newShardClient(cfg.RequestTimeout)
+	}
 	s.mux.HandleFunc("GET /v1/cell", func(w http.ResponseWriter, r *http.Request) {
 		s.handleCell(w, r, false)
 	})
@@ -209,7 +283,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/submit", s.handleSubmit)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
 // Registry returns the registry backing /metrics.
@@ -346,28 +420,83 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request, observe bool
 	}
 
 	key := ResultKey(kernel, model, cfg, observe)
+	// Layer 1: the in-memory LRU.  A local hit is served even for keys
+	// another replica owns — it is strictly cheaper than the hop.
 	if body, ok := s.results.Get(key); ok {
+		s.markLocal(w)
 		writeCached(w, body.([]byte), "hit")
 		return
 	}
+	// Sharding: route the miss to the key's owner (one hop max); an
+	// unreachable owner degrades to computing locally.
+	if s.forwardable(r, key) && s.forward(w, r, key) {
+		return
+	}
 	v, shared, err := s.flight.Do(key, func() (any, error) {
+		// Layer 2: the disk store, inside the singleflight so N
+		// concurrent misses cost one read, with promotion into memory.
+		if body, ok := s.storeGet(s.resultStore, key); ok {
+			s.results.Add(key, body)
+			return served{body, "disk"}, nil
+		}
+		// Layer 3: compute, with write-through (computeCell persists
+		// every sibling body it renders).
 		release, err := s.admit(r.Context())
 		if err != nil {
 			return nil, err
 		}
 		defer release()
-		return s.computeCell(key, kernel, model, cfg, pred, observe, timeout)
+		body, err := s.computeCell(key, kernel, model, cfg, pred, observe, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return served{body, "miss"}, nil
 	})
 	if err != nil {
 		s.writeComputeError(w, err)
 		return
 	}
-	label := "miss"
+	sv := v.(served)
+	label := sv.state
 	if shared {
 		s.reg.Counter("serve_coalesced").Inc()
 		label = "coalesced"
 	}
-	writeCached(w, v.([]byte), label)
+	s.markLocal(w)
+	writeCached(w, sv.body, label)
+}
+
+// served is a flight result: the rendered body plus which cache layer
+// produced it ("disk" or "miss"), which becomes the X-Cache disposition.
+type served struct {
+	body  []byte
+	state string
+}
+
+// markLocal stamps X-Shard: local on responses served by this replica
+// when sharding is on (forwarded responses are stamped in forward).
+func (s *Server) markLocal(w http.ResponseWriter) {
+	if s.ring != nil {
+		w.Header().Set("X-Shard", "local")
+	}
+}
+
+// storeGet reads one record from a disk namespace; a nil store (no
+// -store-dir) is always a miss.
+func (s *Server) storeGet(st *store.Store, key string) ([]byte, bool) {
+	if st == nil {
+		return nil, false
+	}
+	return st.Get(key)
+}
+
+// storePut writes through to a disk namespace; write failures are
+// counted by the store and otherwise ignored — the disk layer is an
+// accelerator, never a dependency.
+func (s *Server) storePut(st *store.Store, key string, body []byte) {
+	if st != nil {
+		st.Put(key, body)
+	}
 }
 
 // computeCell is the cache-missing path of one cell request: compile (or
@@ -438,6 +567,7 @@ func (s *Server) computeCell(key, kernel string, model core.Model, cfg machine.C
 		}
 		b = append(b, '\n')
 		s.results.Add(ckey, b)
+		s.storePut(s.resultStore, ckey, b)
 		if ckey == key {
 			body = b
 		} else {
@@ -451,9 +581,12 @@ func (s *Server) computeCell(key, kernel string, model core.Model, cfg machine.C
 }
 
 // artifact returns the compiled artifact for the cell, through the
-// content-addressed cache.  Its own singleflight key prevents two
-// simulator configurations sharing scheduled code (the cache variants)
-// from compiling the same artifact twice concurrently.
+// content-addressed cache layers: memory, then the disk store (decoded
+// artifacts are measurement-identical to compiled ones — pinned by
+// TestArtifactCodecParity), then a compile with write-through.  Its own
+// singleflight key prevents two simulator configurations sharing
+// scheduled code (the cache variants) from compiling the same artifact
+// twice concurrently.
 func (s *Server) artifact(kernel string, model core.Model, cfg machine.Config) (*experiments.CellArtifact, error) {
 	target := experiments.SchedTarget(cfg)
 	akey := ArtifactKey(kernel, model, target)
@@ -464,17 +597,51 @@ func (s *Server) artifact(kernel string, model core.Model, cfg machine.Config) (
 		if v, ok := s.artifacts.Get(akey); ok {
 			return v, nil
 		}
+		if art, ok := s.storedArtifact(s.artifactStore, akey); ok {
+			s.artifacts.Add(akey, art)
+			return art, nil
+		}
 		art, err := experiments.CompileCell(kernel, model, cfg)
 		if err != nil {
 			return nil, err
 		}
 		s.artifacts.Add(akey, art)
+		s.storeArtifact(s.artifactStore, akey, art)
 		return art, nil
 	})
 	if err != nil {
 		return nil, err
 	}
 	return v.(*experiments.CellArtifact), nil
+}
+
+// storedArtifact loads and decodes one artifact record.  A record that
+// no longer decodes (a format skew after an upgrade) counts as a decode
+// error and a miss — the caller recompiles and overwrites nothing (the
+// store is write-once; skewed stores want a new -store-dir, see
+// docs/SERVING.md).
+func (s *Server) storedArtifact(st *store.Store, akey string) (*experiments.CellArtifact, bool) {
+	data, ok := s.storeGet(st, akey)
+	if !ok {
+		return nil, false
+	}
+	art, err := experiments.DecodeArtifact(data)
+	if err != nil {
+		s.reg.Counter("store_artifact_decode_errors").Inc()
+		return nil, false
+	}
+	return art, true
+}
+
+// storeArtifact encodes and persists one artifact; like all disk writes
+// it is best-effort.
+func (s *Server) storeArtifact(st *store.Store, akey string, art *experiments.CellArtifact) {
+	if st == nil {
+		return
+	}
+	if data, err := experiments.EncodeArtifact(art); err == nil {
+		st.Put(akey, data)
+	}
 }
 
 // FiguresResponse is the /v1/figures body: the paper's rendered tables.
@@ -520,23 +687,32 @@ func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	v, shared, err := s.flight.Do(key, func() (any, error) {
+		if body, ok := s.storeGet(s.resultStore, key); ok {
+			s.results.Add(key, body)
+			return served{body, "disk"}, nil
+		}
 		release, err := s.admit(r.Context())
 		if err != nil {
 			return nil, err
 		}
 		defer release()
-		return s.computeFigures(key, kernels, timeout)
+		body, err := s.computeFigures(key, kernels, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return served{body, "miss"}, nil
 	})
 	if err != nil {
 		s.writeComputeError(w, err)
 		return
 	}
-	label := "miss"
+	sv := v.(served)
+	label := sv.state
 	if shared {
 		s.reg.Counter("serve_coalesced").Inc()
 		label = "coalesced"
 	}
-	writeCached(w, v.([]byte), label)
+	writeCached(w, sv.body, label)
 }
 
 // computeFigures runs the suite on the requested kernels inside one
@@ -566,22 +742,49 @@ func (s *Server) computeFigures(key string, kernels []string, timeout time.Durat
 	}
 	body = append(body, '\n')
 	s.results.Add(key, body)
+	s.storePut(s.resultStore, key, body)
 	return body, nil
+}
+
+// HealthResponse is the /healthz body.  Store and Shard are present only
+// when the corresponding subsystem is configured.
+type HealthResponse struct {
+	Status string                  `json:"status"`
+	Store  map[string]store.Status `json:"store,omitempty"`
+	Shard  *ShardStatus            `json:"shard,omitempty"`
+}
+
+// ShardStatus reports the replica's view of the ring.
+type ShardStatus struct {
+	Self  string   `json:"self"`
+	Peers []string `json:"peers"`
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
-	status := "ok"
+	resp := HealthResponse{Status: "ok"}
 	code := http.StatusOK
 	if draining {
-		status = "draining"
+		resp.Status = "draining"
 		code = http.StatusServiceUnavailable
+	}
+	if s.resultStore != nil {
+		resp.Store = map[string]store.Status{
+			"results":          s.resultStore.Status(),
+			"artifacts":        s.artifactStore.Status(),
+			"submit_results":   s.submitResultStore.Status(),
+			"submit_artifacts": s.submitArtifactStore.Status(),
+		}
+	}
+	if s.ring != nil {
+		resp.Shard = &ShardStatus{Self: s.ring.self, Peers: s.ring.peers}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	fmt.Fprintf(w, "{\"status\":%q}\n", status)
+	b, _ := json.Marshal(&resp)
+	w.Write(append(b, '\n'))
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

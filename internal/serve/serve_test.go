@@ -12,6 +12,17 @@ import (
 	"time"
 )
 
+// newTest builds a server, failing the test on config errors — every
+// Config used by these tests is valid by construction.
+func newTest(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New(%+v): %v", cfg, err)
+	}
+	return s
+}
+
 func get(t *testing.T, s *Server, url string) *httptest.ResponseRecorder {
 	t.Helper()
 	req := httptest.NewRequest("GET", url, nil)
@@ -35,7 +46,7 @@ const cellURL = "/v1/cell?kernel=wc&model=full&machine=issue8-br1"
 // a consistent derived IPC, and the checksum matches across models (the
 // semantic-preservation invariant the whole evaluation rests on).
 func TestCellEndpoint(t *testing.T) {
-	s := New(Config{})
+	s := newTest(t, Config{})
 	sums := map[string]int64{}
 	for _, model := range []string{"superblock", "cmov", "full", "guard"} {
 		rec := get(t, s, fmt.Sprintf("/v1/cell?kernel=wc&model=%s&machine=issue8-br1", model))
@@ -65,7 +76,7 @@ func TestCellEndpoint(t *testing.T) {
 // request is served from the result cache — at least 10x faster than the
 // cold request, byte-identical, and labeled as a hit.
 func TestCellCacheSpeedup(t *testing.T) {
-	s := New(Config{})
+	s := newTest(t, Config{})
 
 	start := time.Now()
 	cold := get(t, s, cellURL)
@@ -107,7 +118,7 @@ func TestCellCacheSpeedup(t *testing.T) {
 // receives the same body.  This is the singleflight acceptance test; it
 // runs under -race in CI.
 func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
-	s := New(Config{})
+	s := newTest(t, Config{})
 	gate := make(chan struct{})
 	var mu sync.Mutex
 	executions := 0
@@ -166,7 +177,7 @@ func TestConcurrentIdenticalRequestsCoalesce(t *testing.T) {
 // concurrent distinct request is refused with 429 and a Retry-After
 // hint while the first two are executing and waiting.
 func TestAdmissionControl(t *testing.T) {
-	s := New(Config{Workers: 1, QueueDepth: 1})
+	s := newTest(t, Config{Workers: 1, QueueDepth: 1})
 	gate := make(chan struct{})
 	started := make(chan string, 4)
 	s.computeHook = func(key string) {
@@ -212,7 +223,7 @@ func TestAdmissionControl(t *testing.T) {
 // new compute requests are refused with 503, /healthz reports draining,
 // and Drain returns once the in-flight work finished.  Runs under -race.
 func TestDrain(t *testing.T) {
-	s := New(Config{})
+	s := newTest(t, Config{})
 	gate := make(chan struct{})
 	started := make(chan struct{}, 1)
 	s.computeHook = func(key string) {
@@ -270,7 +281,7 @@ func TestDrain(t *testing.T) {
 // the harness TimeoutError and a 504, and the failed result is not
 // cached — a later request recomputes.
 func TestRequestTimeout(t *testing.T) {
-	s := New(Config{})
+	s := newTest(t, Config{})
 	rec := get(t, s, cellURL+"&timeout=1ns")
 	if rec.Code != http.StatusGatewayTimeout {
 		t.Fatalf("expired deadline: status %d, want 504: %s", rec.Code, rec.Body.String())
@@ -283,7 +294,7 @@ func TestRequestTimeout(t *testing.T) {
 // TestBadRequests: unknown coordinates and malformed parameters are 400s
 // with a one-line JSON error document.
 func TestBadRequests(t *testing.T) {
-	s := New(Config{})
+	s := newTest(t, Config{})
 	for _, url := range []string{
 		"/v1/cell?kernel=nosuch&model=full&machine=issue8-br1",
 		"/v1/cell?kernel=wc&model=nosuch&machine=issue8-br1",
@@ -309,7 +320,7 @@ func TestBadRequests(t *testing.T) {
 // breakdown decomposes the cycle count exactly, cached separately from
 // the uninstrumented cell.
 func TestBreakdownEndpoint(t *testing.T) {
-	s := New(Config{})
+	s := newTest(t, Config{})
 	rec := get(t, s, "/v1/breakdown?kernel=wc&model=full&machine=issue8-br1")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
@@ -346,7 +357,7 @@ func TestBreakdownEndpoint(t *testing.T) {
 // caches every sibling configuration, so the second cell costs nothing
 // at all.
 func TestArtifactSharing(t *testing.T) {
-	s := New(Config{})
+	s := newTest(t, Config{})
 	if rec := get(t, s, cellURL); rec.Code != http.StatusOK {
 		t.Fatalf("status %d", rec.Code)
 	}
@@ -373,7 +384,7 @@ func TestArtifactSharing(t *testing.T) {
 // set under suffixed machine names; an unknown predictor is a one-line
 // 400.
 func TestPredictorParam(t *testing.T) {
-	s := New(Config{})
+	s := newTest(t, Config{})
 	rec := get(t, s, cellURL+"&predictor=gshare")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
@@ -401,7 +412,7 @@ func TestPredictorParam(t *testing.T) {
 // TestFiguresEndpoint: the figure tables render over the requested
 // kernels and the second request is a cache hit.
 func TestFiguresEndpoint(t *testing.T) {
-	s := New(Config{})
+	s := newTest(t, Config{})
 	rec := get(t, s, "/v1/figures?kernels=wc")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
@@ -436,7 +447,7 @@ func TestFiguresEndpoint(t *testing.T) {
 // TestMetricsEndpoint: /metrics renders the registry in the Prometheus
 // text format with the serving counters present and parseable lines.
 func TestMetricsEndpoint(t *testing.T) {
-	s := New(Config{})
+	s := newTest(t, Config{})
 	get(t, s, cellURL)
 	get(t, s, cellURL)
 	rec := get(t, s, "/metrics")
@@ -474,7 +485,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 // TestHealthEndpoint: liveness before any traffic.
 func TestHealthEndpoint(t *testing.T) {
-	s := New(Config{})
+	s := newTest(t, Config{})
 	rec := get(t, s, "/healthz")
 	if rec.Code != http.StatusOK || !strings.Contains(rec.Body.String(), "ok") {
 		t.Errorf("healthz: %d %s", rec.Code, rec.Body.String())

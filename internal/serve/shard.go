@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Consistent-hash sharding (docs/SERVING.md, "Persistence & sharding"):
+// with -peers, N predserved replicas form a hash ring over the result
+// keyspace, and each daemon forwards /v1/cell-family requests to the
+// key's owner — so each replica's in-memory LRU stays hot on its slice
+// of the keyspace instead of N replicas each caching the whole matrix.
+//
+// The routing rules keep the ring safe under partial failure:
+//
+//   - One hop max: a forwarded request carries hopHeader, and a receiver
+//     never re-forwards — two replicas with skewed peer lists degrade to
+//     serving locally, never to a forwarding loop.
+//   - Owner unreachable (connection refused, timeout, or a 502/503 from
+//     a draining owner): the request falls back to local compute.  The
+//     ring is an optimization for cache locality; correctness never
+//     depends on a peer, because every replica can compute every cell.
+//   - A local in-memory hit is served locally even for keys another
+//     replica owns — a hit is strictly cheaper than a network hop.
+//
+// Responses carry X-Shard: local or forwarded.  Figures and submissions
+// are not forwarded: figures aggregate the whole matrix (no single
+// owner), and submissions are body-addressed (the client's replica
+// computes them; the disk store still deduplicates across replicas when
+// shared).
+
+// hopHeader marks a request as already forwarded once.
+const hopHeader = "X-Predshard-Hop"
+
+// vnodes is the number of ring points per replica; 64 keeps the keyspace
+// split within a few percent of even for small rings.
+const vnodes = 64
+
+type ringPoint struct {
+	hash uint64
+	peer string
+}
+
+// ring is an immutable consistent-hash ring over replica base URLs.
+type ring struct {
+	self   string
+	peers  []string
+	points []ringPoint
+}
+
+// newRing validates the replica set and builds the ring.  peers is the
+// full replica list (every daemon gets the same list); self must be one
+// of them — it is how this daemon recognizes the keys it owns.
+func newRing(self string, peers []string) (*ring, error) {
+	if self == "" {
+		return nil, fmt.Errorf("serve: -peers requires -self (this replica's base URL)")
+	}
+	seen := map[string]bool{}
+	r := &ring{self: strings.TrimSuffix(self, "/")}
+	for _, p := range peers {
+		p = strings.TrimSuffix(strings.TrimSpace(p), "/")
+		if p == "" {
+			return nil, fmt.Errorf("serve: empty peer URL in -peers")
+		}
+		u, err := url.Parse(p)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("serve: peer %q: not an http(s) base URL", p)
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("serve: duplicate peer %q", p)
+		}
+		seen[p] = true
+		r.peers = append(r.peers, p)
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{ringHash(fmt.Sprintf("ring|%s|%d", p, v)), p})
+		}
+	}
+	if len(r.peers) < 2 {
+		return nil, fmt.Errorf("serve: -peers needs at least two replicas (got %d)", len(r.peers))
+	}
+	if !seen[r.self] {
+		return nil, fmt.Errorf("serve: -self %q is not in -peers %v", self, r.peers)
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r, nil
+}
+
+// ringHash maps a string onto the ring's key space.
+func ringHash(s string) uint64 {
+	h := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(h[:8])
+}
+
+// owner returns the replica that owns key: the first ring point at or
+// after the key's hash, wrapping at the top.
+func (r *ring) owner(key string) string {
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].peer
+}
+
+func (r *ring) owns(key string) bool { return r.owner(key) == r.self }
+
+// forwardable reports whether this request may hop: sharding is on, the
+// key belongs to another replica, and the request has not hopped yet.
+func (s *Server) forwardable(r *http.Request, key string) bool {
+	return s.ring != nil && r.Header.Get(hopHeader) == "" && !s.ring.owns(key)
+}
+
+// forward proxies the request to the key's owner and relays the
+// response.  It reports false — without having written anything — when
+// the owner is unreachable or drained, in which case the caller serves
+// locally (fallback-to-local).
+func (s *Server) forward(w http.ResponseWriter, r *http.Request, key string) bool {
+	owner := s.ring.owner(key)
+	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, owner+r.URL.RequestURI(), nil)
+	if err != nil {
+		s.reg.Counter("serve_shard_fallback").Inc()
+		return false
+	}
+	req.Header.Set(hopHeader, "1")
+	resp, err := s.shardClient.Do(req)
+	if err != nil {
+		s.reg.Counter("serve_shard_fallback").Inc()
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusBadGateway || resp.StatusCode == http.StatusServiceUnavailable {
+		// The owner exists but is draining or fronted by a dead proxy;
+		// treat it like unreachable and compute locally.
+		io.Copy(io.Discard, resp.Body)
+		s.reg.Counter("serve_shard_fallback").Inc()
+		return false
+	}
+	s.reg.Counter("serve_shard_forwarded").Inc()
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if xc := resp.Header.Get("X-Cache"); xc != "" {
+		w.Header().Set("X-Cache", xc)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set("X-Shard", "forwarded")
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+	return true
+}
+
+// newShardClient builds the forwarding client: the transport deadline is
+// the compute budget plus slack for the hop, and connections to peers
+// are pooled (the whole point of a stable ring is that the same peers
+// are hit repeatedly).
+func newShardClient(computeBudget time.Duration) *http.Client {
+	return &http.Client{
+		Timeout: computeBudget + 10*time.Second,
+		Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		},
+	}
+}

@@ -1,0 +1,314 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"predication/internal/core"
+	"predication/internal/machine"
+)
+
+// TestRingDeterminism: every replica builds the same ring from the same
+// peer list regardless of list order, so all replicas agree on every
+// key's owner — the property that makes hop-free agreement possible.
+func TestRingDeterminism(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	reversed := []string{"http://c:3", "http://b:2", "http://a:1"}
+	r1, err := newRing(peers[0], peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := newRing(reversed[0], reversed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		key := digest(fmt.Sprintf("key-%d", i))
+		if r1.owner(key) != r2.owner(key) {
+			t.Fatalf("key %d: replicas disagree on owner: %q vs %q", i, r1.owner(key), r2.owner(key))
+		}
+	}
+}
+
+// TestRingDistribution: vnodes keep the keyspace split roughly evenly —
+// no replica owns less than half or more than double its fair share over
+// a large key sample.
+func TestRingDistribution(t *testing.T) {
+	peers := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r, err := newRing(peers[0], peers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 3000
+	for i := 0; i < n; i++ {
+		counts[r.owner(digest(fmt.Sprintf("key-%d", i)))]++
+	}
+	fair := n / len(peers)
+	for _, p := range peers {
+		if counts[p] < fair/2 || counts[p] > fair*2 {
+			t.Errorf("peer %s owns %d of %d keys (fair share %d)", p, counts[p], n, fair)
+		}
+	}
+}
+
+// TestRingValidation: the replica set is validated up front — every
+// misconfiguration is a one-line startup error, never a silent
+// single-node ring.
+func TestRingValidation(t *testing.T) {
+	cases := map[string]struct {
+		self  string
+		peers []string
+	}{
+		"no self":         {"", []string{"http://a:1", "http://b:2"}},
+		"self not a peer": {"http://c:3", []string{"http://a:1", "http://b:2"}},
+		"one replica":     {"http://a:1", []string{"http://a:1"}},
+		"empty peer":      {"http://a:1", []string{"http://a:1", ""}},
+		"duplicate":       {"http://a:1", []string{"http://a:1", "http://a:1"}},
+		"not a URL":       {"http://a:1", []string{"http://a:1", "a:badport"}},
+		"wrong scheme":    {"http://a:1", []string{"http://a:1", "ftp://b:2"}},
+	}
+	for name, c := range cases {
+		if _, err := newRing(c.self, c.peers); err == nil {
+			t.Errorf("%s: newRing(%q, %v) accepted", name, c.self, c.peers)
+		}
+	}
+	if _, err := newRing("http://a:1/", []string{"http://a:1", "https://b:2/"}); err != nil {
+		t.Errorf("trailing slashes rejected: %v", err)
+	}
+}
+
+// twoReplicas boots a two-node ring of real HTTP servers.  The base URLs
+// must be known before serve.New runs, so each httptest server fronts an
+// atomic pointer that is populated once its Server exists.
+func twoReplicas(t *testing.T, dirA, dirB string) (a, b *Server, urlA, urlB string) {
+	t.Helper()
+	var pa, pb atomic.Pointer[Server]
+	front := func(p *atomic.Pointer[Server]) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			p.Load().ServeHTTP(w, r)
+		})
+	}
+	tsA := httptest.NewServer(front(&pa))
+	tsB := httptest.NewServer(front(&pb))
+	t.Cleanup(tsA.Close)
+	t.Cleanup(tsB.Close)
+	peers := []string{tsA.URL, tsB.URL}
+	a = newTest(t, Config{Peers: peers, Self: tsA.URL, StoreDir: dirA})
+	b = newTest(t, Config{Peers: peers, Self: tsB.URL, StoreDir: dirB})
+	pa.Store(a)
+	pb.Store(b)
+	return a, b, tsA.URL, tsB.URL
+}
+
+// cellOwnedBy finds a /v1/cell query whose result key the given replica
+// owns; the matrix is large enough that both replicas always own some.
+func cellOwnedBy(t *testing.T, r *ring, owner string) string {
+	t.Helper()
+	cfg, err := machine.ByName("issue8-br1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kernel := range []string{"wc", "grep", "cmp", "qsort", "lex", "eqn", "cccp", "sc"} {
+		for _, model := range []string{"superblock", "cmov", "full", "guard"} {
+			m, err := core.ParseModel(model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.owner(ResultKey(kernel, m, cfg, false)) == owner {
+				return fmt.Sprintf("/v1/cell?kernel=%s&model=%s&machine=issue8-br1", kernel, model)
+			}
+		}
+	}
+	t.Fatalf("no cell in the probe set is owned by %s", owner)
+	return ""
+}
+
+// TestShardForwarding: the non-owner proxies to the owner (one hop), the
+// response is stamped X-Shard: forwarded, and the compute happened on
+// the owner — the owning replica's caches stay hot on its keyspace.
+func TestShardForwarding(t *testing.T) {
+	a, b, _, urlB := twoReplicas(t, "", "")
+	q := cellOwnedBy(t, a.ring, urlB)
+
+	rec := get(t, a, q)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("forwarded request: %d: %s", rec.Code, rec.Body.String())
+	}
+	if h := rec.Header().Get("X-Shard"); h != "forwarded" {
+		t.Errorf("X-Shard = %q, want forwarded", h)
+	}
+	if resp := cellBody(t, rec); resp.Stats.Cycles <= 0 {
+		t.Error("forwarded response has empty stats")
+	}
+	if n := a.reg.Counter("serve_executions").Value(); n != 0 {
+		t.Errorf("non-owner executed %d computes, want 0", n)
+	}
+	if n := b.reg.Counter("serve_executions").Value(); n == 0 {
+		t.Error("owner executed nothing")
+	}
+	if n := a.reg.Counter("serve_shard_forwarded").Value(); n != 1 {
+		t.Errorf("serve_shard_forwarded = %d, want 1", n)
+	}
+
+	// The owner itself serves the same cell locally.
+	direct := get(t, b, q)
+	if h := direct.Header().Get("X-Shard"); h != "local" {
+		t.Errorf("owner X-Shard = %q, want local", h)
+	}
+	if direct.Header().Get("X-Cache") != "hit" {
+		t.Errorf("owner X-Cache = %q, want hit (the forward filled its cache)", direct.Header().Get("X-Cache"))
+	}
+}
+
+// TestShardLocalKeys: a replica serves its own keys without a hop.
+func TestShardLocalKeys(t *testing.T) {
+	a, _, urlA, _ := twoReplicas(t, "", "")
+	q := cellOwnedBy(t, a.ring, urlA)
+	rec := get(t, a, q)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("%d: %s", rec.Code, rec.Body.String())
+	}
+	if h := rec.Header().Get("X-Shard"); h != "local" {
+		t.Errorf("X-Shard = %q, want local", h)
+	}
+	if n := a.reg.Counter("serve_shard_forwarded").Value(); n != 0 {
+		t.Errorf("serve_shard_forwarded = %d, want 0", n)
+	}
+}
+
+// TestShardMemoryHitStaysLocal: an in-memory hit is served locally even
+// for a key the other replica owns — a hit is cheaper than the hop.
+func TestShardMemoryHitStaysLocal(t *testing.T) {
+	a, _, _, urlB := twoReplicas(t, "", "")
+	q := cellOwnedBy(t, a.ring, urlB)
+	if rec := get(t, a, q); rec.Header().Get("X-Shard") != "forwarded" {
+		t.Fatalf("setup: expected a forwarded first request, got %q", rec.Header().Get("X-Shard"))
+	}
+	// Forwards do not fill the local cache, so warm a's memory by
+	// computing locally (the hop header suppresses the forward), then
+	// verify the resulting hit is served without a hop.
+	req := httptest.NewRequest("GET", q, nil)
+	req.Header.Set(hopHeader, "1")
+	rec := httptest.NewRecorder()
+	a.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("hopped request: %d: %s", rec.Code, rec.Body.String())
+	}
+
+	hit := get(t, a, q)
+	if h := hit.Header().Get("X-Cache"); h != "hit" {
+		t.Fatalf("X-Cache = %q, want hit", h)
+	}
+	if h := hit.Header().Get("X-Shard"); h != "local" {
+		t.Errorf("memory hit X-Shard = %q, want local", h)
+	}
+}
+
+// TestShardFallbackPeerDown: with the owner gone, the non-owner computes
+// locally — the ring is an optimization, never a dependency.
+func TestShardFallbackPeerDown(t *testing.T) {
+	var pa, pb atomic.Pointer[Server]
+	front := func(p *atomic.Pointer[Server]) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			p.Load().ServeHTTP(w, r)
+		})
+	}
+	tsA := httptest.NewServer(front(&pa))
+	tsB := httptest.NewServer(front(&pb))
+	t.Cleanup(tsA.Close)
+	peers := []string{tsA.URL, tsB.URL}
+	a := newTest(t, Config{Peers: peers, Self: tsA.URL})
+	b := newTest(t, Config{Peers: peers, Self: tsB.URL})
+	pa.Store(a)
+	pb.Store(b)
+	tsB.Close() // the owner dies
+
+	q := cellOwnedBy(t, a.ring, tsB.URL)
+	rec := get(t, a, q)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("fallback request: %d: %s", rec.Code, rec.Body.String())
+	}
+	if h := rec.Header().Get("X-Shard"); h != "local" {
+		t.Errorf("X-Shard = %q, want local (fallback)", h)
+	}
+	if resp := cellBody(t, rec); resp.Stats.Cycles <= 0 {
+		t.Error("fallback response has empty stats")
+	}
+	if n := a.reg.Counter("serve_shard_fallback").Value(); n != 1 {
+		t.Errorf("serve_shard_fallback = %d, want 1", n)
+	}
+	if n := a.reg.Counter("serve_executions").Value(); n == 0 {
+		t.Error("fallback did not compute locally")
+	}
+}
+
+// TestShardFallbackDrainingOwner: an owner answering 503 (draining) is
+// treated like a dead one — the request degrades to local compute
+// instead of relaying the refusal.
+func TestShardFallbackDrainingOwner(t *testing.T) {
+	a, b, _, urlB := twoReplicas(t, "", "")
+	drained := make(chan struct{})
+	go func() {
+		b.Drain(t.Context())
+		close(drained)
+	}()
+	<-drained
+
+	q := cellOwnedBy(t, a.ring, urlB)
+	rec := get(t, a, q)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("request during owner drain: %d: %s", rec.Code, rec.Body.String())
+	}
+	if h := rec.Header().Get("X-Shard"); h != "local" {
+		t.Errorf("X-Shard = %q, want local", h)
+	}
+	if n := a.reg.Counter("serve_shard_fallback").Value(); n != 1 {
+		t.Errorf("serve_shard_fallback = %d, want 1", n)
+	}
+}
+
+// TestShardSharedStore: two replicas over one store directory
+// deduplicate on disk — a cell computed by the owner is a disk hit on
+// the other replica once it serves the key itself (the hop header
+// simulates the other replica receiving it as an owner would).
+func TestShardSharedStore(t *testing.T) {
+	dir := t.TempDir()
+	a, _, _, urlB := twoReplicas(t, dir, dir)
+	q := cellOwnedBy(t, a.ring, urlB)
+	if rec := get(t, a, q); rec.Code != http.StatusOK {
+		t.Fatalf("forwarded: %d: %s", rec.Code, rec.Body.String())
+	}
+
+	req := httptest.NewRequest("GET", q, nil)
+	req.Header.Set(hopHeader, "1")
+	rec := httptest.NewRecorder()
+	a.ServeHTTP(rec, req)
+	if h := rec.Header().Get("X-Cache"); h != "disk" {
+		t.Errorf("X-Cache = %q, want disk (the owner's write-through is shared)", h)
+	}
+}
+
+// TestHealthzShardStatus: /healthz reports the ring.
+func TestHealthzShardStatus(t *testing.T) {
+	a, _, urlA, urlB := twoReplicas(t, "", "")
+	rec := get(t, a, "/healthz")
+	var health HealthResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &health); err != nil {
+		t.Fatalf("healthz does not parse: %v\n%s", err, rec.Body.String())
+	}
+	if health.Shard == nil {
+		t.Fatal("healthz has no shard section with -peers set")
+	}
+	if health.Shard.Self != urlA {
+		t.Errorf("shard.self = %q, want %q", health.Shard.Self, urlA)
+	}
+	if len(health.Shard.Peers) != 2 || health.Shard.Peers[0] != urlA && health.Shard.Peers[1] != urlA ||
+		health.Shard.Peers[0] != urlB && health.Shard.Peers[1] != urlB {
+		t.Errorf("shard.peers = %v, want {%q, %q}", health.Shard.Peers, urlA, urlB)
+	}
+}

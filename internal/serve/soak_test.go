@@ -24,7 +24,7 @@ func TestSubmitSoak(t *testing.T) {
 	if testing.Short() {
 		t.Skip("soak test skipped in -short mode")
 	}
-	s := New(Config{
+	s := newTest(t, Config{
 		SubmitRate:     1e6,
 		SubmitBurst:    1 << 20,
 		MaxSubmitSteps: 200_000,

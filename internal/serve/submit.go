@@ -135,29 +135,41 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := submitResultKey(prog.Digest, models, cfg)
+	key := submitResultKey(prog.Digest, models, cfg, s.submitLimits.MaxSteps)
 	if cached, ok := s.submitResults.Get(key); ok {
 		writeCached(w, cached.([]byte), "hit")
 		return
 	}
 	v, shared, err := s.flight.Do(key, func() (any, error) {
+		// The submission disk namespace: separate from the kernel one,
+		// with its own byte budget, so hostile submissions cannot evict
+		// kernel records (Config.SubmitStoreMaxBytes).
+		if body, ok := s.storeGet(s.submitResultStore, key); ok {
+			s.submitResults.Add(key, body)
+			return served{body, "disk"}, nil
+		}
 		release, err := s.admitSubmit(r.Context())
 		if err != nil {
 			return nil, err
 		}
 		defer release()
-		return s.computeSubmit(key, prog, models, cfg, pred, timeout)
+		body, err := s.computeSubmit(key, prog, models, cfg, pred, timeout)
+		if err != nil {
+			return nil, err
+		}
+		return served{body, "miss"}, nil
 	})
 	if err != nil {
 		s.writeSubmitError(w, err)
 		return
 	}
-	label := "miss"
+	sv := v.(served)
+	label := sv.state
 	if shared {
 		s.reg.Counter("serve_coalesced").Inc()
 		label = "coalesced"
 	}
-	writeCached(w, v.([]byte), label)
+	writeCached(w, sv.body, label)
 }
 
 // errSubmitQueueFull is the submission pool's refusal.
@@ -230,7 +242,7 @@ func (s *Server) computeSubmit(key string, prog *submit.Program, models []core.M
 
 	var body []byte
 	for ci, c := range out.cfgs {
-		ckey := submitResultKey(prog.Digest, models, c)
+		ckey := submitResultKey(prog.Digest, models, c, s.submitLimits.MaxSteps)
 		resp := SubmitResponse{
 			Program: prog.Digest,
 			Key:     ckey,
@@ -259,6 +271,7 @@ func (s *Server) computeSubmit(key string, prog *submit.Program, models []core.M
 		}
 		b = append(b, '\n')
 		s.submitResults.Add(ckey, b)
+		s.storePut(s.submitResultStore, ckey, b)
 		if ckey == key {
 			body = b
 		} else {
@@ -285,11 +298,16 @@ func (s *Server) submitArtifact(prog *submit.Program, model core.Model, cfg mach
 		if v, ok := s.submitArtifacts.Get(akey); ok {
 			return v, nil
 		}
+		if art, ok := s.storedArtifact(s.submitArtifactStore, akey); ok {
+			s.submitArtifacts.Add(akey, art)
+			return art, nil
+		}
 		art, rej := prog.Artifact(model, cfg, s.submitLimits)
 		if rej != nil {
 			return nil, rej
 		}
 		s.submitArtifacts.Add(akey, art)
+		s.storeArtifact(s.submitArtifactStore, akey, art)
 		return art, nil
 	})
 	if err != nil {
@@ -299,12 +317,13 @@ func (s *Server) submitArtifact(prog *submit.Program, model core.Model, cfg mach
 }
 
 // submitResultKey addresses one rendered submission response: the
-// canonical program digest, the measured model set in request order, and
-// the simulator configuration.  The step quota is deliberately excluded —
-// it is per-process configuration, and the submission caches do not
-// outlive the process.
-func submitResultKey(progDigest string, models []core.Model, cfg machine.Config) string {
-	return digest(fmt.Sprintf("submit|program=%s|models=%v|sim=%#v", progDigest, models, cfg))
+// canonical program digest, the measured model set in request order, the
+// simulator configuration, and the step quota.  The quota is part of the
+// address because the submission caches now outlive the process (the
+// disk store): a daemon restarted with a different -max-submit-steps
+// must not serve measurements taken under the old quota.
+func submitResultKey(progDigest string, models []core.Model, cfg machine.Config, maxSteps int64) string {
+	return digest(fmt.Sprintf("submit|program=%s|models=%v|sim=%#v|steps=%d", progDigest, models, cfg, maxSteps))
 }
 
 // writeSubmitError maps a submission compute failure onto its response.

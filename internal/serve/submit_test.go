@@ -61,19 +61,20 @@ func rejectionBody(t *testing.T, rec *httptest.ResponseRecorder) (msg, layer str
 
 // submitServer builds a server whose rate limiter never interferes with
 // the scenario under test.
-func submitServer(cfg Config) *Server {
+func submitServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
 	if cfg.SubmitRate == 0 {
 		cfg.SubmitRate = 1000
 		cfg.SubmitBurst = 1000
 	}
-	return New(cfg)
+	return newTest(t, cfg)
 }
 
 // TestSubmitEndpoint: a valid program measures under all four models
 // with equal checksums, full breakdowns, and internally consistent IPC —
 // the same invariants the kernel cells guarantee.
 func TestSubmitEndpoint(t *testing.T) {
-	s := submitServer(Config{})
+	s := submitServer(t, Config{})
 	rec := post(t, s, "/v1/submit", minimalProgram)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
@@ -111,7 +112,7 @@ func TestSubmitEndpoint(t *testing.T) {
 
 // TestSubmitSingleModel: ?model= narrows the measurement to one model.
 func TestSubmitSingleModel(t *testing.T) {
-	s := submitServer(Config{})
+	s := submitServer(t, Config{})
 	rec := post(t, s, "/v1/submit?model=full", minimalProgram)
 	if rec.Code != http.StatusOK {
 		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
@@ -127,7 +128,7 @@ func TestSubmitSingleModel(t *testing.T) {
 // differing only in whitespace and comments shares the canonical key —
 // no second compile.
 func TestSubmitCacheHit(t *testing.T) {
-	s := submitServer(Config{})
+	s := submitServer(t, Config{})
 	executions := 0
 	s.computeHook = func(string) { executions++ }
 
@@ -170,7 +171,7 @@ func TestSubmitCacheHit(t *testing.T) {
 // configurations of its scheduling target, so the cache-variant machine
 // is an immediate hit.
 func TestSubmitGangFill(t *testing.T) {
-	s := submitServer(Config{})
+	s := submitServer(t, Config{})
 	if rec := post(t, s, "/v1/submit?machine=issue8-br1", minimalProgram); rec.Code != http.StatusOK {
 		t.Fatalf("base: %d: %s", rec.Code, rec.Body.String())
 	}
@@ -193,7 +194,7 @@ func TestSubmitGangFill(t *testing.T) {
 // documented status and layer tag, counted in the registry, and the
 // server stays healthy throughout — no rejection is a 500.
 func TestSubmitRejections(t *testing.T) {
-	s := submitServer(Config{
+	s := submitServer(t, Config{
 		MaxSubmitBytes: 4 << 10,
 		MaxSubmitSteps: 10_000,
 	})
@@ -246,7 +247,7 @@ func TestSubmitRejections(t *testing.T) {
 // TestSubmitRateLimit: a client exhausting its burst is refused with 429,
 // layer "rate", and a Retry-After hint; kernel endpoints stay unlimited.
 func TestSubmitRateLimit(t *testing.T) {
-	s := New(Config{SubmitRate: 0.001, SubmitBurst: 2})
+	s := newTest(t, Config{SubmitRate: 0.001, SubmitBurst: 2})
 	for i := 0; i < 2; i++ {
 		if rec := post(t, s, "/v1/submit", minimalProgram); rec.Code != http.StatusOK {
 			t.Fatalf("request %d inside burst refused: %d: %s", i, rec.Code, rec.Body.String())
@@ -275,7 +276,7 @@ func TestSubmitRateLimit(t *testing.T) {
 
 // TestSubmitMetricsExposed: the submission counters appear in /metrics.
 func TestSubmitMetricsExposed(t *testing.T) {
-	s := submitServer(Config{})
+	s := submitServer(t, Config{})
 	post(t, s, "/v1/submit", minimalProgram)
 	post(t, s, "/v1/submit", "garbage")
 	rec := get(t, s, "/metrics")
@@ -288,7 +289,7 @@ func TestSubmitMetricsExposed(t *testing.T) {
 
 // TestSubmitTimeoutParam: a bad timeout is a 400 before any compute.
 func TestSubmitTimeoutParam(t *testing.T) {
-	s := submitServer(Config{})
+	s := submitServer(t, Config{})
 	rec := post(t, s, "/v1/submit?timeout=banana", minimalProgram)
 	if rec.Code != http.StatusBadRequest {
 		t.Errorf("status %d, want 400: %s", rec.Code, rec.Body.String())
@@ -298,7 +299,7 @@ func TestSubmitTimeoutParam(t *testing.T) {
 // TestSubmitDraining: a draining server refuses submissions with 503
 // like every other compute endpoint.
 func TestSubmitDraining(t *testing.T) {
-	s := submitServer(Config{})
+	s := submitServer(t, Config{})
 	s.mu.Lock()
 	s.draining = true
 	s.mu.Unlock()
