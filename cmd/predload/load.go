@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"predication/internal/obs"
 )
 
 // endpoint is one entry of the request mix.
@@ -33,6 +35,7 @@ type loadConfig struct {
 	label       string
 	out         string
 	seed        int64
+	slowest     int
 }
 
 // submitProgram is the body posted by the "submit" mix entry: a small
@@ -106,8 +109,12 @@ func parseLoadConfig(args []string, errw io.Writer) (loadConfig, error) {
 	label := fs.String("label", "run", "phase label in the report (e.g. cold, warm_restart)")
 	out := fs.String("out", "", "report file; an existing report gains this phase (empty = stdout only)")
 	seed := fs.Int64("seed", 1, "seed for the deterministic request sequence")
+	slowest := fs.Int("slowest", 5, "how many slowest request IDs to keep per phase (0 = none)")
 	if err := fs.Parse(args); err != nil {
 		return loadConfig{}, err
+	}
+	if *slowest < 0 {
+		return loadConfig{}, fmt.Errorf("-slowest %d: cannot be negative (0 = none)", *slowest)
 	}
 	if *duration <= 0 {
 		return loadConfig{}, fmt.Errorf("-duration %v: must be positive", *duration)
@@ -137,6 +144,7 @@ func parseLoadConfig(args []string, errw io.Writer) (loadConfig, error) {
 		label:       *label,
 		out:         *out,
 		seed:        *seed,
+		slowest:     *slowest,
 	}
 	if cfg.kernels, err = splitList("-kernels", *kernels); err != nil {
 		return loadConfig{}, err
@@ -152,10 +160,13 @@ func parseLoadConfig(args []string, errw io.Writer) (loadConfig, error) {
 
 // sample is one completed request.
 type sample struct {
-	latency time.Duration
-	status  int // 0 = transport error
-	xcache  string
-	xshard  string
+	endpoint  string
+	latency   time.Duration
+	status    int // 0 = transport error
+	xcache    string
+	xshard    string
+	requestID string             // the echoed X-Request-Id
+	timing    map[string]float64 // parsed Server-Timing stage durations, ms
 }
 
 // worker drives one closed-loop request stream until deadline.  Each
@@ -199,7 +210,7 @@ func issue(cfg loadConfig, client *http.Client, rng *rand.Rand, name string) sam
 		url := fmt.Sprintf("%s/v1/%s?kernel=%s&model=%s&machine=%s", cfg.addr, name, kernel, model, mach)
 		resp, err = client.Get(url)
 	}
-	s := sample{latency: time.Since(start)}
+	s := sample{endpoint: name, latency: time.Since(start)}
 	if err != nil {
 		return s
 	}
@@ -208,6 +219,8 @@ func issue(cfg loadConfig, client *http.Client, rng *rand.Rand, name string) sam
 	s.status = resp.StatusCode
 	s.xcache = resp.Header.Get("X-Cache")
 	s.xshard = resp.Header.Get("X-Shard")
+	s.requestID = resp.Header.Get("X-Request-Id")
+	s.timing = obs.ParseServerTiming(resp.Header.Get("Server-Timing"))
 	return s
 }
 

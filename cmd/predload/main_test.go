@@ -2,6 +2,7 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -87,14 +88,19 @@ func TestDerive(t *testing.T) {
 // into one file with the derived speedup.
 func TestLoadAgainstFakeDaemon(t *testing.T) {
 	var computed atomic.Bool
+	var seq atomic.Int64
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		state := "hit"
+		timing := "mem;dur=0.05, total;dur=0.08"
 		if computed.CompareAndSwap(false, true) {
 			state = "miss"
+			timing = "mem;dur=0.05, compute;dur=20.1, total;dur=20.2"
 			time.Sleep(20 * time.Millisecond) // the one compute
 		}
 		w.Header().Set("X-Cache", state)
 		w.Header().Set("X-Shard", "local")
+		w.Header().Set("X-Request-Id", fmt.Sprintf("stub-req-%08d", seq.Add(1)))
+		w.Header().Set("Server-Timing", timing)
 		w.Write([]byte("{}\n"))
 	}))
 	defer ts.Close()
@@ -139,6 +145,25 @@ func TestLoadAgainstFakeDaemon(t *testing.T) {
 	}
 	if r.Derived == nil || r.Derived.WarmRestartSpeedupP50 <= 1 {
 		t.Errorf("derived = %+v, want a speedup > 1", r.Derived)
+	}
+	// The observability satellites: per-stage Server-Timing medians and
+	// the slowest-N request IDs, latency-descending.
+	if cold.ServerTimingP50MS["mem"] != 0.05 || cold.ServerTimingP50MS["total"] == 0 {
+		t.Errorf("server_timing_p50_ms = %v, want stub's mem/total medians", cold.ServerTimingP50MS)
+	}
+	if len(cold.Slowest) == 0 || len(cold.Slowest) > 5 {
+		t.Fatalf("slowest = %d entries, want 1..5 (default -slowest)", len(cold.Slowest))
+	}
+	for i, sr := range cold.Slowest {
+		if !strings.HasPrefix(sr.RequestID, "stub-req-") || sr.Status != 200 || sr.Endpoint == "" {
+			t.Errorf("slowest[%d] = %+v, want stub request IDs with status 200", i, sr)
+		}
+		if i > 0 && sr.LatencyUS > cold.Slowest[i-1].LatencyUS {
+			t.Errorf("slowest not latency-descending at %d: %+v", i, cold.Slowest)
+		}
+	}
+	if cold.Slowest[0].LatencyUS < 20000 {
+		t.Errorf("slowest[0] = %+v, want the 20ms stub compute on top", cold.Slowest[0])
 	}
 }
 

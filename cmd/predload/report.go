@@ -31,6 +31,22 @@ type Phase struct {
 	XCache          map[string]int   `json:"xcache"`
 	XShard          map[string]int   `json:"xshard,omitempty"`
 	StateP50US      map[string]int64 `json:"state_p50_us"`
+	// ServerTimingP50MS is the per-stage median from the daemon's
+	// Server-Timing headers — server-side attribution next to the
+	// client-side latency percentiles, so queueing vs. compute vs.
+	// network is readable from one report.
+	ServerTimingP50MS map[string]float64 `json:"server_timing_p50_ms,omitempty"`
+	// Slowest lists the -slowest worst requests with their X-Request-Id,
+	// the join key into the daemon's access log and trace files.
+	Slowest []SlowRequest `json:"slowest,omitempty"`
+}
+
+// SlowRequest identifies one of a phase's slowest requests.
+type SlowRequest struct {
+	Endpoint  string `json:"endpoint"`
+	RequestID string `json:"request_id"`
+	LatencyUS int64  `json:"latency_us"`
+	Status    int    `json:"status"`
 }
 
 // Latency is the phase's latency distribution in microseconds.
@@ -82,6 +98,7 @@ func summarize(cfg loadConfig, sorted []sample) *Phase {
 	}
 	lat := make([]time.Duration, 0, len(sorted))
 	byState := map[string][]time.Duration{}
+	byStage := map[string][]float64{}
 	var sum time.Duration
 	for _, s := range sorted {
 		lat = append(lat, s.latency)
@@ -97,6 +114,9 @@ func summarize(cfg loadConfig, sorted []sample) *Phase {
 		if s.xshard != "" {
 			p.XShard[s.xshard]++
 		}
+		for stage, ms := range s.timing {
+			byStage[stage] = append(byStage[stage], ms)
+		}
 	}
 	p.ErrorRate = float64(p.Errors) / float64(p.Requests)
 	p.ThroughputRPS = float64(p.Requests) / cfg.duration.Seconds()
@@ -110,6 +130,28 @@ func summarize(cfg loadConfig, sorted []sample) *Phase {
 	for state, ls := range byState {
 		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
 		p.StateP50US[state] = percentile(ls, 50).Microseconds()
+	}
+	if len(byStage) > 0 {
+		p.ServerTimingP50MS = map[string]float64{}
+		for stage, ms := range byStage {
+			sort.Float64s(ms)
+			p.ServerTimingP50MS[stage] = ms[(len(ms)*50+99)/100-1]
+		}
+	}
+	// The input is latency-sorted ascending, so the slowest requests are
+	// the tail; only samples that produced a request ID qualify (a
+	// transport error has nothing to join against).
+	for i := len(sorted) - 1; i >= 0 && len(p.Slowest) < cfg.slowest; i-- {
+		s := sorted[i]
+		if s.requestID == "" {
+			continue
+		}
+		p.Slowest = append(p.Slowest, SlowRequest{
+			Endpoint:  s.endpoint,
+			RequestID: s.requestID,
+			LatencyUS: s.latency.Microseconds(),
+			Status:    s.status,
+		})
 	}
 	return p
 }

@@ -4,12 +4,15 @@
 // concurrent identical requests, and admission control (bounded worker
 // pool, bounded queue, 429 + Retry-After past capacity).  SIGTERM/SIGINT
 // trigger a graceful drain: in-flight requests complete, new ones are
-// refused.  See docs/SERVING.md for the API.
+// refused.  See docs/SERVING.md for the API and docs/OBSERVABILITY.md
+// for request tracing, access logs, and the pprof debug listener.
 //
 // Usage:
 //
 //	predserved -addr :8097
 //	predserved -addr :8097 -workers 4 -queue 128 -request-timeout 30s
+//	predserved -addr :8097 -log-json access.log -debug-addr 127.0.0.1:8098 \
+//	    -trace-dir /tmp/traces -trace-slow-ms 500
 package main
 
 import (
@@ -18,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -34,10 +38,27 @@ func main() {
 	}
 }
 
-// parseConfig turns the flag set into a serve.Config plus the listen
-// address and drain budget; it is separated from run so the CLI tests
-// can exercise flag validation without binding a socket.
-func parseConfig(args []string, errw io.Writer) (cfg serve.Config, addr string, drain time.Duration, err error) {
+// options is the parsed command line: the server config plus the knobs
+// that live outside serve.Config (listen addresses, drain budget, and
+// the access-log destination, which parseConfig reports as a path so
+// flag validation needs no filesystem).
+type options struct {
+	cfg   serve.Config
+	addr  string
+	drain time.Duration
+	// logPath is the -log-json destination: "" = off, "-" = stderr,
+	// anything else = a file opened for append.
+	logPath string
+	// debugAddr, when set, binds a second listener serving /debug/pprof
+	// — separate from -addr so profiling endpoints are never exposed on
+	// the service port.
+	debugAddr string
+}
+
+// parseConfig turns the flag set into the run options; it is separated
+// from run so the CLI tests can exercise flag validation without
+// binding a socket or opening files.
+func parseConfig(args []string, errw io.Writer) (options, error) {
 	fs := flag.NewFlagSet("predserved", flag.ContinueOnError)
 	fs.SetOutput(errw)
 	addrFlag := fs.String("addr", ":8097", "listen address")
@@ -56,36 +77,48 @@ func parseConfig(args []string, errw io.Writer) (cfg serve.Config, addr string, 
 	submitStoreMax := fs.Int64("submit-store-max-bytes", 0, "byte budget for the submission store namespaces (0 = default 256 MiB)")
 	peers := fs.String("peers", "", "comma-separated replica base URLs forming the shard ring (empty = no sharding)")
 	self := fs.String("self", "", "this replica's base URL; required with -peers and must be one of them")
+	logJSON := fs.String("log-json", "", "JSON access-log destination: a file path (appended) or - for stderr (empty = off)")
+	traceDir := fs.String("trace-dir", "", "directory for per-request Chrome trace files (needs -trace-sample or -trace-slow-ms)")
+	traceSample := fs.Int("trace-sample", 0, "write a trace file for one of every N /v1/ requests (0 = off; needs -trace-dir)")
+	traceSlowMS := fs.Int("trace-slow-ms", 0, "write a trace file for every request at least this many ms slow (0 = off; needs -trace-dir)")
+	debugAddr := fs.String("debug-addr", "", "separate listen address serving /debug/pprof (empty = no debug listener)")
 	if err := fs.Parse(args); err != nil {
-		return serve.Config{}, "", 0, err
+		return options{}, err
 	}
 	for name, v := range map[string]int{"-workers": *workers, "-queue": *queue,
 		"-artifact-cache": *artifacts, "-result-cache": *results,
-		"-max-submit-instrs": *submitInstrs, "-submit-workers": *submitWorkers} {
+		"-max-submit-instrs": *submitInstrs, "-submit-workers": *submitWorkers,
+		"-trace-sample": *traceSample, "-trace-slow-ms": *traceSlowMS} {
 		if v < 0 {
-			return serve.Config{}, "", 0, fmt.Errorf("%s %d: cannot be negative (0 = default)", name, v)
+			return options{}, fmt.Errorf("%s %d: cannot be negative (0 = default)", name, v)
 		}
 	}
 	if *reqTimeout < 0 {
-		return serve.Config{}, "", 0, fmt.Errorf("-request-timeout %v: cannot be negative (0 = default)", *reqTimeout)
+		return options{}, fmt.Errorf("-request-timeout %v: cannot be negative (0 = default)", *reqTimeout)
 	}
 	if *drainTimeout <= 0 {
-		return serve.Config{}, "", 0, fmt.Errorf("-drain-timeout %v: must be positive", *drainTimeout)
+		return options{}, fmt.Errorf("-drain-timeout %v: must be positive", *drainTimeout)
 	}
 	if *submitBytes < 0 {
-		return serve.Config{}, "", 0, fmt.Errorf("-max-submit-bytes %d: cannot be negative (0 = default)", *submitBytes)
+		return options{}, fmt.Errorf("-max-submit-bytes %d: cannot be negative (0 = default)", *submitBytes)
 	}
 	if *submitRate < 0 {
-		return serve.Config{}, "", 0, fmt.Errorf("-submit-rate %v: cannot be negative (0 = default)", *submitRate)
+		return options{}, fmt.Errorf("-submit-rate %v: cannot be negative (0 = default)", *submitRate)
 	}
 	if *storeMax < 0 {
-		return serve.Config{}, "", 0, fmt.Errorf("-store-max-bytes %d: cannot be negative (0 = default)", *storeMax)
+		return options{}, fmt.Errorf("-store-max-bytes %d: cannot be negative (0 = default)", *storeMax)
 	}
 	if *submitStoreMax < 0 {
-		return serve.Config{}, "", 0, fmt.Errorf("-submit-store-max-bytes %d: cannot be negative (0 = default)", *submitStoreMax)
+		return options{}, fmt.Errorf("-submit-store-max-bytes %d: cannot be negative (0 = default)", *submitStoreMax)
 	}
 	if *storeDir == "" && (*storeMax > 0 || *submitStoreMax > 0) {
-		return serve.Config{}, "", 0, fmt.Errorf("-store-max-bytes/-submit-store-max-bytes need -store-dir")
+		return options{}, fmt.Errorf("-store-max-bytes/-submit-store-max-bytes need -store-dir")
+	}
+	if *traceDir == "" && (*traceSample > 0 || *traceSlowMS > 0) {
+		return options{}, fmt.Errorf("-trace-sample/-trace-slow-ms need -trace-dir")
+	}
+	if *traceDir != "" && *traceSample == 0 && *traceSlowMS == 0 {
+		return options{}, fmt.Errorf("-trace-dir needs -trace-sample or -trace-slow-ms to select requests")
 	}
 	var peerList []string
 	if *peers != "" {
@@ -93,46 +126,86 @@ func parseConfig(args []string, errw io.Writer) (cfg serve.Config, addr string, 
 			peerList = append(peerList, strings.TrimSpace(p))
 		}
 		if *self == "" {
-			return serve.Config{}, "", 0, fmt.Errorf("-peers requires -self (this replica's base URL)")
+			return options{}, fmt.Errorf("-peers requires -self (this replica's base URL)")
 		}
 	} else if *self != "" {
-		return serve.Config{}, "", 0, fmt.Errorf("-self %q without -peers", *self)
+		return options{}, fmt.Errorf("-self %q without -peers", *self)
 	}
-	cfg = serve.Config{
-		Workers:             *workers,
-		QueueDepth:          *queue,
-		ArtifactCacheSize:   *artifacts,
-		ResultCacheSize:     *results,
-		RequestTimeout:      *reqTimeout,
-		MaxSubmitBytes:      *submitBytes,
-		MaxSubmitInstrs:     *submitInstrs,
-		SubmitRate:          *submitRate,
-		SubmitWorkers:       *submitWorkers,
-		StoreDir:            *storeDir,
-		StoreMaxBytes:       *storeMax,
-		SubmitStoreMaxBytes: *submitStoreMax,
-		Peers:               peerList,
-		Self:                *self,
-	}
-	return cfg, *addrFlag, *drainTimeout, nil
+	return options{
+		cfg: serve.Config{
+			Workers:             *workers,
+			QueueDepth:          *queue,
+			ArtifactCacheSize:   *artifacts,
+			ResultCacheSize:     *results,
+			RequestTimeout:      *reqTimeout,
+			MaxSubmitBytes:      *submitBytes,
+			MaxSubmitInstrs:     *submitInstrs,
+			SubmitRate:          *submitRate,
+			SubmitWorkers:       *submitWorkers,
+			StoreDir:            *storeDir,
+			StoreMaxBytes:       *storeMax,
+			SubmitStoreMaxBytes: *submitStoreMax,
+			Peers:               peerList,
+			Self:                *self,
+			TraceDir:            *traceDir,
+			TraceSample:         *traceSample,
+			TraceSlowMS:         *traceSlowMS,
+		},
+		addr:      *addrFlag,
+		drain:     *drainTimeout,
+		logPath:   *logJSON,
+		debugAddr: *debugAddr,
+	}, nil
 }
 
 func run(args []string, errw io.Writer) error {
-	cfg, addr, drainBudget, err := parseConfig(args, errw)
+	opts, err := parseConfig(args, errw)
 	if err != nil {
 		return err
 	}
-	srv, err := serve.New(cfg)
+	switch opts.logPath {
+	case "":
+	case "-":
+		opts.cfg.AccessLog = errw
+	default:
+		f, err := os.OpenFile(opts.logPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("-log-json: %w", err)
+		}
+		defer f.Close()
+		opts.cfg.AccessLog = f
+	}
+	srv, err := serve.New(opts.cfg)
 	if err != nil {
 		return err
 	}
-	httpSrv := &http.Server{Addr: addr, Handler: srv}
+	httpSrv := &http.Server{Addr: opts.addr, Handler: srv}
+
+	if opts.debugAddr != "" {
+		// The profiling endpoints live on their own mux and listener:
+		// registering pprof on the service mux would expose heap and CPU
+		// profiles wherever the API is reachable.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dbg := &http.Server{Addr: opts.debugAddr, Handler: dmux}
+		defer dbg.Close()
+		go func() {
+			fmt.Fprintf(errw, "predserved: pprof debug listener on %s\n", opts.debugAddr)
+			if err := dbg.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(errw, "predserved: debug listener: %v\n", err)
+			}
+		}()
+	}
 
 	sigs := make(chan os.Signal, 1)
 	signal.Notify(sigs, syscall.SIGTERM, syscall.SIGINT)
 	errCh := make(chan error, 1)
 	go func() {
-		fmt.Fprintf(errw, "predserved: listening on %s\n", addr)
+		fmt.Fprintf(errw, "predserved: listening on %s\n", opts.addr)
 		errCh <- httpSrv.ListenAndServe()
 	}()
 
@@ -140,8 +213,8 @@ func run(args []string, errw io.Writer) error {
 	case err := <-errCh:
 		return err
 	case sig := <-sigs:
-		fmt.Fprintf(errw, "predserved: %v: draining (up to %v)\n", sig, drainBudget)
-		ctx, cancel := context.WithTimeout(context.Background(), drainBudget)
+		fmt.Fprintf(errw, "predserved: %v: draining (up to %v)\n", sig, opts.drain)
+		ctx, cancel := context.WithTimeout(context.Background(), opts.drain)
 		defer cancel()
 		// Refuse new compute first, then close listeners once in-flight
 		// work finished (Shutdown itself also waits for active conns).

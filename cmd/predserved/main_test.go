@@ -24,15 +24,21 @@ func TestFlagValidation(t *testing.T) {
 		{"-submit-workers", "-1"},
 		{"-store-max-bytes", "-1"},
 		{"-submit-store-max-bytes", "-1"},
-		// Budgets without a store, and half a ring, are configuration
-		// mistakes worth refusing at startup.
+		{"-trace-sample", "-1"},
+		{"-trace-slow-ms", "-1"},
+		// Budgets without a store, half a ring, and trace selectors
+		// without a directory (or a directory that would never select a
+		// request) are configuration mistakes worth refusing at startup.
 		{"-store-max-bytes", "1048576"},
 		{"-submit-store-max-bytes", "1048576"},
 		{"-peers", "http://a:1,http://b:2"},
 		{"-self", "http://a:1"},
+		{"-trace-sample", "10"},
+		{"-trace-slow-ms", "500"},
+		{"-trace-dir", "/tmp/traces"},
 	}
 	for _, args := range cases {
-		_, _, _, err := parseConfig(args, io.Discard)
+		_, err := parseConfig(args, io.Discard)
 		if err == nil {
 			t.Errorf("predserved %v: expected error", args)
 			continue
@@ -44,28 +50,34 @@ func TestFlagValidation(t *testing.T) {
 }
 
 // TestFlagDefaults: the zero flags map onto the serve.Config defaults
-// (resolved inside serve.New) and the documented listen address.
+// (resolved inside serve.New) and the documented listen address, with
+// every observability sink off.
 func TestFlagDefaults(t *testing.T) {
-	cfg, addr, drain, err := parseConfig(nil, io.Discard)
+	opts, err := parseConfig(nil, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if addr != ":8097" {
-		t.Errorf("default addr = %q, want :8097", addr)
+	if opts.addr != ":8097" {
+		t.Errorf("default addr = %q, want :8097", opts.addr)
 	}
-	if drain != 30*time.Second {
-		t.Errorf("default drain budget = %v, want 30s", drain)
+	if opts.drain != 30*time.Second {
+		t.Errorf("default drain budget = %v, want 30s", opts.drain)
 	}
+	cfg := opts.cfg
 	if cfg.Workers != 0 || cfg.QueueDepth != 0 || cfg.RequestTimeout != 0 ||
 		cfg.MaxSubmitBytes != 0 || cfg.MaxSubmitInstrs != 0 ||
 		cfg.SubmitRate != 0 || cfg.SubmitWorkers != 0 {
 		t.Errorf("zero flags should leave config fields zero for serve.New defaults: %+v", cfg)
 	}
+	if opts.logPath != "" || opts.debugAddr != "" ||
+		cfg.TraceDir != "" || cfg.TraceSample != 0 || cfg.TraceSlowMS != 0 {
+		t.Errorf("observability should default off: %+v", opts)
+	}
 }
 
 // TestFlagMapping: explicit knobs land in the config.
 func TestFlagMapping(t *testing.T) {
-	cfg, addr, _, err := parseConfig([]string{
+	opts, err := parseConfig([]string{
 		"-addr", ":9000", "-workers", "3", "-queue", "7",
 		"-artifact-cache", "11", "-result-cache", "13", "-request-timeout", "5s",
 		"-max-submit-bytes", "65536", "-max-submit-instrs", "2048",
@@ -73,10 +85,11 @@ func TestFlagMapping(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if addr != ":9000" || cfg.Workers != 3 || cfg.QueueDepth != 7 ||
+	cfg := opts.cfg
+	if opts.addr != ":9000" || cfg.Workers != 3 || cfg.QueueDepth != 7 ||
 		cfg.ArtifactCacheSize != 11 || cfg.ResultCacheSize != 13 ||
 		cfg.RequestTimeout != 5*time.Second {
-		t.Errorf("flags not mapped: addr=%q cfg=%+v", addr, cfg)
+		t.Errorf("flags not mapped: addr=%q cfg=%+v", opts.addr, cfg)
 	}
 	if cfg.MaxSubmitBytes != 65536 || cfg.MaxSubmitInstrs != 2048 ||
 		cfg.SubmitRate != 2.5 || cfg.SubmitWorkers != 2 {
@@ -87,13 +100,14 @@ func TestFlagMapping(t *testing.T) {
 // TestStoreAndShardFlags: the persistence and sharding knobs map into
 // the config, with -peers split on commas and whitespace trimmed.
 func TestStoreAndShardFlags(t *testing.T) {
-	cfg, _, _, err := parseConfig([]string{
+	opts, err := parseConfig([]string{
 		"-store-dir", "/tmp/predstore", "-store-max-bytes", "1048576",
 		"-submit-store-max-bytes", "524288",
 		"-peers", "http://a:1, http://b:2", "-self", "http://a:1"}, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
+	cfg := opts.cfg
 	if cfg.StoreDir != "/tmp/predstore" || cfg.StoreMaxBytes != 1048576 ||
 		cfg.SubmitStoreMaxBytes != 524288 {
 		t.Errorf("store flags not mapped: %+v", cfg)
@@ -104,11 +118,46 @@ func TestStoreAndShardFlags(t *testing.T) {
 	}
 }
 
+// TestObservabilityFlags: the tracing, logging, and debug-listener knobs
+// map into the options; either trace selector satisfies -trace-dir.
+func TestObservabilityFlags(t *testing.T) {
+	opts, err := parseConfig([]string{
+		"-log-json", "-", "-debug-addr", "127.0.0.1:8098",
+		"-trace-dir", "/tmp/traces", "-trace-sample", "10", "-trace-slow-ms", "500"}, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.logPath != "-" || opts.debugAddr != "127.0.0.1:8098" {
+		t.Errorf("log/debug flags not mapped: %+v", opts)
+	}
+	cfg := opts.cfg
+	if cfg.TraceDir != "/tmp/traces" || cfg.TraceSample != 10 || cfg.TraceSlowMS != 500 {
+		t.Errorf("trace flags not mapped: %+v", cfg)
+	}
+	for _, args := range [][]string{
+		{"-trace-dir", "/tmp/traces", "-trace-sample", "1"},
+		{"-trace-dir", "/tmp/traces", "-trace-slow-ms", "250"},
+	} {
+		if _, err := parseConfig(args, io.Discard); err != nil {
+			t.Errorf("predserved %v: unexpected error: %v", args, err)
+		}
+	}
+}
+
 // TestRunRejectsBadRing: a bad replica set surfaces through run as a
 // startup error (serve.New refuses it) before any socket is bound.
 func TestRunRejectsBadRing(t *testing.T) {
 	err := run([]string{"-peers", "http://a:1,http://b:2", "-self", "http://c:3"}, io.Discard)
 	if err == nil || !strings.Contains(err.Error(), "-self") {
 		t.Errorf("run accepted a self outside the ring: %v", err)
+	}
+}
+
+// TestRunRejectsUnopenableLog: a -log-json path that cannot be opened is
+// a startup error, not a silently disabled log.
+func TestRunRejectsUnopenableLog(t *testing.T) {
+	err := run([]string{"-log-json", "/nonexistent-dir/access.log"}, io.Discard)
+	if err == nil || !strings.Contains(err.Error(), "-log-json") {
+		t.Errorf("run accepted an unopenable log path: %v", err)
 	}
 }

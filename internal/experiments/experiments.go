@@ -466,10 +466,10 @@ func Run(opts Options) (*Suite, error) {
 		opts.Registry.Counter("cells_ok").Add(int64(ok))
 		opts.Registry.Counter("cells_failed").Add(int64(failed))
 		opts.Registry.Counter("steps_total").Add(suite.Steps)
-		h := opts.Registry.Histogram("cell_steps", []int64{1e3, 1e4, 1e5, 1e6})
+		h := opts.Registry.Histogram("cell_steps", []float64{1e3, 1e4, 1e5, 1e6})
 		for i, cr := range cellRes {
 			if i%stride != 0 && cr != nil {
-				h.Observe(cr.steps)
+				h.Observe(float64(cr.steps))
 			}
 		}
 	}

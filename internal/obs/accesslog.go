@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+	"time"
+)
+
+// AccessRecord is one request's structured access-log line: identity,
+// route, outcome, attribution.  The schema is documented in
+// docs/OBSERVABILITY.md ("Request tracing & access logs") and validated
+// by the CI serve smoke stage; keep the two in sync.
+type AccessRecord struct {
+	// Time is the completion time, RFC 3339 with nanoseconds.
+	Time string `json:"time"`
+	// RequestID is the request's X-Request-Id — the join key against
+	// response headers, peer logs, and trace files.
+	RequestID string `json:"request_id"`
+	Method    string `json:"method"`
+	Path      string `json:"path"`
+	Query     string `json:"query,omitempty"`
+	Status    int    `json:"status"`
+	// Bytes is the response body size actually written.
+	Bytes int64 `json:"bytes"`
+	// DurationMS is the server-side wall time in milliseconds.
+	DurationMS float64 `json:"duration_ms"`
+	// Client is the remote address (host only).
+	Client string `json:"client,omitempty"`
+	// Cache and Shard mirror the X-Cache and X-Shard response headers.
+	Cache string `json:"cache,omitempty"`
+	Shard string `json:"shard,omitempty"`
+	// RejectLayer is the admission layer that refused a submission
+	// (submit.Reject's taxonomy plus the serve-local rate/queue layers).
+	RejectLayer string `json:"reject_layer,omitempty"`
+	// StagesMS attributes the request's time to its lifecycle stages —
+	// the Server-Timing header's content, as numbers.
+	StagesMS map[string]float64 `json:"stages_ms,omitempty"`
+}
+
+// AccessLogger writes one JSON object per line per request, safe for
+// concurrent use.  A nil logger is valid and drops everything, so call
+// sites need no guards — the hot path costs one nil check when access
+// logging is off.
+type AccessLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewAccessLogger creates a logger writing to w; a nil w yields a nil
+// logger (logging off).
+func NewAccessLogger(w io.Writer) *AccessLogger {
+	if w == nil {
+		return nil
+	}
+	return &AccessLogger{w: w}
+}
+
+// Enabled reports whether records will actually be written.
+func (l *AccessLogger) Enabled() bool { return l != nil }
+
+// Log writes one record as a single JSON line.  Marshalling cannot fail
+// for AccessRecord's field types; write errors are reported so the
+// caller can count them (the daemon's log is an observer, never a
+// dependency — it must not turn requests into failures).
+func (l *AccessLogger) Log(rec AccessRecord) error {
+	if l == nil {
+		return nil
+	}
+	if rec.Time == "" {
+		rec.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err = l.w.Write(b)
+	return err
+}
+
+// RoundMS converts a duration to milliseconds with microsecond
+// resolution — the unit access records and Server-Timing entries share.
+func RoundMS(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}

@@ -209,8 +209,8 @@ func TestRegistry(t *testing.T) {
 	r.Counter("cells_ok").Add(5)
 	r.Counter("cells_ok").Inc()
 	r.Counter("cells_failed")
-	h := r.Histogram("cell_cycles", []int64{10, 100, 1000})
-	for _, v := range []int64{3, 50, 5000, 7} {
+	h := r.Histogram("cell_cycles", []float64{10, 100, 1000})
+	for _, v := range []float64{3, 50, 5000, 7} {
 		h.Observe(v)
 	}
 	snap := r.Snapshot()
@@ -243,7 +243,7 @@ func TestRegistry(t *testing.T) {
 			t.Error("kind conflict should panic")
 		}
 	}()
-	r.Histogram("cells_ok", []int64{1})
+	r.Histogram("cells_ok", []float64{1})
 }
 
 func TestSnapshotIRAndPipelineTrace(t *testing.T) {

@@ -4,7 +4,16 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 )
+
+// promFloat renders a float bound or sum in plain decimal notation —
+// integer-valued floats print without a fractional part (le="1000", as
+// before histograms went float64), fractional bounds print exactly
+// (le="0.05"), never in exponent form.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}
 
 // WritePrometheus renders a snapshot of the registry in the Prometheus
 // text exposition format (version 0.0.4): every counter becomes a
@@ -43,14 +52,14 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		cum := int64(0)
 		for i, bound := range h.Bounds {
 			cum += h.Counts[i]
-			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum); err != nil {
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=\"%s\"} %d\n", name, promFloat(bound), cum); err != nil {
 				return err
 			}
 		}
 		if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
 			return err
 		}
-		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", name, h.Sum, name, h.Count); err != nil {
+		if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(h.Sum), name, h.Count); err != nil {
 			return err
 		}
 	}

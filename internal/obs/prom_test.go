@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestWritePrometheusGolden pins the exact exposition text for a known
+// registry state: metric ordering, cumulative buckets, the +Inf
+// catch-all, and — now that histogram bounds are float64 — the rendering
+// rules CI greps depend on: integral bounds print without a fractional
+// part (le="1000", as before the float conversion) and sub-millisecond
+// bounds print in plain decimal, never exponent form.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("serve_requests").Add(7)
+	r.Counter("cells_ok").Inc()
+	h := r.Histogram("serve_compute_ms", []float64{0.05, 1, 1000})
+	h.Observe(0.02)
+	h.Observe(0.5)
+	h.Observe(300)
+	h.Observe(5000)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		"# TYPE cells_ok counter",
+		"cells_ok 1",
+		"# TYPE serve_requests counter",
+		"serve_requests 7",
+		"# TYPE serve_compute_ms histogram",
+		`serve_compute_ms_bucket{le="0.05"} 1`,
+		`serve_compute_ms_bucket{le="1"} 2`,
+		`serve_compute_ms_bucket{le="1000"} 3`,
+		`serve_compute_ms_bucket{le="+Inf"} 4`,
+		"serve_compute_ms_sum 5300.52",
+		"serve_compute_ms_count 4",
+		"",
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Errorf("exposition text drifted:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestLatencyBucketLadder: the shared ladder is ascending, spans
+// sub-millisecond hits to ten-second computes, and keeps the historical
+// decade bounds so existing bucket greps still match.
+func TestLatencyBucketLadder(t *testing.T) {
+	for i := 1; i < len(LatencyBucketsMS); i++ {
+		if LatencyBucketsMS[i] <= LatencyBucketsMS[i-1] {
+			t.Fatalf("ladder not ascending at %d: %v", i, LatencyBucketsMS)
+		}
+	}
+	if LatencyBucketsMS[0] >= 1 {
+		t.Errorf("ladder starts at %vms; want sub-millisecond resolution", LatencyBucketsMS[0])
+	}
+	if last := LatencyBucketsMS[len(LatencyBucketsMS)-1]; last != 10000 {
+		t.Errorf("ladder tops out at %vms, want 10000", last)
+	}
+	present := map[float64]bool{}
+	for _, b := range LatencyBucketsMS {
+		present[b] = true
+	}
+	for _, decade := range []float64{1, 10, 100, 1000, 10000} {
+		if !present[decade] {
+			t.Errorf("ladder lost the historical decade bound %v", decade)
+		}
+	}
+}
+
+// TestRegistryConcurrentAccess hammers Observe, Inc, Snapshot, and
+// WritePrometheus from many goroutines — the data-race check for the
+// per-stage histograms the request middleware updates on every request
+// while /metrics renders.  Run under -race in CI.
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	const workers, iters = 8, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				r.Counter("serve_requests").Inc()
+				r.Histogram("serve_stage_mem_ms", LatencyBucketsMS).Observe(float64(i) / 7)
+				if i%10 == 0 {
+					snap := r.Snapshot()
+					if snap.Counters["serve_requests"] < 1 {
+						t.Error("snapshot lost a counter")
+						return
+					}
+					if err := r.WritePrometheus(io.Discard); err != nil {
+						t.Errorf("WritePrometheus: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if got := snap.Counters["serve_requests"]; got != workers*iters {
+		t.Errorf("serve_requests = %d, want %d", got, workers*iters)
+	}
+	h := snap.Histograms["serve_stage_mem_ms"]
+	if h.Count != workers*iters {
+		t.Errorf("histogram count = %d, want %d", h.Count, workers*iters)
+	}
+	var bucketSum int64
+	for _, c := range h.Counts {
+		bucketSum += c
+	}
+	if bucketSum != h.Count {
+		t.Errorf("bucket counts sum to %d, count is %d", bucketSum, h.Count)
+	}
+}

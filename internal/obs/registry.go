@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Counter is a monotonically named total, safe for concurrent use (the
@@ -25,17 +26,20 @@ func (c *Counter) Value() int64 { return c.v.Load() }
 
 // Histogram is a fixed-bucket distribution.  Bounds are inclusive upper
 // bucket edges; one implicit overflow bucket catches everything above the
-// last bound.  Safe for concurrent use.
+// last bound.  Bounds and values are float64 so one bucket ladder spans
+// sub-millisecond cache hits and multi-second computes (LatencyBucketsMS);
+// integer-valued histograms (step counts) lose nothing below 2^53.  Safe
+// for concurrent use.
 type Histogram struct {
 	mu     sync.Mutex
-	bounds []int64
+	bounds []float64
 	counts []int64 // len(bounds)+1; last = overflow
 	count  int64
-	sum    int64
+	sum    float64
 }
 
 // Observe records one value.
-func (h *Histogram) Observe(v int64) {
+func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	i := sort.Search(len(h.bounds), func(i int) bool { return v <= h.bounds[i] })
@@ -44,21 +48,36 @@ func (h *Histogram) Observe(v int64) {
 	h.sum += v
 }
 
+// ObserveDuration records a duration in milliseconds — the unit every
+// latency histogram in the serving stack shares.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.Observe(float64(d.Microseconds()) / 1000)
+}
+
+// LatencyBucketsMS is the shared latency bucket ladder, in milliseconds:
+// sub-millisecond (a warm in-memory cache hit) up to ten seconds (a cold
+// full-matrix compute), roughly logarithmic.  Every serving-path latency
+// histogram uses it so percentiles are comparable across stages.
+var LatencyBucketsMS = []float64{
+	0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500,
+	1000, 2500, 5000, 10000,
+}
+
 // HistogramSnapshot is a histogram's JSON form: parallel "le"/"counts"
 // arrays (counts has one extra overflow entry) plus the observation count
 // and sum.
 type HistogramSnapshot struct {
-	Bounds []int64 `json:"le"`
-	Counts []int64 `json:"counts"`
-	Count  int64   `json:"count"`
-	Sum    int64   `json:"sum"`
+	Bounds []float64 `json:"le"`
+	Counts []int64   `json:"counts"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
 }
 
 func (h *Histogram) snapshot() HistogramSnapshot {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return HistogramSnapshot{
-		Bounds: append([]int64(nil), h.bounds...),
+		Bounds: append([]float64(nil), h.bounds...),
 		Counts: append([]int64(nil), h.counts...),
 		Count:  h.count,
 		Sum:    h.sum,
@@ -101,7 +120,7 @@ func (r *Registry) Counter(name string) *Counter {
 // Histogram returns the named histogram, creating it with the given
 // inclusive upper bucket bounds (which must be ascending) on first use.
 // Later calls ignore bounds and return the existing histogram.
-func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if _, ok := r.counters[name]; ok {
@@ -115,7 +134,7 @@ func (r *Registry) Histogram(name string, bounds []int64) *Histogram {
 			}
 		}
 		h = &Histogram{
-			bounds: append([]int64(nil), bounds...),
+			bounds: append([]float64(nil), bounds...),
 			counts: make([]int64, len(bounds)+1),
 		}
 		r.hists[name] = h

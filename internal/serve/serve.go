@@ -38,12 +38,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"predication/internal/bench"
@@ -122,6 +125,22 @@ type Config struct {
 	// sharding.  See shard.go for the routing rules.
 	Peers []string
 	Self  string
+
+	// AccessLog receives one JSON line per /v1/ request
+	// (obs.AccessRecord).  Nil disables access logging; request IDs and
+	// Server-Timing stay on regardless.
+	AccessLog io.Writer
+	// TraceDir, when set, receives Chrome trace-event files for sampled
+	// or slow requests, one file per request named
+	// <request-id>.trace.json.  Requires TraceSample or TraceSlowMS to
+	// select requests.
+	TraceDir string
+	// TraceSample writes a trace file for one of every TraceSample /v1/
+	// requests (1 = every request, 0 = no sampling).
+	TraceSample int
+	// TraceSlowMS writes a trace file for every request whose wall time
+	// reaches this many milliseconds (0 = no slow capture).
+	TraceSlowMS int
 }
 
 // Server is the simulation service.  Create it with New; it implements
@@ -158,6 +177,11 @@ type Server struct {
 	// forward requests to their owners.
 	ring        *ring
 	shardClient *http.Client
+
+	// Request observability (trace.go): the access log (nil when off)
+	// and the sampling counter for trace files.
+	accessLog *obs.AccessLogger
+	traceSeq  atomic.Int64
 
 	mu       sync.Mutex
 	draining bool
@@ -221,6 +245,20 @@ func New(cfg Config) (*Server, error) {
 	if cfg.SubmitStoreMaxBytes <= 0 {
 		cfg.SubmitStoreMaxBytes = 256 << 20
 	}
+	if cfg.TraceSample < 0 || cfg.TraceSlowMS < 0 {
+		return nil, fmt.Errorf("serve: trace sample and slow threshold must be non-negative")
+	}
+	if cfg.TraceDir == "" && (cfg.TraceSample > 0 || cfg.TraceSlowMS > 0) {
+		return nil, fmt.Errorf("serve: trace sampling requires a trace directory")
+	}
+	if cfg.TraceDir != "" {
+		if cfg.TraceSample == 0 && cfg.TraceSlowMS == 0 {
+			return nil, fmt.Errorf("serve: trace directory set but neither sampling nor a slow threshold selects requests")
+		}
+		if err := os.MkdirAll(cfg.TraceDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: trace directory: %w", err)
+		}
+	}
 	s := &Server{
 		cfg:       cfg,
 		reg:       cfg.Registry,
@@ -240,6 +278,8 @@ func New(cfg Config) (*Server, error) {
 			MaxInstrs: cfg.MaxSubmitInstrs,
 			MaxSteps:  cfg.MaxSubmitSteps,
 		}.WithDefaults(),
+
+		accessLog: obs.NewAccessLogger(cfg.AccessLog),
 	}
 	if cfg.StoreDir != "" {
 		// Four write-once namespaces: kernel artifacts/results budgeted
@@ -289,8 +329,17 @@ func New(cfg Config) (*Server, error) {
 // Registry returns the registry backing /metrics.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler.  Every /v1/ request runs under
+// the tracing middleware (trace.go): request ID, span tree, stage
+// histograms, access log, sampled trace files.  The health and metrics
+// probes bypass it — they are scraped constantly and carry no stages.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasPrefix(r.URL.Path, "/v1/") {
+		s.observeRequest(w, r)
+		return
+	}
+	s.mux.ServeHTTP(w, r)
+}
 
 // Drain refuses new compute requests (503) and waits for in-flight ones
 // to complete, or for ctx to expire.  It is the SIGTERM path of
@@ -419,39 +468,56 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request, observe bool
 		return
 	}
 
+	tr := traceFor(r)
 	key := ResultKey(kernel, model, cfg, observe)
 	// Layer 1: the in-memory LRU.  A local hit is served even for keys
 	// another replica owns — it is strictly cheaper than the hop.
-	if body, ok := s.results.Get(key); ok {
+	sp := tr.Start("mem")
+	body, ok := s.results.Get(key)
+	sp.End()
+	if ok {
 		s.markLocal(w)
 		writeCached(w, body.([]byte), "hit")
 		return
 	}
 	// Sharding: route the miss to the key's owner (one hop max); an
 	// unreachable owner degrades to computing locally.
-	if s.forwardable(r, key) && s.forward(w, r, key) {
+	if s.forwardable(r, key) && s.forward(w, r, tr, key) {
 		return
 	}
+	// The closure below runs only on the singleflight leader's goroutine
+	// — this one — so the leader's spans land on the leader's trace.  A
+	// coalesced waiter's closure never runs; it records the blocked time
+	// as one wait span instead of inheriting the leader's stages.
+	flightStart := time.Now()
 	v, shared, err := s.flight.Do(key, func() (any, error) {
 		// Layer 2: the disk store, inside the singleflight so N
 		// concurrent misses cost one read, with promotion into memory.
-		if body, ok := s.storeGet(s.resultStore, key); ok {
+		sp := tr.Start("disk")
+		body, ok := s.storeGet(s.resultStore, key)
+		sp.End()
+		if ok {
 			s.results.Add(key, body)
 			return served{body, "disk"}, nil
 		}
 		// Layer 3: compute, with write-through (computeCell persists
 		// every sibling body it renders).
+		sp = tr.Start("queue")
 		release, err := s.admit(r.Context())
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		defer release()
-		body, err := s.computeCell(key, kernel, model, cfg, pred, observe, timeout)
+		body, err = s.computeCell(tr, key, kernel, model, cfg, pred, observe, timeout)
 		if err != nil {
 			return nil, err
 		}
 		return served{body, "miss"}, nil
 	})
+	if shared {
+		tr.Add("wait", flightStart, time.Since(flightStart))
+	}
 	if err != nil {
 		s.writeComputeError(w, err)
 		return
@@ -509,18 +575,26 @@ func (s *Server) storePut(st *store.Store, key string, body []byte) {
 // identical requests; concurrent requests for different siblings are
 // separate flights that may race, which is benign — both fill the same
 // deterministic bytes.
-func (s *Server) computeCell(key, kernel string, model core.Model, cfg machine.Config, pred string, observe bool, timeout time.Duration) ([]byte, error) {
+func (s *Server) computeCell(tr *obs.Trace, key, kernel string, model core.Model, cfg machine.Config, pred string, observe bool, timeout time.Duration) ([]byte, error) {
 	if s.computeHook != nil {
 		s.computeHook(key)
 	}
 	s.reg.Counter("serve_executions").Inc()
 	start := time.Now()
+	// The guarded closure records its stages as marks in its result, not
+	// on the trace: a timed-out closure keeps running after the handler
+	// resumes (Guard abandons it), and the marks of an abandoned closure
+	// die with its never-delivered gangRun.
 	type gangRun struct {
-		cfgs []machine.Config
-		ms   []*experiments.Measurement
+		cfgs  []machine.Config
+		ms    []*experiments.Measurement
+		marks []stageMark
 	}
 	out, err := experiments.Guard(timeout, func() (*gangRun, error) {
+		g := &gangRun{}
+		t0 := time.Now()
 		art, err := s.artifact(kernel, model, cfg)
+		g.marks = append(g.marks, stageMark{"compile", t0, time.Since(t0)})
 		if err != nil {
 			return nil, err
 		}
@@ -530,18 +604,23 @@ func (s *Server) computeCell(key, kernel string, model core.Model, cfg machine.C
 				return nil, err
 			}
 		}
+		t0 = time.Now()
 		ms, err := art.MeasureAll(cfgs, observe)
+		g.marks = append(g.marks, stageMark{"measure", t0, time.Since(t0)})
 		if err != nil {
 			return nil, err
 		}
-		return &gangRun{cfgs: cfgs, ms: ms}, nil
+		g.cfgs, g.ms = cfgs, ms
+		return g, nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	s.reg.Histogram("serve_compute_ms", []int64{1, 10, 100, 1000, 10000}).
-		Observe(time.Since(start).Milliseconds())
+	attachStages(tr, out.marks)
+	s.reg.Histogram("serve_compute_ms", obs.LatencyBucketsMS).ObserveDuration(time.Since(start))
 
+	sp := tr.Start("render")
+	defer sp.End()
 	var body []byte
 	for i, c := range out.cfgs {
 		ckey := ResultKey(kernel, model, c, observe)
@@ -681,27 +760,40 @@ func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	tr := traceFor(r)
 	key := FiguresKey(kernels)
-	if body, ok := s.results.Get(key); ok {
+	sp := tr.Start("mem")
+	body, ok := s.results.Get(key)
+	sp.End()
+	if ok {
 		writeCached(w, body.([]byte), "hit")
 		return
 	}
+	flightStart := time.Now()
 	v, shared, err := s.flight.Do(key, func() (any, error) {
-		if body, ok := s.storeGet(s.resultStore, key); ok {
+		sp := tr.Start("disk")
+		body, ok := s.storeGet(s.resultStore, key)
+		sp.End()
+		if ok {
 			s.results.Add(key, body)
 			return served{body, "disk"}, nil
 		}
+		sp = tr.Start("queue")
 		release, err := s.admit(r.Context())
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		defer release()
-		body, err := s.computeFigures(key, kernels, timeout)
+		body, err = s.computeFigures(tr, key, kernels, timeout)
 		if err != nil {
 			return nil, err
 		}
 		return served{body, "miss"}, nil
 	})
+	if shared {
+		tr.Add("wait", flightStart, time.Since(flightStart))
+	}
 	if err != nil {
 		s.writeComputeError(w, err)
 		return
@@ -718,17 +810,36 @@ func (s *Server) handleFigures(w http.ResponseWriter, r *http.Request) {
 // computeFigures runs the suite on the requested kernels inside one
 // worker slot (Parallel: 1 keeps the daemon's concurrency bounded by the
 // pool, not multiplied by it) under the request deadline.
-func (s *Server) computeFigures(key string, kernels []string, timeout time.Duration) ([]byte, error) {
+func (s *Server) computeFigures(tr *obs.Trace, key string, kernels []string, timeout time.Duration) ([]byte, error) {
 	if s.computeHook != nil {
 		s.computeHook(key)
 	}
 	s.reg.Counter("serve_executions").Inc()
-	suite, err := experiments.Guard(timeout, func() (*experiments.Suite, error) {
-		return experiments.Run(experiments.Options{Kernels: kernels, Parallel: 1, CellTimeout: timeout})
+	// As in computeCell, the guarded closure must not touch the trace;
+	// the whole suite run is one measure mark carried out in the result.
+	type figRun struct {
+		suite *experiments.Suite
+		marks []stageMark
+	}
+	out, err := experiments.Guard(timeout, func() (*figRun, error) {
+		g := &figRun{}
+		t0 := time.Now()
+		suite, err := experiments.Run(experiments.Options{Kernels: kernels, Parallel: 1, CellTimeout: timeout})
+		g.marks = append(g.marks, stageMark{"measure", t0, time.Since(t0)})
+		if err != nil {
+			return nil, err
+		}
+		g.suite = suite
+		return g, nil
 	})
 	if err != nil {
 		return nil, err
 	}
+	attachStages(tr, out.marks)
+	suite := out.suite
+
+	sp := tr.Start("render")
+	defer sp.End()
 	resp := FiguresResponse{Errors: []string{}, Steps: suite.Steps}
 	for _, t := range suite.AllTables() {
 		resp.Tables = append(resp.Tables, TableJSON{Title: t.Title, Headers: t.Headers, Rows: t.Rows})

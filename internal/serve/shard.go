@@ -10,6 +10,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"predication/internal/obs"
 )
 
 // Consistent-hash sharding (docs/SERVING.md, "Persistence & sharding"):
@@ -121,14 +123,24 @@ func (s *Server) forwardable(r *http.Request, key string) bool {
 // response.  It reports false — without having written anything — when
 // the owner is unreachable or drained, in which case the caller serves
 // locally (fallback-to-local).
-func (s *Server) forward(w http.ResponseWriter, r *http.Request, key string) bool {
+//
+// The hop carries the request's X-Request-Id, so one hop-spanning
+// request is one trace: the same ID appears in both replicas' access
+// logs and in the response the client sees.  The relayed Server-Timing
+// header merges this replica's stages with the owner's, the latter
+// prefixed peer_ (`mem;…, forward;…, total;…, peer_compute;…`), so the
+// client reads the whole request — hop included — from one header.
+func (s *Server) forward(w http.ResponseWriter, r *http.Request, tr *obs.Trace, key string) bool {
 	owner := s.ring.owner(key)
+	sp := tr.Start("forward")
+	defer sp.End()
 	req, err := http.NewRequestWithContext(r.Context(), http.MethodGet, owner+r.URL.RequestURI(), nil)
 	if err != nil {
 		s.reg.Counter("serve_shard_fallback").Inc()
 		return false
 	}
 	req.Header.Set(hopHeader, "1")
+	req.Header.Set("X-Request-Id", tr.ID)
 	resp, err := s.shardClient.Do(req)
 	if err != nil {
 		s.reg.Counter("serve_shard_fallback").Inc()
@@ -142,6 +154,7 @@ func (s *Server) forward(w http.ResponseWriter, r *http.Request, key string) boo
 		s.reg.Counter("serve_shard_fallback").Inc()
 		return false
 	}
+	sp.End()
 	s.reg.Counter("serve_shard_forwarded").Inc()
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
@@ -151,6 +164,9 @@ func (s *Server) forward(w http.ResponseWriter, r *http.Request, key string) boo
 	}
 	if ra := resp.Header.Get("Retry-After"); ra != "" {
 		w.Header().Set("Retry-After", ra)
+	}
+	if pt := resp.Header.Get("Server-Timing"); pt != "" {
+		w.Header().Set("Server-Timing", tr.ServerTiming()+", "+prefixServerTiming(pt, "peer_"))
 	}
 	w.Header().Set("X-Shard", "forwarded")
 	w.WriteHeader(resp.StatusCode)

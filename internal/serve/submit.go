@@ -79,9 +79,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.inflight.Done()
 	s.reg.Counter("submit_requests").Inc()
+	tr := traceFor(r)
 
-	if !s.limiter.allow(clientKey(r)) {
-		s.writeSubmitReject(w, layerRate, http.StatusTooManyRequests,
+	sp := tr.Start("rate")
+	allowed := s.limiter.allow(clientKey(r))
+	sp.End()
+	if !allowed {
+		s.writeSubmitReject(w, r, layerRate, http.StatusTooManyRequests,
 			"submission rate limit exceeded, retry later")
 		return
 	}
@@ -117,11 +121,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The gate span covers reading the capped body plus the parse,
+	// limits, and verifier layers of submit.Admit.
+	sp = tr.Start("gate")
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.submitLimits.MaxBytes))
 	if err != nil {
+		sp.End()
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			s.writeSubmitReject(w, submit.LayerBody, submit.StatusFor(submit.LayerBody),
+			s.writeSubmitReject(w, r, submit.LayerBody, submit.StatusFor(submit.LayerBody),
 				fmt.Sprintf("request body exceeds %d bytes", mbe.Limit))
 			return
 		}
@@ -130,37 +138,50 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	prog, rej := submit.Admit(string(body), s.submitLimits)
+	sp.End()
 	if rej != nil {
-		s.writeSubmitReject(w, rej.Layer, rej.Status(), rej.Error())
+		s.writeSubmitReject(w, r, rej.Layer, rej.Status(), rej.Error())
 		return
 	}
 
 	key := submitResultKey(prog.Digest, models, cfg, s.submitLimits.MaxSteps)
-	if cached, ok := s.submitResults.Get(key); ok {
+	sp = tr.Start("mem")
+	cached, ok := s.submitResults.Get(key)
+	sp.End()
+	if ok {
 		writeCached(w, cached.([]byte), "hit")
 		return
 	}
+	flightStart := time.Now()
 	v, shared, err := s.flight.Do(key, func() (any, error) {
 		// The submission disk namespace: separate from the kernel one,
 		// with its own byte budget, so hostile submissions cannot evict
 		// kernel records (Config.SubmitStoreMaxBytes).
-		if body, ok := s.storeGet(s.submitResultStore, key); ok {
+		sp := tr.Start("disk")
+		body, ok := s.storeGet(s.submitResultStore, key)
+		sp.End()
+		if ok {
 			s.submitResults.Add(key, body)
 			return served{body, "disk"}, nil
 		}
+		sp = tr.Start("queue")
 		release, err := s.admitSubmit(r.Context())
+		sp.End()
 		if err != nil {
 			return nil, err
 		}
 		defer release()
-		body, err := s.computeSubmit(key, prog, models, cfg, pred, timeout)
+		body, err = s.computeSubmit(tr, key, prog, models, cfg, pred, timeout)
 		if err != nil {
 			return nil, err
 		}
 		return served{body, "miss"}, nil
 	})
+	if shared {
+		tr.Add("wait", flightStart, time.Since(flightStart))
+	}
 	if err != nil {
-		s.writeSubmitError(w, err)
+		s.writeSubmitError(w, r, err)
 		return
 	}
 	sv := v.(served)
@@ -200,17 +221,22 @@ func (s *Server) admitSubmit(ctx context.Context) (release func(), err error) {
 // sibling configuration — all under the request deadline with panic
 // isolation, every failure funneled through submit.Classify so it
 // surfaces layer-tagged, never as a 500.
-func (s *Server) computeSubmit(key string, prog *submit.Program, models []core.Model, cfg machine.Config, pred string, timeout time.Duration) ([]byte, error) {
+func (s *Server) computeSubmit(tr *obs.Trace, key string, prog *submit.Program, models []core.Model, cfg machine.Config, pred string, timeout time.Duration) ([]byte, error) {
 	if s.computeHook != nil {
 		s.computeHook(key)
 	}
 	s.reg.Counter("submit_executions").Inc()
 	start := time.Now()
+	// Stage marks instead of spans inside the guarded closure — see
+	// computeCell; a submission compiles and measures once per model, so
+	// the compile and measure stages each sum their per-model marks.
 	type gangRun struct {
-		cfgs []machine.Config
-		ms   [][]*experiments.Measurement // [model][sibling]
+		cfgs  []machine.Config
+		ms    [][]*experiments.Measurement // [model][sibling]
+		marks []stageMark
 	}
 	out, err := experiments.Guard(timeout, func() (*gangRun, error) {
+		g := &gangRun{}
 		cfgs := experiments.SimsFor(experiments.SchedTarget(cfg))
 		for i := range cfgs {
 			var err error
@@ -220,15 +246,21 @@ func (s *Server) computeSubmit(key string, prog *submit.Program, models []core.M
 		}
 		ms := make([][]*experiments.Measurement, len(models))
 		for i, m := range models {
+			t0 := time.Now()
 			art, err := s.submitArtifact(prog, m, cfg)
+			g.marks = append(g.marks, stageMark{"compile", t0, time.Since(t0)})
 			if err != nil {
 				return nil, err
 			}
-			if ms[i], err = art.MeasureAll(cfgs, true); err != nil {
+			t0 = time.Now()
+			ms[i], err = art.MeasureAll(cfgs, true)
+			g.marks = append(g.marks, stageMark{"measure", t0, time.Since(t0)})
+			if err != nil {
 				return nil, err
 			}
 		}
-		return &gangRun{cfgs: cfgs, ms: ms}, nil
+		g.cfgs, g.ms = cfgs, ms
+		return g, nil
 	})
 	if err != nil {
 		var rej *submit.Reject
@@ -237,9 +269,11 @@ func (s *Server) computeSubmit(key string, prog *submit.Program, models []core.M
 		}
 		return nil, rej
 	}
-	s.reg.Histogram("submit_compute_ms", []int64{1, 10, 100, 1000, 10000}).
-		Observe(time.Since(start).Milliseconds())
+	attachStages(tr, out.marks)
+	s.reg.Histogram("submit_compute_ms", obs.LatencyBucketsMS).ObserveDuration(time.Since(start))
 
+	sp := tr.Start("render")
+	defer sp.End()
 	var body []byte
 	for ci, c := range out.cfgs {
 		ckey := submitResultKey(prog.Digest, models, c, s.submitLimits.MaxSteps)
@@ -329,14 +363,14 @@ func submitResultKey(progDigest string, models []core.Model, cfg machine.Config,
 // writeSubmitError maps a submission compute failure onto its response.
 // computeSubmit funnels everything through submit.Classify, so by here
 // every failure is a layer-tagged Reject except the pool's own refusals.
-func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
+func (s *Server) writeSubmitError(w http.ResponseWriter, r *http.Request, err error) {
 	var rej *submit.Reject
 	switch {
 	case errors.Is(err, errSubmitQueueFull):
-		s.writeSubmitReject(w, layerQueue, http.StatusTooManyRequests,
+		s.writeSubmitReject(w, r, layerQueue, http.StatusTooManyRequests,
 			"submission queue full, retry later")
 	case errors.As(err, &rej):
-		s.writeSubmitReject(w, rej.Layer, rej.Status(), rej.Error())
+		s.writeSubmitReject(w, r, rej.Layer, rej.Status(), rej.Error())
 	default:
 		// Client went away while queued, or a marshalling failure.
 		s.writeComputeError(w, err)
@@ -344,9 +378,14 @@ func (s *Server) writeSubmitError(w http.ResponseWriter, err error) {
 }
 
 // writeSubmitReject writes a layer-tagged JSON refusal and counts it.
-// 429 layers carry the Retry-After hint.
-func (s *Server) writeSubmitReject(w http.ResponseWriter, layer string, code int, msg string) {
+// 429 layers carry the Retry-After hint.  The refusing layer is also
+// annotated on the request trace, so the access log's reject_layer
+// field matches the body's layer tag.
+func (s *Server) writeSubmitReject(w http.ResponseWriter, r *http.Request, layer string, code int, msg string) {
 	s.reg.Counter("submit_rejected_" + layer).Inc()
+	if tr := obs.TraceFrom(r.Context()); tr != nil {
+		tr.Annotate("reject_layer", layer)
+	}
 	if code == http.StatusTooManyRequests {
 		w.Header().Set("Retry-After", strconv.Itoa(int((s.cfg.RetryAfter+time.Second-1)/time.Second)))
 	}
