@@ -5,6 +5,7 @@
 //
 //	figures [-bench name,name,...] [-kernels name,name,...] [-parallel N]
 //	        [-markdown | -csv] [-ext] [-gang=false] [-predictor btb,gshare]
+//	        [-window 0,32]
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 
 	"predication/internal/experiments"
@@ -40,6 +42,21 @@ func safeRun(args []string, out, errw io.Writer) (err error) {
 	return run(args, out, errw)
 }
 
+// parseWindows parses the -window flag's comma-separated list of
+// instruction-window sizes (validation proper happens in the
+// experiments package).
+func parseWindows(s string) ([]int, error) {
+	var ws []int
+	for _, f := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("-window %q: %q is not an integer", s, f)
+		}
+		ws = append(ws, w)
+	}
+	return ws, nil
+}
+
 // run parses args, executes the experiment suite, and writes the selected
 // rendering of every table to out (progress lines go to errw).
 func run(args []string, out, errw io.Writer) error {
@@ -58,6 +75,7 @@ func run(args []string, out, errw io.Writer) error {
 	legacy := fs.Bool("legacy", false, "run the suite on the legacy (pre-decoded-free) emulator and simulator data path")
 	gang := fs.Bool("gang", true, "measure each matrix cell's configurations in a single gang-simulator pass (-gang=false falls back to one simulator per configuration)")
 	predictor := fs.String("predictor", "", "comma-separated branch predictors to cross the matrix with (btb, gshare; default btb)")
+	window := fs.String("window", "", "comma-separated instruction-window sizes to cross the matrix with (0 = in-order; default 0)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile of the suite run to this file")
 	memProfile := fs.String("memprofile", "", "write an allocation profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -115,8 +133,15 @@ func run(args []string, out, errw io.Writer) error {
 	if *predictor != "" {
 		opts.Predictors = strings.Split(*predictor, ",")
 	}
-	// Fail on a bad predictor list before the suite spins up.
-	configNames, err := experiments.SimConfigNames(opts.Predictors)
+	if *window != "" {
+		ws, err := parseWindows(*window)
+		if err != nil {
+			return err
+		}
+		opts.Windows = ws
+	}
+	// Fail on a bad predictor or window list before the suite spins up.
+	configNames, err := experiments.SimConfigNames(opts.Predictors, opts.Windows)
 	if err != nil {
 		return err
 	}

@@ -43,6 +43,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -102,6 +103,7 @@ type report struct {
 	// GangSpeedup = SweepPerConfig.WallSeconds / SweepGang.WallSeconds —
 	// the gang arm's speedup over the fast arm.
 	SweepPredictors []string   `json:"sweep_predictors,omitempty"`
+	SweepWindows    []int      `json:"sweep_windows,omitempty"`
 	SweepPerConfig  *armResult `json:"sweep_per_config,omitempty"`
 	SweepGang       *armResult `json:"sweep_gang,omitempty"`
 	GangSpeedup     float64    `json:"gang_speedup,omitempty"`
@@ -112,6 +114,11 @@ type report struct {
 	// sweep loop: one emulation of AllocKernel driving a gang of every
 	// stock machine configuration.
 	GangAllocsPerStep float64 `json:"gang_allocs_per_step,omitempty"`
+	// OoOAllocsPerStep is the steady-state gate over the out-of-order
+	// scheduler: one emulation of AllocKernel driving the window-32 OoO
+	// variant of the 8-issue machine.  The issue-slot ring grows by
+	// doubling, so a healthy figure is indistinguishable from zero.
+	OoOAllocsPerStep float64 `json:"ooo_allocs_per_step,omitempty"`
 	// Machines describes every simulator configuration the suite matrix
 	// exercises, so the committed artifact records what it measured.
 	Machines []obs.MachineMeta `json:"machines"`
@@ -135,6 +142,7 @@ func run(args []string, out, errw io.Writer) error {
 	compare := fs.Bool("compare", true, "also time the legacy interpreter + map-based simulator baseline")
 	gang := fs.Bool("gang", true, "also time the full-matrix sweep arms: single-pass gang simulator vs fast per-config fanout")
 	predictor := fs.String("predictor", "", "comma-separated branch predictors the sweep arms cross the matrix with (btb, gshare; default btb)")
+	window := fs.String("window", "", "comma-separated instruction-window sizes the sweep arms cross the matrix with (0 = in-order; default 0)")
 	trials := fs.Int("trials", 3, "timed repetitions per arm; the fastest is reported (noise only ever adds time)")
 	maxAllocs := fs.Float64("max-allocs-per-step", 0.001,
 		"fail when the fast path's steady-state allocations per emulated step exceed this")
@@ -154,12 +162,19 @@ func run(args []string, out, errw io.Writer) error {
 	if *predictor != "" && !*gang {
 		return fmt.Errorf("-predictor applies to the sweep arms and cannot be combined with -gang=false")
 	}
+	if *window != "" && !*gang {
+		return fmt.Errorf("-window applies to the sweep arms and cannot be combined with -gang=false")
+	}
 	var preds []string
 	if *predictor != "" {
 		preds = strings.Split(*predictor, ",")
 	}
-	// Fail on a bad predictor list before the matrix compiles.
-	if _, err := experiments.SimConfigNames(preds); err != nil {
+	wins, err := parseWindows(*window)
+	if err != nil {
+		return err
+	}
+	// Fail on a bad predictor or window list before the matrix compiles.
+	if _, err := experiments.SimConfigNames(preds, wins); err != nil {
 		return err
 	}
 
@@ -287,7 +302,7 @@ func run(args []string, out, errw io.Writer) error {
 			fmt.Fprintf(errw, "timing %s sweep arm (full matrix, %d kernels)...\n", label, len(kernels))
 			runtime.GC()
 			start := time.Now()
-			steps, err := pre.RunSweepArm(gangArm, *parallel, preds)
+			steps, err := pre.RunSweepArm(gangArm, *parallel, preds, wins)
 			wall := time.Since(start).Seconds()
 			if err != nil {
 				return armResult{}, fmt.Errorf("%s sweep arm: %w", label, err)
@@ -325,7 +340,11 @@ func run(args []string, out, errw io.Writer) error {
 		if len(preds) == 0 {
 			rep.SweepPredictors = experiments.Predictors[:1]
 		}
-		sm, err := pre.SweepMachines(preds)
+		rep.SweepWindows = wins
+		if len(wins) == 0 {
+			rep.SweepWindows = []int{0}
+		}
+		sm, err := pre.SweepMachines(preds, wins)
 		if err != nil {
 			return err
 		}
@@ -357,6 +376,11 @@ func run(args []string, out, errw io.Writer) error {
 			return err
 		}
 		rep.GangAllocsPerStep = gAllocs
+		oAllocs, err := oooAllocsPerStep(kernels)
+		if err != nil {
+			return err
+		}
+		rep.OoOAllocsPerStep = oAllocs
 	}
 
 	js, err := json.MarshalIndent(&rep, "", "  ")
@@ -380,7 +404,27 @@ func run(args []string, out, errw io.Writer) error {
 		return fmt.Errorf("allocation regression: %.6f allocs/step in the gang sweep loop on %s exceeds the %.6f gate",
 			rep.GangAllocsPerStep, kname, *maxAllocs)
 	}
+	if rep.OoOAllocsPerStep > *maxAllocs {
+		return fmt.Errorf("allocation regression: %.6f allocs/step in the out-of-order scheduler on %s exceeds the %.6f gate",
+			rep.OoOAllocsPerStep, kname, *maxAllocs)
+	}
 	return nil
+}
+
+// parseWindows parses the -window flag's comma-separated size list.
+func parseWindows(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var wins []int
+	for _, f := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("-window %q: %q is not an integer window size", s, f)
+		}
+		wins = append(wins, w)
+	}
+	return wins, nil
 }
 
 // allocsPerStep measures the fast interpreter's steady-state allocation
@@ -413,6 +457,41 @@ func allocsPerStep(kernels []string) (allocs float64, steps int64, kernel string
 		return 0, 0, kernel, fmt.Errorf("alloc gate: emulate %s: %w", kernel, err)
 	}
 	return float64(after.Mallocs-before.Mallocs) / float64(res.Steps), res.Steps, kernel, nil
+}
+
+// oooAllocsPerStep is the steady-state allocation gate over the
+// out-of-order scheduler path: one emulation of the first requested
+// kernel's full-predication build streamed into the window-32 OoO
+// variant of the 8-issue machine.  The only allocation the scheduler can
+// make after construction is an issue-slot ring doubling, which happens
+// O(log horizon) times per run.
+func oooAllocsPerStep(kernels []string) (float64, error) {
+	kernel := kernels[0]
+	k, err := bench.ByName(kernel)
+	if err != nil {
+		return 0, err
+	}
+	c, err := core.Compile(k.Build(), core.FullPred, core.DefaultOptions(machine.Issue8Br1()))
+	if err != nil {
+		return 0, fmt.Errorf("ooo alloc gate: compile %s: %w", kernel, err)
+	}
+	code, err := emu.Decode(c.Prog)
+	if err != nil {
+		return 0, fmt.Errorf("ooo alloc gate: decode %s: %w", kernel, err)
+	}
+	cfg := machine.Issue8Br1()
+	cfg.OoO = true
+	cfg.WindowSize = 32
+	s := sim.NewOoO(c.Prog, cfg)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	res, err := code.Run(emu.Options{Sink: s})
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return 0, fmt.Errorf("ooo alloc gate: emulate %s: %w", kernel, err)
+	}
+	return float64(after.Mallocs-before.Mallocs) / float64(res.Steps), nil
 }
 
 // gangAllocsPerStep is the same steady-state gate over the gang sweep

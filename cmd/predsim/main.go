@@ -68,6 +68,7 @@ func run(args []string, out io.Writer) error {
 	verify := fs.Bool("verify", false, "run the structural IR verifier after every pipeline stage")
 	gang := fs.Bool("gang", true, "simulate on the gang data path (a one-lane sim.Gang; -gang=false falls back to the per-config simulator)")
 	predictorName := fs.String("predictor", "btb", "branch direction predictor: btb | gshare")
+	window := fs.Int("window", 0, "out-of-order instruction-window size (0 = in-order issue, the paper's machine)")
 	breakdown := fs.Bool("breakdown", false, "print the stall-cycle breakdown and instruction mix (see docs/OBSERVABILITY.md)")
 	statsJSON := fs.String("stats-json", "", "write the full report as JSON to this file (- for stdout)")
 	traceOut := fs.String("trace-out", "", "write a structured trace of the dynamic instruction stream to this file")
@@ -133,6 +134,14 @@ func run(args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown predictor %q (want btb or gshare)", *predictorName)
 	}
+	if *window < 0 {
+		return fmt.Errorf("-window %d: window size cannot be negative (0 = in-order)", *window)
+	}
+	if *window > 0 {
+		mc.OoO = true
+		mc.WindowSize = *window
+		mc.Name += fmt.Sprintf("+ooo%d", *window)
+	}
 
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -192,9 +201,9 @@ func run(args []string, out io.Writer) error {
 		instrument = func(a *obs.CycleAccount) { g.Instrument(0, a) }
 		stats = func() sim.Stats { return g.Stats(0) }
 	} else {
-		s := sim.New(c.Prog, mc)
+		s := sim.NewTiming(c.Prog, mc)
 		simSink = s
-		instrument = func(a *obs.CycleAccount) { s.Instrument(a) }
+		instrument = s.Instrument
 		stats = s.Stats
 	}
 	var acct *obs.CycleAccount
@@ -305,6 +314,9 @@ func printReport(out io.Writer, label string, model core.Model, mc machine.Confi
 	fmt.Fprintf(out, "machine:        %s\n", mc.Name)
 	if mc.Gshare {
 		fmt.Fprintf(out, "predictor:      gshare\n")
+	}
+	if mc.OoO {
+		fmt.Fprintf(out, "window:         %d entries (out-of-order issue)\n", mc.WindowSize)
 	}
 	fmt.Fprintf(out, "checksum:       %#x\n", runRes.Word(bench.CheckAddr))
 	fmt.Fprintf(out, "cycles:         %d\n", st.Cycles)

@@ -113,7 +113,7 @@ type Measurement struct {
 // error — it is the ablation of running code scheduled for one machine
 // on another — so no check is enforced here.
 func (a *CellArtifact) Measure(cfg machine.Config, observe bool) (*Measurement, error) {
-	s := sim.New(a.Compiled.Prog, cfg)
+	s := sim.NewTiming(a.Compiled.Prog, cfg)
 	var acct *obs.CycleAccount
 	if observe {
 		acct = &obs.CycleAccount{}

@@ -124,6 +124,15 @@ type Options struct {
 	// configuration under a suffixed name ("issue8-br1+gshare").  See
 	// predictors.go.
 	Predictors []string
+	// Windows selects the instruction-window sizes the matrix crosses
+	// with (nil = {0}, the paper's in-order machines).  0 is the in-order
+	// model; a positive value runs every machine configuration on the
+	// out-of-order issue-window scheduler with that many window entries,
+	// under a suffixed name ("issue8-br1+ooo32").  The first listed
+	// window keeps the bare configuration names.  Out-of-order windows
+	// have no legacy simulator, so a nonzero window combined with
+	// LegacyEmu is an error from Run.  See windows.go.
+	Windows []int
 	// PerConfigSim opts out of the gang simulator: each matrix cell runs
 	// one sim.Simulator per machine configuration behind an
 	// emu.FanoutSink, the pre-gang data path.  Results are identical
@@ -203,6 +212,7 @@ type cellOpts struct {
 	observe    bool
 	perConfig  bool
 	predictors []string
+	windows    []int
 }
 
 // runCell compiles the kernel once for the cell's model and target,
@@ -228,7 +238,7 @@ func runCell(k *bench.Kernel, cell cellSpec, o cellOpts) (*cellResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("%v @ %s: %w", cell.model, cell.target.Name, err)
 	}
-	cfgs := simConfigs(cell.target, o.predictors)
+	cfgs := simConfigs(cell.target, o.predictors, o.windows)
 
 	if !o.legacy && !o.perConfig {
 		g := sim.NewGang(c.Prog, cfgs)
@@ -258,7 +268,7 @@ func runCell(k *bench.Kernel, cell cellSpec, o cellOpts) (*cellResult, error) {
 		if o.legacy {
 			sims[i] = sim.NewLegacy(c.Prog, sc)
 		} else {
-			s := sim.New(c.Prog, sc)
+			s := sim.NewTiming(c.Prog, sc)
 			if o.observe {
 				var a obs.CycleAccount
 				s.Instrument(&a)
@@ -306,8 +316,19 @@ func Run(opts Options) (*Suite, error) {
 	if err != nil {
 		return nil, err
 	}
+	windows, err := normalizeWindows(opts.Windows)
+	if err != nil {
+		return nil, err
+	}
+	if opts.LegacyEmu {
+		for _, w := range windows {
+			if w > 0 {
+				return nil, fmt.Errorf("experiments: Options.Windows is unsupported with Options.LegacyEmu: the out-of-order scheduler has no legacy simulator (run without LegacyEmu to sweep windows)")
+			}
+		}
+	}
 	co := cellOpts{legacy: opts.LegacyEmu, observe: opts.Observe,
-		perConfig: opts.PerConfigSim, predictors: predictors}
+		perConfig: opts.PerConfigSim, predictors: predictors, windows: windows}
 	kernels := bench.All()
 	if opts.Kernels != nil {
 		named := make([]*bench.Kernel, 0, len(opts.Kernels))
@@ -338,7 +359,7 @@ func Run(opts Options) (*Suite, error) {
 	}
 	nConfigs := 0
 	for _, cell := range cells {
-		nConfigs += len(simConfigs(cell.target, predictors))
+		nConfigs += len(simConfigs(cell.target, predictors, windows))
 	}
 	var progressMu sync.Mutex
 
@@ -445,7 +466,7 @@ func Run(opts Options) (*Suite, error) {
 						continue
 					}
 				}
-				for si, sc := range simConfigs(cell.target, predictors) {
+				for si, sc := range simConfigs(cell.target, predictors, windows) {
 					res.Stats[Key{cell.model, sc.Name}] = cr.stats[si]
 					if cr.accounts != nil {
 						res.Accounts[Key{cell.model, sc.Name}] = cr.accounts[si]
@@ -630,7 +651,7 @@ func (p *Precompiled) RunArm(legacy bool, parallel int) (int64, error) {
 
 // RunSweepArm runs the full-matrix sweep workload: every precompiled
 // (kernel, model, sched-target) artifact measured on every machine
-// configuration, crossed with the predictor axis.  This is the workload
+// configuration, crossed with the predictor and window axes.  This is the workload
 // shape of the paper's headline figures, where one dynamic stream
 // prices many machines.  gang selects the data path:
 //
@@ -648,12 +669,16 @@ func (p *Precompiled) RunArm(legacy bool, parallel int) (int64, error) {
 // value is the total dynamic instructions actually emulated by the arm
 // (the per-config arm emulates each artifact len(configs) times, and
 // its step count says so).
-func (p *Precompiled) RunSweepArm(gang bool, parallel int, predictors []string) (int64, error) {
+func (p *Precompiled) RunSweepArm(gang bool, parallel int, predictors []string, windows []int) (int64, error) {
 	preds, err := normalizePredictors(predictors)
 	if err != nil {
 		return 0, err
 	}
-	cfgs := sweepConfigs(preds)
+	wins, err := normalizeWindows(windows)
+	if err != nil {
+		return 0, err
+	}
+	cfgs := sweepConfigs(preds, wins)
 	steps := make([]int64, len(p.progs))
 	sums := make([]int64, len(p.progs))
 	var memPool sync.Pool
@@ -672,7 +697,7 @@ func (p *Precompiled) RunSweepArm(gang bool, parallel int, predictors []string) 
 			return nil
 		}
 		for ci, sc := range cfgs {
-			s := sim.New(p.progs[i].Prog, sc)
+			s := sim.NewTiming(p.progs[i].Prog, sc)
 			r, err := p.codes[i].Run(emu.Options{Sink: s, MemBuf: getBuf()})
 			if err != nil {
 				return fmt.Errorf("%s %v @ %s on %s: emulate: %w", k.Name, cell.model, cell.target.Name, sc.Name, err)
@@ -714,13 +739,17 @@ func (p *Precompiled) RunSweepArm(gang bool, parallel int, predictors []string) 
 // SweepMachines enumerates the metadata of every simulator configuration
 // the full-matrix sweep (RunSweepArm) measures, in reporting order, for
 // the benchmark report's self-description.
-func (p *Precompiled) SweepMachines(predictors []string) ([]obs.MachineMeta, error) {
+func (p *Precompiled) SweepMachines(predictors []string, windows []int) ([]obs.MachineMeta, error) {
 	preds, err := normalizePredictors(predictors)
 	if err != nil {
 		return nil, err
 	}
+	wins, err := normalizeWindows(windows)
+	if err != nil {
+		return nil, err
+	}
 	var metas []obs.MachineMeta
-	for _, cfg := range sweepConfigs(preds) {
+	for _, cfg := range sweepConfigs(preds, wins) {
 		metas = append(metas, obs.MachineMetaOf(cfg))
 	}
 	return metas, nil
@@ -811,7 +840,7 @@ func RunBenchmark(k *bench.Kernel) (*BenchResult, error) {
 			res.Checksum = ref.Word(bench.CheckAddr)
 			return nil
 		}
-		cr, err := runCell(k, cells[i-1], cellOpts{predictors: Predictors[:1]})
+		cr, err := runCell(k, cells[i-1], cellOpts{predictors: Predictors[:1], windows: []int{0}})
 		if err != nil {
 			return err
 		}

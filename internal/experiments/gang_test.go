@@ -90,10 +90,10 @@ func TestPredictorValidation(t *testing.T) {
 	if _, err := Run(Options{Predictors: []string{"btb", "btb"}}); err == nil {
 		t.Error("duplicate predictor accepted")
 	}
-	if _, err := SimConfigNames([]string{"nope"}); err == nil {
+	if _, err := SimConfigNames([]string{"nope"}, nil); err == nil {
 		t.Error("SimConfigNames accepted unknown predictor")
 	}
-	names, err := SimConfigNames([]string{"btb", "gshare"})
+	names, err := SimConfigNames([]string{"btb", "gshare"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,24 +145,24 @@ func TestRunSweepArmPaths(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	gangSteps, err := p.RunSweepArm(true, 0, nil)
+	gangSteps, err := p.RunSweepArm(true, 0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	perSteps, err := p.RunSweepArm(false, 0, nil)
+	perSteps, err := p.RunSweepArm(false, 0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if gangSteps == 0 || perSteps != 6*gangSteps {
 		t.Errorf("sweep steps: gang %d, per-config %d (want exactly 6x gang)", gangSteps, perSteps)
 	}
-	if _, err := p.RunSweepArm(true, 0, []string{"btb", "gshare"}); err != nil {
+	if _, err := p.RunSweepArm(true, 0, []string{"btb", "gshare"}, nil); err != nil {
 		t.Errorf("gshare sweep: %v", err)
 	}
-	if _, err := p.RunSweepArm(true, 0, []string{"bad"}); err == nil {
+	if _, err := p.RunSweepArm(true, 0, []string{"bad"}, nil); err == nil {
 		t.Error("sweep accepted unknown predictor")
 	}
-	metas, err := p.SweepMachines([]string{"btb", "gshare"})
+	metas, err := p.SweepMachines([]string{"btb", "gshare"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -75,22 +75,23 @@ func ApplyPredictor(cfg machine.Config, pred string) (machine.Config, error) {
 	return applyPredictor(cfg, pred, pred == Predictors[0]), nil
 }
 
-// simConfigs expands simsFor(target) across the predictor axis: the
-// primary predictor's configurations first (in simsFor order, under
-// their bare names), then each additional predictor's suffixed
-// configurations.  Callers must pass an already-normalized list.
-func simConfigs(target machine.Config, predictors []string) []machine.Config {
+// simConfigs expands simsFor(target) across the predictor and window
+// axes: the primary window's configurations first — the primary
+// predictor's under their bare names, then each additional predictor's
+// suffixed set — then the same predictor expansion per additional
+// window.  Callers must pass already-normalized lists.
+func simConfigs(target machine.Config, predictors []string, windows []int) []machine.Config {
 	base := simsFor(target)
-	if len(predictors) <= 1 && (len(predictors) == 0 || predictors[0] == "btb") {
-		return base
-	}
-	out := make([]machine.Config, 0, len(base)*len(predictors))
-	for pi, pred := range predictors {
-		for _, cfg := range base {
-			out = append(out, applyPredictor(cfg, pred, pi == 0))
+	if len(predictors) > 1 || (len(predictors) == 1 && predictors[0] != "btb") {
+		out := make([]machine.Config, 0, len(base)*len(predictors))
+		for pi, pred := range predictors {
+			for _, cfg := range base {
+				out = append(out, applyPredictor(cfg, pred, pi == 0))
+			}
 		}
+		base = out
 	}
-	return out
+	return crossWindows(base, windows)
 }
 
 // reportConfigNames is the suite's configuration reporting order (the
@@ -99,13 +100,14 @@ var reportConfigNames = []string{
 	"issue1", "issue1-64k", "issue4-br1", "issue8-br1", "issue8-br2", "issue8-br1-64k",
 }
 
-// sweepConfigs expands the full machine matrix across the predictor
-// axis, in reporting order: every stock configuration under the primary
-// predictor's bare names, then the suffixed set per additional
-// predictor.  This is the simulator-configuration list of the full
-// sweep (Precompiled.RunSweepArm), where every artifact is measured on
-// every machine.
-func sweepConfigs(predictors []string) []machine.Config {
+// sweepConfigs expands the full machine matrix across the predictor and
+// window axes, in reporting order: every stock configuration under the
+// primary predictor's bare names, then the suffixed set per additional
+// predictor, with the whole expansion repeated per additional window.
+// This is the simulator-configuration list of the full sweep
+// (Precompiled.RunSweepArm), where every artifact is measured on every
+// machine.
+func sweepConfigs(predictors []string, windows []int) []machine.Config {
 	stock := []machine.Config{
 		machine.Issue1(), machine.Issue1Cache(), machine.Issue4Br1(),
 		machine.Issue8Br1(), machine.Issue8Br2(), machine.Issue8Br1Cache(),
@@ -116,26 +118,41 @@ func sweepConfigs(predictors []string) []machine.Config {
 			out = append(out, applyPredictor(cfg, pred, pi == 0))
 		}
 	}
-	return out
+	return crossWindows(out, windows)
 }
 
 // SimConfigNames returns every simulator configuration name the suite
-// measures for the given predictor list, in reporting order: the bare
-// names for the primary predictor, then the suffixed names of each
-// additional predictor.  An invalid predictor list is an error, matching
+// measures for the given predictor and window lists, in reporting
+// order: the bare names for the primary predictor and window, then the
+// suffixed names of each additional predictor, repeated per additional
+// window.  An invalid predictor or window list is an error, matching
 // Run's validation.
-func SimConfigNames(predictors []string) ([]string, error) {
+func SimConfigNames(predictors []string, windows []int) ([]string, error) {
 	preds, err := normalizePredictors(predictors)
 	if err != nil {
 		return nil, err
 	}
+	wins, err := normalizeWindows(windows)
+	if err != nil {
+		return nil, err
+	}
 	var names []string
-	for pi, pred := range preds {
-		for _, n := range reportConfigNames {
-			if pi == 0 {
-				names = append(names, n)
+	for wi, w := range wins {
+		suffix := ""
+		if wi > 0 {
+			if w > 0 {
+				suffix = fmt.Sprintf("+ooo%d", w)
 			} else {
-				names = append(names, n+"+"+pred)
+				suffix = "+io"
+			}
+		}
+		for pi, pred := range preds {
+			for _, n := range reportConfigNames {
+				if pi == 0 {
+					names = append(names, n+suffix)
+				} else {
+					names = append(names, n+"+"+pred+suffix)
+				}
 			}
 		}
 	}

@@ -64,14 +64,54 @@ type Config struct {
 	// larger for deeper pipelines or if bypass is not available for
 	// predicate registers" (§2.1); 0 leaves the default of 1.
 	PredicateDistance int
+
+	// OoO selects the out-of-order issue-window scheduler instead of the
+	// paper's in-order issue model: instructions dispatch in order into a
+	// WindowSize-entry window, rename away WAW/WAR ordering, and issue
+	// oldest-first as operands and issue slots allow.  Fetch and retire
+	// stay in order.  See docs/SIMULATOR.md, "Out-of-order issue window".
+	OoO bool
+
+	// WindowSize is the instruction-window entry count for OoO
+	// configurations (must be ≥ 1 when OoO is set, 0 otherwise).  A
+	// window of 1 degenerates to the in-order model: dispatch waits for
+	// the previous instruction to issue.
+	WindowSize int
 }
 
-// Validate checks the geometry constraints the simulator's index masks
-// assume: BTB entry counts and cache line/block counts must be powers of
-// two, because set selection is `index & (n-1)` — a non-power-of-two count
-// would silently alias entries instead of failing.  Cache geometry is only
-// checked when the caches are modeled (PerfectCache false).
+// Validate checks the constraints the simulators assume.  Geometry: BTB
+// entry counts and cache line/block counts must be powers of two, because
+// set selection is `index & (n-1)` — a non-power-of-two count would
+// silently alias entries instead of failing.  Cache geometry is only
+// checked when the caches are modeled (PerfectCache false).  Bandwidth:
+// IssueWidth and BranchSlots must be at least 1 — a zero width would make
+// the simulator's slot-allocation loop spin forever (slots reset to zero
+// on every bumped cycle, so `slots < width` never becomes true).  Penalty
+// fields must be non-negative, and the OoO window size must be consistent
+// with the OoO flag.
 func (c Config) Validate() error {
+	if c.IssueWidth < 1 {
+		return fmt.Errorf("machine %s: IssueWidth = %d, must be at least 1 (a zero-width machine can never issue)", c.Name, c.IssueWidth)
+	}
+	if c.BranchSlots < 1 {
+		return fmt.Errorf("machine %s: BranchSlots = %d, must be at least 1 (a branch could never issue)", c.Name, c.BranchSlots)
+	}
+	if c.MispredictPenalty < 0 {
+		return fmt.Errorf("machine %s: MispredictPenalty = %d, must be non-negative", c.Name, c.MispredictPenalty)
+	}
+	if c.TakenBranchBubble < 0 {
+		return fmt.Errorf("machine %s: TakenBranchBubble = %d, must be non-negative", c.Name, c.TakenBranchBubble)
+	}
+	if c.PredicateDistance < 0 {
+		return fmt.Errorf("machine %s: PredicateDistance = %d, must be non-negative", c.Name, c.PredicateDistance)
+	}
+	if c.OoO {
+		if c.WindowSize < 1 {
+			return fmt.Errorf("machine %s: OoO set but WindowSize = %d, must be at least 1", c.Name, c.WindowSize)
+		}
+	} else if c.WindowSize != 0 {
+		return fmt.Errorf("machine %s: WindowSize = %d without OoO (the in-order model has no instruction window)", c.Name, c.WindowSize)
+	}
 	if !powerOfTwo(c.BTBEntries) {
 		return fmt.Errorf("machine %s: BTBEntries = %d, must be a power of two (BTB set index is masked)", c.Name, c.BTBEntries)
 	}
@@ -87,6 +127,9 @@ func (c Config) Validate() error {
 }
 
 func (c CacheConfig) validate(machineName, which string) error {
+	if c.MissCycles < 0 {
+		return fmt.Errorf("machine %s: %s.MissCycles = %d, must be non-negative", machineName, which, c.MissCycles)
+	}
 	if !powerOfTwo(c.BlockSize) {
 		return fmt.Errorf("machine %s: %s.BlockSize = %d, must be a power of two (block offset is a shift)", machineName, which, c.BlockSize)
 	}

@@ -51,6 +51,52 @@ func TestValidateRejectsBadCacheGeometry(t *testing.T) {
 	}
 }
 
+// TestValidateBandwidthAndPenalties is the regression test for the
+// config-validation hang: IssueWidth=0 (or BranchSlots=0) used to pass
+// Validate and then spin the simulator's slot-allocation loop forever,
+// because slots reset to zero on every bumped cycle and `slots < width`
+// never became true.  Validate now rejects non-positive bandwidth,
+// negative penalties, and inconsistent OoO window sizes up front.
+func TestValidateBandwidthAndPenalties(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Config)
+		wantSub string // "" means the config must validate
+	}{
+		{"zero issue width", func(c *Config) { c.IssueWidth = 0 }, "IssueWidth"},
+		{"negative issue width", func(c *Config) { c.IssueWidth = -8 }, "IssueWidth"},
+		{"zero branch slots", func(c *Config) { c.BranchSlots = 0 }, "BranchSlots"},
+		{"negative branch slots", func(c *Config) { c.BranchSlots = -1 }, "BranchSlots"},
+		{"negative mispredict penalty", func(c *Config) { c.MispredictPenalty = -2 }, "MispredictPenalty"},
+		{"negative taken bubble", func(c *Config) { c.TakenBranchBubble = -1 }, "TakenBranchBubble"},
+		{"negative predicate distance", func(c *Config) { c.PredicateDistance = -3 }, "PredicateDistance"},
+		{"negative miss cycles", func(c *Config) { c.PerfectCache = false; c.DCache.MissCycles = -12 }, "MissCycles"},
+		{"ooo without window", func(c *Config) { c.OoO = true }, "WindowSize"},
+		{"ooo negative window", func(c *Config) { c.OoO = true; c.WindowSize = -32 }, "WindowSize"},
+		{"window without ooo", func(c *Config) { c.WindowSize = 16 }, "WindowSize"},
+		{"ooo window of one", func(c *Config) { c.OoO = true; c.WindowSize = 1 }, ""},
+		{"ooo window of thirty-two", func(c *Config) { c.OoO = true; c.WindowSize = 32 }, ""},
+	}
+	for _, tt := range tests {
+		cfg := Issue8Br1()
+		tt.mutate(&cfg)
+		err := cfg.Validate()
+		if tt.wantSub == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tt.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: accepted, want error naming %s", tt.name, tt.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), tt.wantSub) {
+			t.Errorf("%s: error %q does not name %s", tt.name, err, tt.wantSub)
+		}
+	}
+}
+
 // TestValidateSkipsCachesWhenPerfect: cache geometry is irrelevant (and
 // unchecked) when the cache models are disabled.
 func TestValidateSkipsCachesWhenPerfect(t *testing.T) {

@@ -40,6 +40,14 @@ const (
 	CauseICache
 	// CauseDCache: data-cache miss share of a load consumer's wait.
 	CauseDCache
+	// CauseWindowFull: the out-of-order instruction window had no free
+	// entry — dispatch waited for the oldest in-flight instruction to
+	// issue (in-order runs never report this cause).
+	CauseWindowFull
+	// CauseRenameStall: the in-order rename/dispatch stage was at its
+	// per-cycle bandwidth limit (out-of-order runs only; the in-order
+	// model has no separate dispatch stage).
+	CauseRenameStall
 
 	// NumCauses is the number of accounting categories.
 	NumCauses
@@ -55,6 +63,8 @@ var causeNames = [NumCauses]string{
 	CauseTakenRedirect: "taken_redirect",
 	CauseICache:        "icache_miss",
 	CauseDCache:        "dcache_miss",
+	CauseWindowFull:    "window_full",
+	CauseRenameStall:   "rename_stall",
 }
 
 // String returns the category name used in reports and JSON output.

@@ -25,6 +25,8 @@ type MachineMeta struct {
 	PredicateDistance    int        `json:"predicate_distance"`
 	WritebackSuppression bool       `json:"writeback_suppression"`
 	PerfectCache         bool       `json:"perfect_cache"`
+	OoO                  bool       `json:"ooo,omitempty"`
+	WindowSize           int        `json:"window_size,omitempty"`
 	ICache               *CacheMeta `json:"icache,omitempty"`
 	DCache               *CacheMeta `json:"dcache,omitempty"`
 }
@@ -42,6 +44,8 @@ func MachineMetaOf(cfg machine.Config) MachineMeta {
 		PredicateDistance:    cfg.PredDist(),
 		WritebackSuppression: cfg.WritebackSuppression,
 		PerfectCache:         cfg.PerfectCache,
+		OoO:                  cfg.OoO,
+		WindowSize:           cfg.WindowSize,
 	}
 	if cfg.Gshare {
 		m.Predictor = "gshare"

@@ -20,7 +20,7 @@
 //
 // Endpoints (JSON):
 //
-//	GET  /v1/cell?kernel=wc&model=full&machine=issue8-br1[&predictor=gshare][&timeout=30s]
+//	GET  /v1/cell?kernel=wc&model=full&machine=issue8-br1[&predictor=gshare][&window=32][&timeout=30s]
 //	GET  /v1/breakdown?...  — same cell, instrumented: adds the stall-cycle
 //	                          breakdown and instruction mix
 //	GET  /v1/figures[?kernels=wc,grep]  — the paper's figure/table set
@@ -462,6 +462,12 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request, observe bool
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	win := q.Get("window")
+	cfg, err = experiments.ApplyWindow(cfg, win)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	timeout, err := s.timeoutFor(r)
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
@@ -509,7 +515,7 @@ func (s *Server) handleCell(w http.ResponseWriter, r *http.Request, observe bool
 			return nil, err
 		}
 		defer release()
-		body, err = s.computeCell(tr, key, kernel, model, cfg, pred, observe, timeout)
+		body, err = s.computeCell(tr, key, kernel, model, cfg, pred, win, observe, timeout)
 		if err != nil {
 			return nil, err
 		}
@@ -575,7 +581,7 @@ func (s *Server) storePut(st *store.Store, key string, body []byte) {
 // identical requests; concurrent requests for different siblings are
 // separate flights that may race, which is benign — both fill the same
 // deterministic bytes.
-func (s *Server) computeCell(tr *obs.Trace, key, kernel string, model core.Model, cfg machine.Config, pred string, observe bool, timeout time.Duration) ([]byte, error) {
+func (s *Server) computeCell(tr *obs.Trace, key, kernel string, model core.Model, cfg machine.Config, pred, win string, observe bool, timeout time.Duration) ([]byte, error) {
 	if s.computeHook != nil {
 		s.computeHook(key)
 	}
@@ -601,6 +607,9 @@ func (s *Server) computeCell(tr *obs.Trace, key, kernel string, model core.Model
 		cfgs := experiments.SimsFor(art.Target)
 		for i := range cfgs {
 			if cfgs[i], err = experiments.ApplyPredictor(cfgs[i], pred); err != nil {
+				return nil, err
+			}
+			if cfgs[i], err = experiments.ApplyWindow(cfgs[i], win); err != nil {
 				return nil, err
 			}
 		}

@@ -409,6 +409,52 @@ func TestPredictorParam(t *testing.T) {
 	}
 }
 
+// TestWindowParam: ?window=32 is a distinct, gang-filled cell set on the
+// out-of-order scheduler under suffixed machine names; a bad window is a
+// one-line 400; ?window=0 is the bare in-order cell.
+func TestWindowParam(t *testing.T) {
+	s := newTest(t, Config{})
+	rec := get(t, s, cellURL+"&window=32")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+	}
+	var doc CellResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Machine.Name != "issue8-br1+ooo32" || !doc.Machine.OoO || doc.Machine.WindowSize != 32 {
+		t.Errorf("machine meta %+v, want issue8-br1+ooo32 with a 32-entry window", doc.Machine)
+	}
+	// The window run is its own cache universe: the bare-name cell still
+	// misses, and the window sibling was gang-filled.
+	if rec := get(t, s, cellURL); rec.Header().Get("X-Cache") != "miss" {
+		t.Error("bare-window cell unexpectedly cached by the ooo32 run")
+	}
+	if rec := get(t, s, "/v1/cell?kernel=wc&model=full&machine=issue8-br1-64k&window=32"); rec.Header().Get("X-Cache") != "hit" {
+		t.Error("window sibling not gang-filled")
+	}
+	// ?window=0 is the in-order cell, now a hit from the bare run above.
+	if rec := get(t, s, cellURL+"&window=0"); rec.Header().Get("X-Cache") != "hit" {
+		t.Error("window=0 is not the bare in-order cell")
+	}
+	for _, bad := range []string{"-1", "x", "1.5"} {
+		if rec := get(t, s, cellURL+"&window="+bad); rec.Code != http.StatusBadRequest {
+			t.Errorf("window=%s: status %d, want 400", bad, rec.Code)
+		}
+	}
+	// The axes compose: predictor and window suffixes stack.
+	rec = get(t, s, cellURL+"&predictor=gshare&window=16")
+	if rec.Code != http.StatusOK {
+		t.Fatalf("composed axes: status %d: %s", rec.Code, rec.Body.String())
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Machine.Name != "issue8-br1+gshare+ooo16" {
+		t.Errorf("composed machine name %q, want issue8-br1+gshare+ooo16", doc.Machine.Name)
+	}
+}
+
 // TestFiguresEndpoint: the figure tables render over the requested
 // kernels and the second request is a cache hit.
 func TestFiguresEndpoint(t *testing.T) {

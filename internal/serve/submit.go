@@ -106,6 +106,12 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	win := q.Get("window")
+	cfg, err = experiments.ApplyWindow(cfg, win)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	models := allModels
 	if v := q.Get("model"); v != "" {
 		m, err := core.ParseModel(v)
@@ -171,7 +177,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		defer release()
-		body, err = s.computeSubmit(tr, key, prog, models, cfg, pred, timeout)
+		body, err = s.computeSubmit(tr, key, prog, models, cfg, pred, win, timeout)
 		if err != nil {
 			return nil, err
 		}
@@ -221,7 +227,7 @@ func (s *Server) admitSubmit(ctx context.Context) (release func(), err error) {
 // sibling configuration — all under the request deadline with panic
 // isolation, every failure funneled through submit.Classify so it
 // surfaces layer-tagged, never as a 500.
-func (s *Server) computeSubmit(tr *obs.Trace, key string, prog *submit.Program, models []core.Model, cfg machine.Config, pred string, timeout time.Duration) ([]byte, error) {
+func (s *Server) computeSubmit(tr *obs.Trace, key string, prog *submit.Program, models []core.Model, cfg machine.Config, pred, win string, timeout time.Duration) ([]byte, error) {
 	if s.computeHook != nil {
 		s.computeHook(key)
 	}
@@ -241,6 +247,9 @@ func (s *Server) computeSubmit(tr *obs.Trace, key string, prog *submit.Program, 
 		for i := range cfgs {
 			var err error
 			if cfgs[i], err = experiments.ApplyPredictor(cfgs[i], pred); err != nil {
+				return nil, err
+			}
+			if cfgs[i], err = experiments.ApplyWindow(cfgs[i], win); err != nil {
 				return nil, err
 			}
 		}

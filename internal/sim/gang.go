@@ -120,6 +120,12 @@ type gangLane struct {
 	regMiss    []int64
 	fetchCause obs.Cause
 	acctPrev   int64
+
+	// Out-of-order lanes (cfg.OoO) replay through the shared window
+	// scheduler instead of the in-order loop; the in-order scalars above
+	// are unused for them.  The scheduler views the same regReady /
+	// predReady stripes.
+	ooo *oooState
 }
 
 // Gang steps several machine configurations through one dynamic
@@ -195,6 +201,9 @@ func NewGang(p *ir.Program, cfgs []machine.Config) *Gang {
 			l.dc = cacheClass(&g.dcs, cfg.DCache)
 		}
 		l.pr = g.predictorClass(cfg)
+		if cfg.OoO {
+			l.ooo = newOoOState(cfg, l.regReady, l.predReady)
+		}
 	}
 	g.icOut = outcomeRows(len(g.ics))
 	g.dcOut = outcomeRows(len(g.dcs))
@@ -256,11 +265,18 @@ func (g *Gang) Lanes() int { return len(g.lanes) }
 func (g *Gang) Config(i int) machine.Config { return g.lanes[i].cfg }
 
 // Stats returns lane i's statistics accumulated so far, exactly as a
-// per-config Simulator for the same configuration would report them.
+// per-config Simulator (or OoO) for the same configuration would report
+// them.  An empty trace took zero cycles.
 func (g *Gang) Stats(i int) Stats {
 	l := &g.lanes[i]
 	st := l.st
-	st.Cycles = l.lastIssue + 1
+	if st.Instrs > 0 {
+		if l.ooo != nil {
+			st.Cycles = l.ooo.maxIssue + 1
+		} else {
+			st.Cycles = l.lastIssue + 1
+		}
+	}
 	return st
 }
 
@@ -270,6 +286,10 @@ func (g *Gang) Stats(i int) Stats {
 func (g *Gang) Instrument(i int, a *obs.CycleAccount) {
 	l := &g.lanes[i]
 	l.acct = a
+	if l.ooo != nil {
+		l.ooo.instrument()
+		return
+	}
 	if l.regMiss == nil {
 		l.regMiss = make([]int64, len(l.regReady))
 	}
@@ -395,11 +415,18 @@ func (g *Gang) chunk(evs []emu.Event) {
 			icOut = g.icOut[l.ic]
 			dcOut = g.dcOut[l.dc]
 		}
-		if l.acct != nil {
+		if l.ooo != nil {
+			// Out-of-order lanes replay through the shared window
+			// scheduler; the statistics are all stream- or class-pure, so
+			// the chunk deltas below apply whether or not the lane is
+			// instrumented (the OoO replay never counts them inline).
+			laneReplayOoO(l, code, evs, icOut, dcOut, g.prOut[l.pr])
+		} else if l.acct != nil {
 			laneReplayObserved(l, code, evs, icOut, dcOut, g.prOut[l.pr])
 			continue
+		} else {
+			laneReplay(l, code, evs, icOut, dcOut, g.prOut[l.pr])
 		}
-		laneReplay(l, code, evs, icOut, dcOut, g.prOut[l.pr])
 		l.st.Instrs += cs.Instrs
 		l.st.Nullified += cs.Nullified
 		l.st.Loads += cs.Loads

@@ -44,6 +44,9 @@ func NewLegacy(p *ir.Program, cfg machine.Config) *LegacySimulator {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
+	if cfg.OoO {
+		panic("sim: NewLegacy is the in-order baseline; out-of-order machines have no legacy path")
+	}
 	s := &LegacySimulator{cfg: cfg, curCycle: -1, predDist: int64(cfg.PredDist())}
 	var nRegs, nPreds int32
 	s.regBase, s.predBase, nRegs, nPreds = regIndex(p)
@@ -62,10 +65,13 @@ func NewLegacy(p *ir.Program, cfg machine.Config) *LegacySimulator {
 	return s
 }
 
-// Stats returns the statistics accumulated so far.
+// Stats returns the statistics accumulated so far.  An empty trace took
+// zero cycles.
 func (s *LegacySimulator) Stats() Stats {
 	st := s.st
-	st.Cycles = s.lastIssue + 1
+	if st.Instrs > 0 {
+		st.Cycles = s.lastIssue + 1
+	}
 	return st
 }
 

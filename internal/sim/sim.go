@@ -246,10 +246,15 @@ type Simulator struct {
 // (Program.AssignAddresses) before New is called: addresses are baked
 // into the pre-decoded instruction table.  New panics if the
 // configuration fails machine.Config.Validate (non-power-of-two BTB or
-// cache geometry would silently corrupt the index masks).
+// cache geometry would silently corrupt the index masks).  Out-of-order
+// configurations have their own model: use NewOoO, or NewTiming to
+// dispatch on the flag.
 func New(p *ir.Program, cfg machine.Config) *Simulator {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
+	}
+	if cfg.OoO {
+		panic("sim: New is the in-order model; use NewOoO or NewTiming for machine.Config.OoO")
 	}
 	s := &Simulator{
 		cfg:         cfg,
@@ -336,10 +341,13 @@ func decodeInstrs(p *ir.Program, regBase, predBase []int32, nPreds int32) []simI
 
 // Stats returns the statistics accumulated so far.  It may be called at
 // any point; the Cycles field reflects the issue cycle of the latest
-// event.
+// event.  An empty trace took zero cycles — lastIssue is only meaningful
+// once an event has issued.
 func (s *Simulator) Stats() Stats {
 	st := s.st
-	st.Cycles = s.lastIssue + 1
+	if st.Instrs > 0 {
+		st.Cycles = s.lastIssue + 1
+	}
 	return st
 }
 
